@@ -1,0 +1,66 @@
+//! The common interface of baseline classifier heads.
+
+use crate::Result;
+use ofscil_tensor::Tensor;
+
+/// Which feature space a baseline head consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureSpace {
+    /// Raw backbone features θ_a (dimension d_a).
+    Backbone,
+    /// FCR-projected features θ_p (dimension d_p) — the space O-FSCIL uses.
+    Projected,
+}
+
+/// Similarity metric used by prototype-based heads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimilarityMetric {
+    /// Cosine similarity (angle only).
+    Cosine,
+    /// Negative squared Euclidean distance.
+    Euclidean,
+}
+
+/// A baseline classification head: learns classes from labeled feature
+/// batches and predicts labels for query features.
+///
+/// Heads never see images — the shared backbone/FCR produce the features —
+/// so every method is compared on identical representations.
+pub trait BaselineHead: Send {
+    /// Human-readable method name (used in the Table II rows).
+    fn name(&self) -> String;
+
+    /// Learns (or re-learns) the classes present in the labeled batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the features and labels disagree in length or a
+    /// head-specific capacity is exceeded.
+    fn learn_classes(&mut self, features: &Tensor, labels: &[usize]) -> Result<()>;
+
+    /// Predicts a class for every row of `features`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no class has been learned yet.
+    fn predict(&self, features: &Tensor) -> Result<Vec<usize>>;
+
+    /// Number of classes currently known to the head.
+    fn num_classes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enums_are_compact_and_distinct() {
+        assert_ne!(FeatureSpace::Backbone, FeatureSpace::Projected);
+        assert_ne!(SimilarityMetric::Cosine, SimilarityMetric::Euclidean);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_h: &mut dyn BaselineHead) {}
+    }
+}

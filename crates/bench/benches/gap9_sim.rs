@@ -1,0 +1,53 @@
+//! Criterion bench: throughput of the GAP9 deployment and cost models (the
+//! table/figure generators call these thousands of times during sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofscil::nn::models::{mobilenet_v2, MobileNetVariant};
+use ofscil::prelude::*;
+use std::hint::black_box;
+
+fn bench_deployment(c: &mut Criterion) {
+    let mut rng = SeedRng::new(0);
+    let backbone = mobilenet_v2(MobileNetVariant::X4, &mut rng);
+    c.bench_function("deploy_mobilenetv2_x4", |b| {
+        b.iter(|| {
+            let workload = deploy_backbone(black_box(&backbone), 32, 32);
+            black_box(workload)
+        })
+    });
+}
+
+fn bench_latency_model(c: &mut Criterion) {
+    let mut rng = SeedRng::new(0);
+    let backbone = mobilenet_v2(MobileNetVariant::X4, &mut rng);
+    let workload = deploy_backbone(&backbone, 32, 32);
+    let config = Gap9Config::default();
+    c.bench_function("estimate_execution_x4_8cores", |b| {
+        b.iter(|| {
+            let estimate = estimate_execution(black_box(&workload), &config, 8, false).unwrap();
+            black_box(estimate.macs_per_cycle())
+        })
+    });
+}
+
+fn bench_table4_operation(c: &mut Criterion) {
+    let mut rng = SeedRng::new(0);
+    let backbone = mobilenet_v2(MobileNetVariant::X1, &mut rng);
+    let workload = deploy_backbone(&backbone, 32, 32);
+    let executor = Gap9Executor::default();
+    c.bench_function("em_update_cost_model", |b| {
+        b.iter(|| {
+            let cost = executor
+                .em_update(black_box(&workload), 1280, 256, 5, 8)
+                .unwrap();
+            black_box(cost.energy_mj)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_deployment, bench_latency_model, bench_table4_operation
+}
+criterion_main!(benches);

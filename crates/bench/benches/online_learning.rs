@@ -1,0 +1,65 @@
+//! Criterion bench: the online-learning primitives — single-pass class
+//! learning (the paper's EM update) and explicit-memory classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofscil::prelude::*;
+use std::hint::black_box;
+
+fn setup_model_and_support() -> (OFscilModel, Batch, Tensor) {
+    let mut rng = SeedRng::new(0);
+    let model = OFscilModel::new(BackboneKind::Micro, 32, &mut rng);
+    let generator = SyntheticCifar::new(SyntheticConfig::tiny(), 3);
+    let support = generator
+        .generate_split(&[0, 1, 2, 3, 4], 5, 0)
+        .unwrap()
+        .full_batch()
+        .unwrap();
+    let query = generator
+        .generate_split(&[0, 1, 2, 3, 4], 4, 1)
+        .unwrap()
+        .full_batch()
+        .unwrap()
+        .images;
+    (model, support, query)
+}
+
+fn bench_online_class_learning(c: &mut Criterion) {
+    let (mut model, support, _) = setup_model_and_support();
+    c.bench_function("em_update_5way_5shot", |b| {
+        b.iter(|| model.learn_classes_online(black_box(&support)).unwrap())
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let (mut model, support, query) = setup_model_and_support();
+    model.learn_classes_online(&support).unwrap();
+    c.bench_function("predict_20_queries_5_classes", |b| {
+        b.iter(|| {
+            let out = model.predict(black_box(&query)).unwrap();
+            black_box(out)
+        })
+    });
+}
+
+fn bench_em_similarity(c: &mut Criterion) {
+    let mut em = ExplicitMemory::new(256);
+    let mut rng = SeedRng::new(7);
+    for class in 0..100usize {
+        let proto: Vec<f32> = (0..256).map(|_| rng.normal()).collect();
+        em.set_prototype(class, &proto).unwrap();
+    }
+    let query: Vec<f32> = (0..256).map(|_| rng.normal()).collect();
+    c.bench_function("em_classify_query_100_classes_256d", |b| {
+        b.iter(|| {
+            let out = em.classify(black_box(&query)).unwrap();
+            black_box(out)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_online_class_learning, bench_prediction, bench_em_similarity
+}
+criterion_main!(benches);

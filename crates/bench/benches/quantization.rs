@@ -1,0 +1,62 @@
+//! Criterion bench: quantization primitives — prototype precision reduction,
+//! int8 tensor round trips and integer matrix multiplication.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofscil::prelude::*;
+use std::hint::black_box;
+
+fn bench_prototype_quantization(c: &mut Criterion) {
+    let mut rng = SeedRng::new(0);
+    let prototype: Vec<f32> = (0..256).map(|_| rng.normal()).collect();
+    let p3 = PrototypePrecision::new(3).unwrap();
+    c.bench_function("prototype_quantize_256d_3bit", |b| {
+        b.iter(|| {
+            let q = p3.quantize(black_box(&prototype));
+            black_box(q)
+        })
+    });
+}
+
+fn bench_int8_roundtrip(c: &mut Criterion) {
+    let mut rng = SeedRng::new(1);
+    let tensor =
+        Tensor::from_vec((0..1280).map(|_| rng.normal()).collect(), &[1280]).unwrap();
+    c.bench_function("int8_quantize_dequantize_1280", |b| {
+        b.iter(|| {
+            let q = QuantTensor::quantize_auto(black_box(&tensor));
+            black_box(q.dequantize())
+        })
+    });
+}
+
+fn bench_int8_matmul(c: &mut Criterion) {
+    let mut rng = SeedRng::new(2);
+    let a = Tensor::from_vec((0..64 * 128).map(|_| rng.normal()).collect(), &[64, 128]).unwrap();
+    let w = Tensor::from_vec((0..128 * 32).map(|_| rng.normal()).collect(), &[128, 32]).unwrap();
+    let qa = QuantTensor::quantize_auto(&a);
+    let qw = QuantTensor::quantize_auto(&w);
+    c.bench_function("int8_matmul_64x128x32", |b| {
+        b.iter(|| {
+            let out = qa.matmul(black_box(&qw)).unwrap();
+            black_box(out)
+        })
+    });
+}
+
+fn bench_fake_quant_weights(c: &mut Criterion) {
+    let mut rng = SeedRng::new(3);
+    c.bench_function("fake_quantize_linear_weights_int8", |b| {
+        b.iter(|| {
+            let mut layer = ofscil::nn::layers::Linear::new(256, 128, true, &mut rng);
+            let count = ofscil::quant::quantize_layer_weights(&mut layer, 8).unwrap();
+            black_box(count)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_prototype_quantization, bench_int8_roundtrip, bench_int8_matmul, bench_fake_quant_weights
+}
+criterion_main!(benches);

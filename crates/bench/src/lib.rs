@@ -1,0 +1,76 @@
+//! Shared helpers for the benchmark harness that regenerates every table and
+//! figure of the paper.
+//!
+//! Each table/figure has a dedicated binary (`table1_backbones`,
+//! `table2_fscil_accuracy`, `table3_ablation`, `table4_energy`,
+//! `fig2_parallel_scaling`, `fig3_precision_sweep`) that prints the
+//! reproduced rows next to the paper's reference values, plus Criterion
+//! micro-benchmarks for the performance-critical kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ofscil::prelude::*;
+
+/// Returns the experiment seed, overridable with the `OFSCIL_SEED`
+/// environment variable.
+pub fn seed_from_env() -> u64 {
+    std::env::var("OFSCIL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Returns `true` when the `OFSCIL_PROFILE=full` environment variable asks
+/// for the paper-scale configuration instead of the laptop-scale default.
+pub fn full_profile_requested() -> bool {
+    std::env::var("OFSCIL_PROFILE")
+        .map(|v| v.eq_ignore_ascii_case("full"))
+        .unwrap_or(false)
+}
+
+/// Builds the experiment configuration used by the accuracy benchmarks:
+/// the micro profile by default, the paper-scale profile when
+/// `OFSCIL_PROFILE=full`.
+pub fn benchmark_config(seed: u64) -> ExperimentConfig {
+    if full_profile_requested() {
+        ExperimentConfig::full(seed, BackboneKind::MobileNetV2X4)
+    } else {
+        ExperimentConfig::micro(seed)
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(value: f32) -> String {
+    format!("{:6.2}", 100.0 * value)
+}
+
+/// Prints a horizontal rule of the given width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_defaults_to_42() {
+        // The environment variable is not set in the test harness.
+        if std::env::var("OFSCIL_SEED").is_err() {
+            assert_eq!(seed_from_env(), 42);
+        }
+    }
+
+    #[test]
+    fn benchmark_config_is_valid() {
+        let config = benchmark_config(1);
+        config.validate().unwrap();
+    }
+
+    #[test]
+    fn pct_formats_two_decimals() {
+        assert_eq!(pct(0.5), " 50.00");
+        assert_eq!(pct(1.0), "100.00");
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the core crate.
+
+use ofscil_data::DataError;
+use ofscil_nn::NnError;
+use ofscil_quant::QuantError;
+use ofscil_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by O-FSCIL training, learning and evaluation routines.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A neural-network operation failed.
+    Nn(NnError),
+    /// A dataset operation failed.
+    Data(DataError),
+    /// A quantization operation failed.
+    Quant(QuantError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// The experiment configuration is inconsistent.
+    InvalidConfig(String),
+    /// A class id was used before being learned, or is otherwise unknown.
+    UnknownClass(usize),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Quant(e) => write!(f, "quantization error: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid experiment configuration: {msg}"),
+            CoreError::UnknownClass(c) => write!(f, "class {c} has no stored prototype"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Nn(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            CoreError::Quant(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+impl From<QuantError> for CoreError {
+    fn from(e: QuantError) -> Self {
+        CoreError::Quant(e)
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = NnError::InvalidConfig("x".into()).into();
+        assert!(e.to_string().contains("network"));
+        assert!(e.source().is_some());
+        let e = CoreError::UnknownClass(42);
+        assert!(e.to_string().contains("42"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,307 @@
+//! Composite blocks: the MobileNetV2 inverted residual and the ResNet basic
+//! block used by the ResNet-12 backbone.
+
+use crate::layers::{BatchNorm, Conv2d, DepthwiseConv2d, Relu, Relu6, Sequential};
+use crate::{Layer, Mode, NnError, Parameter, Result};
+use ofscil_tensor::{SeedRng, Tensor};
+
+/// MobileNetV2 inverted residual block: 1×1 expansion → 3×3 depthwise →
+/// 1×1 linear projection, with an identity skip connection when the stride is
+/// one and the channel count is preserved.
+#[derive(Debug)]
+pub struct InvertedResidual {
+    body: Sequential,
+    use_residual: bool,
+    in_channels: usize,
+    out_channels: usize,
+    stride: usize,
+}
+
+impl InvertedResidual {
+    /// Creates an inverted residual block.
+    ///
+    /// `expansion` is the channel expansion factor `t` of the MobileNetV2
+    /// paper (1 disables the expansion convolution).
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        expansion: usize,
+        rng: &mut SeedRng,
+    ) -> Self {
+        let hidden = in_channels * expansion;
+        let mut body = Sequential::new(format!("inv_res({in_channels}→{out_channels})"));
+        if expansion != 1 {
+            body.push(Box::new(Conv2d::new(in_channels, hidden, 1, 1, 0, false, rng)));
+            body.push(Box::new(BatchNorm::new(hidden)));
+            body.push(Box::new(Relu6::new()));
+        }
+        body.push(Box::new(DepthwiseConv2d::new(hidden, 3, stride, 1, false, rng)));
+        body.push(Box::new(BatchNorm::new(hidden)));
+        body.push(Box::new(Relu6::new()));
+        body.push(Box::new(Conv2d::new(hidden, out_channels, 1, 1, 0, false, rng)));
+        body.push(Box::new(BatchNorm::new(out_channels)));
+        let use_residual = stride == 1 && in_channels == out_channels;
+        InvertedResidual { body, use_residual, in_channels, out_channels, stride }
+    }
+
+    /// Returns `true` when the block adds an identity skip connection.
+    pub fn has_residual(&self) -> bool {
+        self.use_residual
+    }
+
+    /// The convolutional stride of the block.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+impl Layer for InvertedResidual {
+    fn name(&self) -> String {
+        format!(
+            "inverted_residual({}→{}, s{}{})",
+            self.in_channels,
+            self.out_channels,
+            self.stride,
+            if self.use_residual { ", skip" } else { "" }
+        )
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = self.body.forward(input, mode)?;
+        if self.use_residual {
+            Ok(out.add(input)?)
+        } else {
+            Ok(out)
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let grad_body = self.body.backward(grad_output)?;
+        if self.use_residual {
+            Ok(grad_body.add(grad_output)?)
+        } else {
+            Ok(grad_body)
+        }
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        self.body.visit_params(visitor);
+    }
+
+    fn output_dims(&self, input: &[usize]) -> Result<Vec<usize>> {
+        self.body.output_dims(input)
+    }
+
+    fn macs(&self, input: &[usize]) -> u64 {
+        self.body.macs(input)
+    }
+
+    fn weight_count(&self) -> u64 {
+        self.body.weight_count()
+    }
+}
+
+/// ResNet basic block with `depth` 3×3 convolutions (3 for ResNet-12), a
+/// projection shortcut when the shape changes, and a trailing ReLU.
+#[derive(Debug)]
+pub struct ResNetBlock {
+    body: Sequential,
+    shortcut: Option<Sequential>,
+    relu_mask: Option<Vec<bool>>,
+    in_channels: usize,
+    out_channels: usize,
+    stride: usize,
+}
+
+impl ResNetBlock {
+    /// Creates a residual block of `depth` convolutions; the first convolution
+    /// carries the stride.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        depth: usize,
+        rng: &mut SeedRng,
+    ) -> Self {
+        assert!(depth >= 1, "residual block needs at least one convolution");
+        let mut body = Sequential::new(format!("resblock({in_channels}→{out_channels})"));
+        let mut c_in = in_channels;
+        for d in 0..depth {
+            let s = if d == 0 { stride } else { 1 };
+            body.push(Box::new(Conv2d::new(c_in, out_channels, 3, s, 1, false, rng)));
+            body.push(Box::new(BatchNorm::new(out_channels)));
+            if d + 1 < depth {
+                body.push(Box::new(Relu::new()));
+            }
+            c_in = out_channels;
+        }
+        let shortcut = (stride != 1 || in_channels != out_channels).then(|| {
+            let mut s = Sequential::new("shortcut");
+            s.push(Box::new(Conv2d::new(in_channels, out_channels, 1, stride, 0, false, rng)));
+            s.push(Box::new(BatchNorm::new(out_channels)));
+            s
+        });
+        ResNetBlock {
+            body,
+            shortcut,
+            relu_mask: None,
+            in_channels,
+            out_channels,
+            stride,
+        }
+    }
+}
+
+impl Layer for ResNetBlock {
+    fn name(&self) -> String {
+        format!(
+            "resnet_block({}→{}, s{})",
+            self.in_channels, self.out_channels, self.stride
+        )
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let body_out = self.body.forward(input, mode)?;
+        let skip = match &mut self.shortcut {
+            Some(proj) => proj.forward(input, mode)?,
+            None => input.clone(),
+        };
+        let pre_act = body_out.add(&skip)?;
+        if mode.is_train() {
+            self.relu_mask = Some(pre_act.as_slice().iter().map(|&x| x > 0.0).collect());
+        }
+        Ok(pre_act.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .relu_mask
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache(self.name()))?;
+        let masked: Vec<f32> = grad_output
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        let grad_pre = Tensor::from_vec(masked, grad_output.dims())?;
+        let grad_body = self.body.backward(&grad_pre)?;
+        let grad_skip = match &mut self.shortcut {
+            Some(proj) => proj.backward(&grad_pre)?,
+            None => grad_pre,
+        };
+        Ok(grad_body.add(&grad_skip)?)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        self.body.visit_params(visitor);
+        if let Some(proj) = &mut self.shortcut {
+            proj.visit_params(visitor);
+        }
+    }
+
+    fn output_dims(&self, input: &[usize]) -> Result<Vec<usize>> {
+        self.body.output_dims(input)
+    }
+
+    fn macs(&self, input: &[usize]) -> u64 {
+        let shortcut_macs = self.shortcut.as_ref().map_or(0, |s| s.macs(input));
+        self.body.macs(input) + shortcut_macs
+    }
+
+    fn weight_count(&self) -> u64 {
+        self.body.weight_count() + self.shortcut.as_ref().map_or(0, |s| s.weight_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverted_residual_shapes() {
+        let mut rng = SeedRng::new(0);
+        let mut blk = InvertedResidual::new(8, 8, 1, 6, &mut rng);
+        assert!(blk.has_residual());
+        let y = blk.forward(&Tensor::ones(&[2, 8, 8, 8]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+
+        let mut strided = InvertedResidual::new(8, 16, 2, 6, &mut rng);
+        assert!(!strided.has_residual());
+        assert_eq!(strided.stride(), 2);
+        let y = strided.forward(&Tensor::ones(&[1, 8, 8, 8]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 16, 4, 4]);
+        assert_eq!(strided.output_dims(&[1, 8, 8, 8]).unwrap(), vec![1, 16, 4, 4]);
+    }
+
+    #[test]
+    fn expansion_one_skips_expand_conv() {
+        let mut rng = SeedRng::new(1);
+        let mut thin = InvertedResidual::new(8, 8, 1, 1, &mut rng);
+        let mut fat = InvertedResidual::new(8, 8, 1, 6, &mut rng);
+        assert!(thin.param_count() < fat.param_count());
+    }
+
+    #[test]
+    fn inverted_residual_backward_flows() {
+        let mut rng = SeedRng::new(2);
+        let mut blk = InvertedResidual::new(4, 4, 1, 2, &mut rng);
+        let x = Tensor::ones(&[1, 4, 6, 6]);
+        let y = blk.forward(&x, Mode::Train).unwrap();
+        let g = blk.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        // The residual path alone guarantees a nonzero input gradient.
+        assert!(g.max_abs() > 0.0);
+        let mut got_grad = false;
+        blk.visit_params(&mut |p| {
+            if p.trainable && p.grad.max_abs() > 0.0 {
+                got_grad = true;
+            }
+        });
+        assert!(got_grad);
+    }
+
+    #[test]
+    fn resnet_block_shapes_and_shortcut() {
+        let mut rng = SeedRng::new(3);
+        let mut same = ResNetBlock::new(8, 8, 1, 2, &mut rng);
+        let y = same.forward(&Tensor::ones(&[1, 8, 8, 8]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 8, 8, 8]);
+
+        let mut down = ResNetBlock::new(8, 16, 2, 3, &mut rng);
+        let y = down.forward(&Tensor::ones(&[1, 8, 8, 8]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 16, 4, 4]);
+        // Projection shortcut adds parameters.
+        assert!(down.param_count() > 0);
+    }
+
+    #[test]
+    fn resnet_block_output_is_non_negative() {
+        let mut rng = SeedRng::new(4);
+        let mut blk = ResNetBlock::new(4, 4, 1, 2, &mut rng);
+        let x = Tensor::from_vec((0..4 * 16).map(|i| (i as f32 - 32.0) * 0.1).collect(), &[1, 4, 4, 4])
+            .unwrap();
+        let y = blk.forward(&x, Mode::Eval).unwrap();
+        assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn resnet_block_backward_flows() {
+        let mut rng = SeedRng::new(5);
+        let mut blk = ResNetBlock::new(3, 6, 2, 3, &mut rng);
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        let y = blk.forward(&x, Mode::Train).unwrap();
+        let g = blk.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert!(blk.backward(&Tensor::ones(y.dims())).is_err());
+    }
+
+    #[test]
+    fn macs_include_shortcut() {
+        let mut rng = SeedRng::new(6);
+        let with_proj = ResNetBlock::new(8, 16, 2, 2, &mut rng);
+        let body_only: u64 = with_proj.body.macs(&[8, 8, 8]);
+        assert!(with_proj.macs(&[8, 8, 8]) > body_only);
+    }
+}

@@ -1,0 +1,353 @@
+//! Batch normalisation over the channel dimension.
+
+use crate::{Layer, Mode, NnError, Parameter, Result};
+use ofscil_tensor::Tensor;
+
+/// Batch normalisation.
+///
+/// Accepts either `[batch, channels, h, w]` activations (per-channel
+/// statistics over `batch * h * w` elements) or `[batch, features]`
+/// activations (per-feature statistics over the batch).
+///
+/// In [`Mode::Train`] batch statistics are used and running statistics are
+/// updated with exponential momentum; in [`Mode::Eval`] the running statistics
+/// are used.
+#[derive(Debug)]
+pub struct BatchNorm {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Parameter,
+    beta: Parameter,
+    running_mean: Parameter,
+    running_var: Parameter,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    dims: Vec<usize>,
+}
+
+impl BatchNorm {
+    /// Creates a batch-normalisation layer over `channels` channels.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Parameter::new("gamma", Tensor::ones(&[channels])),
+            beta: Parameter::new("beta", Tensor::zeros(&[channels])),
+            running_mean: Parameter::frozen("running_mean", Tensor::zeros(&[channels])),
+            running_var: Parameter::frozen("running_var", Tensor::ones(&[channels])),
+            cache: None,
+        }
+    }
+
+    /// Number of normalised channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Returns the running mean (used by the quantizer to fold BN into convs).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean.value
+    }
+
+    /// Returns the running variance.
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var.value
+    }
+
+    /// Returns the scale parameter γ.
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma.value
+    }
+
+    /// Returns the shift parameter β.
+    pub fn beta(&self) -> &Tensor {
+        &self.beta.value
+    }
+
+    /// Numerical-stability epsilon used in the variance denominator.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    fn layout(&self, dims: &[usize]) -> Result<(usize, usize)> {
+        // Returns (groups, spatial): groups = batch, spatial = h*w (or 1).
+        match dims {
+            [batch, c] if *c == self.channels => Ok((*batch, 1)),
+            [batch, c, h, w] if *c == self.channels => Ok((*batch, h * w)),
+            _ => Err(NnError::BadInput {
+                layer: self.name(),
+                expected: format!("[batch, {}] or [batch, {}, h, w]", self.channels, self.channels),
+                actual: dims.to_vec(),
+            }),
+        }
+    }
+}
+
+impl Layer for BatchNorm {
+    fn name(&self) -> String {
+        format!("batchnorm({})", self.channels)
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (batch, spatial) = self.layout(input.dims())?;
+        let count = (batch * spatial) as f32;
+        let c = self.channels;
+        let src = input.as_slice();
+
+        let (mean, var) = if mode.is_train() {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for b in 0..batch {
+                for ch in 0..c {
+                    let base = (b * c + ch) * spatial;
+                    for s in 0..spatial {
+                        mean[ch] += src[base + s];
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= count;
+            }
+            for b in 0..batch {
+                for ch in 0..c {
+                    let base = (b * c + ch) * spatial;
+                    for s in 0..spatial {
+                        let d = src[base + s] - mean[ch];
+                        var[ch] += d * d;
+                    }
+                }
+            }
+            for v in &mut var {
+                *v /= count;
+            }
+            // Update running statistics.
+            for ch in 0..c {
+                let rm = &mut self.running_mean.value.as_mut_slice()[ch];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean[ch];
+                let rv = &mut self.running_var.value.as_mut_slice()[ch];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var[ch];
+            }
+            (mean, var)
+        } else {
+            (
+                self.running_mean.value.as_slice().to_vec(),
+                self.running_var.value.as_slice().to_vec(),
+            )
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut out = vec![0.0f32; src.len()];
+        let mut x_hat = vec![0.0f32; src.len()];
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        for b in 0..batch {
+            for ch in 0..c {
+                let base = (b * c + ch) * spatial;
+                for s in 0..spatial {
+                    let xh = (src[base + s] - mean[ch]) * inv_std[ch];
+                    x_hat[base + s] = xh;
+                    out[base + s] = gamma[ch] * xh + beta[ch];
+                }
+            }
+        }
+
+        if mode.is_train() {
+            self.cache = Some(BnCache {
+                x_hat: Tensor::from_vec(x_hat, input.dims())?,
+                inv_std,
+                dims: input.dims().to_vec(),
+            });
+        }
+        Tensor::from_vec(out, input.dims()).map_err(NnError::from)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache(self.name()))?;
+        if grad_output.dims() != cache.dims.as_slice() {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                expected: format!("{:?}", cache.dims),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let (batch, spatial) = self.layout(&cache.dims)?;
+        let count = (batch * spatial) as f32;
+        let c = self.channels;
+        let dy = grad_output.as_slice();
+        let xh = cache.x_hat.as_slice();
+        let gamma: Vec<f32> = self.gamma.value.as_slice().to_vec();
+
+        // Per-channel sums needed by the closed-form BN backward pass.
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for b in 0..batch {
+            for ch in 0..c {
+                let base = (b * c + ch) * spatial;
+                for s in 0..spatial {
+                    sum_dy[ch] += dy[base + s];
+                    sum_dy_xhat[ch] += dy[base + s] * xh[base + s];
+                }
+            }
+        }
+        self.gamma.accumulate_grad(&Tensor::from_slice(&sum_dy_xhat));
+        self.beta.accumulate_grad(&Tensor::from_slice(&sum_dy));
+
+        let mut grad_input = vec![0.0f32; dy.len()];
+        for b in 0..batch {
+            for ch in 0..c {
+                let base = (b * c + ch) * spatial;
+                let scale = gamma[ch] * cache.inv_std[ch];
+                for s in 0..spatial {
+                    grad_input[base + s] = scale
+                        * (dy[base + s]
+                            - sum_dy[ch] / count
+                            - xh[base + s] * sum_dy_xhat[ch] / count);
+                }
+            }
+        }
+        Tensor::from_vec(grad_input, &cache.dims).map_err(NnError::from)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        visitor(&mut self.gamma);
+        visitor(&mut self.beta);
+        visitor(&mut self.running_mean);
+        visitor(&mut self.running_var);
+    }
+
+    fn output_dims(&self, input: &[usize]) -> Result<Vec<usize>> {
+        self.layout(input)?;
+        Ok(input.to_vec())
+    }
+
+    fn weight_count(&self) -> u64 {
+        // On-device the scale and shift are folded into the preceding
+        // convolution; γ and β still need to be resident.
+        2 * self.channels as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofscil_tensor::SeedRng;
+
+    #[test]
+    fn train_output_is_normalised() {
+        let mut bn = BatchNorm::new(3);
+        let mut rng = SeedRng::new(0);
+        let x = Tensor::from_vec(
+            (0..4 * 3 * 4 * 4).map(|_| rng.normal_with(5.0, 3.0)).collect(),
+            &[4, 3, 4, 4],
+        )
+        .unwrap();
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // Per-channel mean ≈ 0, var ≈ 1.
+        for ch in 0..3 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                for s in 0..16 {
+                    vals.push(y.as_slice()[(b * 3 + ch) * 16 + s]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut bn = BatchNorm::new(2);
+        let mut rng = SeedRng::new(1);
+        // Feed many batches so the running stats converge to the data stats.
+        for _ in 0..200 {
+            let x = Tensor::from_vec(
+                (0..8 * 2).map(|_| rng.normal_with(2.0, 0.5)).collect(),
+                &[8, 2],
+            )
+            .unwrap();
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        let x = Tensor::full(&[1, 2], 2.0);
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        // An input equal to the running mean must map close to beta (=0).
+        assert!(y.as_slice().iter().all(|v| v.abs() < 0.2), "{:?}", y.as_slice());
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm::new(4);
+        assert!(bn.forward(&Tensor::ones(&[2, 3, 4, 4]), Mode::Train).is_err());
+        assert!(bn.output_dims(&[2, 3]).is_err());
+        assert_eq!(bn.output_dims(&[2, 4]).unwrap(), vec![2, 4]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut bn = BatchNorm::new(2);
+        let mut rng = SeedRng::new(5);
+        let x = Tensor::from_vec(
+            (0..6 * 2).map(|_| rng.normal_with(1.0, 2.0)).collect(),
+            &[6, 2],
+        )
+        .unwrap();
+        // Use a non-uniform upstream gradient, otherwise the BN backward is
+        // trivially zero (sum of dy is removed by the mean term).
+        let upstream = Tensor::from_vec(
+            (0..12).map(|i| ((i * 7 % 5) as f32 - 2.0) * 0.3).collect(),
+            &[6, 2],
+        )
+        .unwrap();
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), x.dims());
+        let grad_in = bn.backward(&upstream).unwrap();
+
+        let loss = |bn: &mut BatchNorm, x: &Tensor| -> f32 {
+            let y = bn.forward(x, Mode::Train).unwrap();
+            y.mul(&upstream).unwrap().sum()
+        };
+        let eps = 1e-2;
+        for &idx in &[0usize, 3, 7, 11] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            // Fresh BN copies so running stats do not drift between probes.
+            let mut bn_p = BatchNorm::new(2);
+            let mut bn_m = BatchNorm::new(2);
+            let numeric = (loss(&mut bn_p, &xp) - loss(&mut bn_m, &xm)) / (2.0 * eps);
+            let analytic = grad_in.as_slice()[idx];
+            assert!((numeric - analytic).abs() < 0.05, "{numeric} vs {analytic}");
+        }
+    }
+
+    #[test]
+    fn only_gamma_beta_are_trainable() {
+        let mut bn = BatchNorm::new(8);
+        assert_eq!(bn.param_count(), 16);
+        let mut names = Vec::new();
+        bn.visit_params(&mut |p| names.push(p.name().to_string()));
+        assert_eq!(names, vec!["gamma", "beta", "running_mean", "running_var"]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut bn = BatchNorm::new(2);
+        assert!(matches!(
+            bn.backward(&Tensor::ones(&[2, 2])),
+            Err(NnError::NoForwardCache(_))
+        ));
+    }
+}

@@ -1,0 +1,298 @@
+//! Standard 2-D convolution executed as im2col + matrix multiplication.
+
+use crate::{Layer, Mode, NnError, Parameter, Result};
+use ofscil_tensor::{col2im, im2col, Conv2dGeometry, Init, Initializer, SeedRng, Tensor};
+
+/// A 2-D convolution with square kernel, shared stride/padding on both axes.
+///
+/// * input: `[batch, in_channels, h, w]`
+/// * weight: `[out_channels, in_channels * k * k]`
+/// * output: `[batch, out_channels, h', w']`
+#[derive(Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: Parameter,
+    bias: Option<Parameter>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-normal initialised weights.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        bias: bool,
+        rng: &mut SeedRng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let mut init = Initializer::new(rng.fork(0xc0c0));
+        let weight = Parameter::new(
+            "weight",
+            init.tensor(&[out_channels, fan_in], Init::KaimingNormal { fan_in }),
+        );
+        let bias = bias.then(|| Parameter::new("bias", Tensor::zeros(&[out_channels])));
+        Conv2d { in_channels, out_channels, kernel, stride, padding, weight, bias, cached_input: None }
+    }
+
+    /// The convolution geometry for a given input height/width.
+    pub fn geometry(&self, in_h: usize, in_w: usize) -> Conv2dGeometry {
+        Conv2dGeometry::new(in_h, in_w, self.kernel, self.stride, self.padding)
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Stride of the convolution.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Kernel size of the convolution.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Immutable access to the weight matrix (`[out_c, in_c * k * k]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Mutable access to the weight matrix.
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight.value
+    }
+
+    fn check_input(&self, dims: &[usize]) -> Result<(usize, usize, usize)> {
+        if dims.len() != 4 || dims[1] != self.in_channels {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                expected: format!("[batch, {}, h, w]", self.in_channels),
+                actual: dims.to_vec(),
+            });
+        }
+        Ok((dims[0], dims[2], dims[3]))
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> String {
+        format!(
+            "conv2d({}→{}, k{}, s{}, p{})",
+            self.in_channels, self.out_channels, self.kernel, self.stride, self.padding
+        )
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (batch, in_h, in_w) = self.check_input(input.dims())?;
+        let geom = self.geometry(in_h, in_w);
+        geom.validate()?;
+        let (out_h, out_w) = (geom.out_h(), geom.out_w());
+        let plane = self.in_channels * in_h * in_w;
+        let out_plane = self.out_channels * out_h * out_w;
+        let mut out = vec![0.0f32; batch * out_plane];
+
+        for b in 0..batch {
+            let image = Tensor::from_vec(
+                input.as_slice()[b * plane..(b + 1) * plane].to_vec(),
+                &[self.in_channels, in_h, in_w],
+            )?;
+            let cols = im2col(&image, self.in_channels, &geom)?;
+            let result = self.weight.value.matmul(&cols)?;
+            let dst = &mut out[b * out_plane..(b + 1) * out_plane];
+            dst.copy_from_slice(result.as_slice());
+            if let Some(bias) = &self.bias {
+                for (c, chunk) in dst.chunks_mut(out_h * out_w).enumerate() {
+                    let bv = bias.value.as_slice()[c];
+                    for x in chunk {
+                        *x += bv;
+                    }
+                }
+            }
+        }
+        self.cached_input = mode.is_train().then(|| input.clone());
+        Tensor::from_vec(out, &[batch, self.out_channels, out_h, out_w]).map_err(NnError::from)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache(self.name()))?;
+        let (batch, in_h, in_w) = self.check_input(input.dims())?;
+        let geom = self.geometry(in_h, in_w);
+        let (out_h, out_w) = (geom.out_h(), geom.out_w());
+        if grad_output.dims() != [batch, self.out_channels, out_h, out_w] {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                expected: format!("[{batch}, {}, {out_h}, {out_w}]", self.out_channels),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let plane = self.in_channels * in_h * in_w;
+        let out_plane = self.out_channels * out_h * out_w;
+        let mut grad_input = vec![0.0f32; batch * plane];
+        let weight_t = self.weight.value.transpose()?;
+
+        for b in 0..batch {
+            let image = Tensor::from_vec(
+                input.as_slice()[b * plane..(b + 1) * plane].to_vec(),
+                &[self.in_channels, in_h, in_w],
+            )?;
+            // Recompute the patch matrix instead of caching it: trades a
+            // second im2col for a large reduction in peak training memory.
+            let cols = im2col(&image, self.in_channels, &geom)?;
+            let grad_y = Tensor::from_vec(
+                grad_output.as_slice()[b * out_plane..(b + 1) * out_plane].to_vec(),
+                &[self.out_channels, out_h * out_w],
+            )?;
+            let grad_w = grad_y.matmul(&cols.transpose()?)?;
+            self.weight.accumulate_grad(&grad_w);
+            if let Some(bias) = &mut self.bias {
+                let mut gb = vec![0.0f32; self.out_channels];
+                for (c, g) in gb.iter_mut().enumerate() {
+                    *g = grad_y.row(c)?.iter().sum();
+                }
+                bias.accumulate_grad(&Tensor::from_slice(&gb));
+            }
+            let grad_cols = weight_t.matmul(&grad_y)?;
+            let grad_img = col2im(&grad_cols, self.in_channels, &geom)?;
+            grad_input[b * plane..(b + 1) * plane].copy_from_slice(grad_img.as_slice());
+        }
+        Tensor::from_vec(grad_input, input.dims()).map_err(NnError::from)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        visitor(&mut self.weight);
+        if let Some(bias) = &mut self.bias {
+            visitor(bias);
+        }
+    }
+
+    fn output_dims(&self, input: &[usize]) -> Result<Vec<usize>> {
+        let (batch, in_h, in_w) = self.check_input(input)?;
+        let geom = self.geometry(in_h, in_w);
+        geom.validate()?;
+        Ok(vec![batch, self.out_channels, geom.out_h(), geom.out_w()])
+    }
+
+    fn macs(&self, input: &[usize]) -> u64 {
+        // `input` is the batch-less shape [channels, h, w].
+        if input.len() != 3 {
+            return 0;
+        }
+        let geom = self.geometry(input[1], input[2]);
+        (self.out_channels * self.in_channels * self.kernel * self.kernel) as u64
+            * geom.out_pixels() as u64
+    }
+
+    fn weight_count(&self) -> u64 {
+        let bias = if self.bias.is_some() { self.out_channels } else { 0 };
+        (self.out_channels * self.in_channels * self.kernel * self.kernel + bias) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = SeedRng::new(0);
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, true, &mut rng);
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 4, 4]);
+        assert_eq!(conv.output_dims(&[2, 3, 8, 8]).unwrap(), vec![2, 8, 4, 4]);
+        assert!(conv.forward(&Tensor::ones(&[2, 4, 8, 8]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut rng = SeedRng::new(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, false, &mut rng);
+        conv.weight_mut().as_mut_slice()[0] = 1.0;
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn known_sum_kernel() {
+        // A 3x3 all-ones kernel over an all-ones 3x3 input with padding 1:
+        // centre output = 9, corners = 4, edges = 6.
+        let mut rng = SeedRng::new(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, false, &mut rng);
+        conv.weight_mut().fill(1.0);
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(
+            y.as_slice(),
+            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn gradient_check_input_and_weight() {
+        let mut rng = SeedRng::new(7);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, true, &mut rng);
+        let x = Tensor::from_vec(
+            (0..2 * 2 * 4 * 4).map(|i| ((i % 7) as f32 - 3.0) * 0.3).collect(),
+            &[2, 2, 4, 4],
+        )
+        .unwrap();
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        let grad_in = conv.backward(&Tensor::ones(y.dims())).unwrap();
+        let analytic_w = conv.weight.grad.clone();
+
+        let eps = 1e-2;
+        // dL/dx spot check
+        for &idx in &[0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = conv.forward(&xp, Mode::Eval).unwrap().sum();
+            let lm = conv.forward(&xm, Mode::Eval).unwrap().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.as_slice()[idx];
+            assert!((numeric - analytic).abs() < 0.05, "x[{idx}]: {numeric} vs {analytic}");
+        }
+        // dL/dW spot check
+        for &idx in &[0usize, 7, 20] {
+            let orig = conv.weight.value.as_slice()[idx];
+            conv.weight.value.as_mut_slice()[idx] = orig + eps;
+            let lp = conv.forward(&x, Mode::Eval).unwrap().sum();
+            conv.weight.value.as_mut_slice()[idx] = orig - eps;
+            let lm = conv.forward(&x, Mode::Eval).unwrap().sum();
+            conv.weight.value.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = analytic_w.as_slice()[idx];
+            assert!((numeric - analytic).abs() < 0.05, "w[{idx}]: {numeric} vs {analytic}");
+        }
+    }
+
+    #[test]
+    fn mac_count_matches_formula() {
+        let mut rng = SeedRng::new(0);
+        let conv = Conv2d::new(16, 32, 3, 1, 1, false, &mut rng);
+        // 32 * 16 * 3 * 3 * 8 * 8
+        assert_eq!(conv.macs(&[16, 8, 8]), 32 * 16 * 9 * 64);
+        assert_eq!(conv.macs(&[16, 8]), 0);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = SeedRng::new(0);
+        let mut conv = Conv2d::new(4, 8, 3, 1, 1, true, &mut rng);
+        assert_eq!(conv.param_count(), (8 * 4 * 9 + 8) as u64);
+    }
+}

@@ -1,0 +1,240 @@
+//! Fully connected layer.
+
+use crate::{Layer, Mode, NnError, Parameter, Result};
+use ofscil_tensor::{Axis, Init, Initializer, SeedRng, Tensor};
+
+/// A fully connected (dense) layer: `y = x · Wᵀ + b`.
+///
+/// Weight shape is `[out_features, in_features]`, input shape `[batch,
+/// in_features]`.
+#[derive(Debug)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Parameter,
+    bias: Option<Parameter>,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a new linear layer with Kaiming-normal weights.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut SeedRng) -> Self {
+        let mut init = Initializer::new(rng.fork(0x11ea));
+        let weight = Parameter::new(
+            "weight",
+            init.tensor(&[out_features, in_features], Init::KaimingNormal { fan_in: in_features }),
+        );
+        let bias = bias.then(|| Parameter::new("bias", Tensor::zeros(&[out_features])));
+        Linear { in_features, out_features, weight, bias, cached_input: None }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Immutable access to the weight matrix (`[out, in]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Mutable access to the weight matrix, e.g. for loading pretrained
+    /// parameters or bipolarised prototypes.
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight.value
+    }
+
+    /// Immutable access to the bias vector, when present.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref().map(|b| &b.value)
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        if input.dims().len() != 2 || input.dims()[1] != self.in_features {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                expected: format!("[batch, {}]", self.in_features),
+                actual: input.dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> String {
+        format!("linear({}x{})", self.in_features, self.out_features)
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.check_input(input)?;
+        let wt = self.weight.value.transpose()?;
+        let mut out = input.matmul(&wt)?;
+        if let Some(bias) = &self.bias {
+            let cols = self.out_features;
+            for row in out.as_mut_slice().chunks_mut(cols) {
+                for (x, b) in row.iter_mut().zip(bias.value.as_slice()) {
+                    *x += b;
+                }
+            }
+        }
+        self.cached_input = mode.is_train().then(|| input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache(self.name()))?;
+        if grad_output.dims() != [input.dims()[0], self.out_features] {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                expected: format!("[batch, {}]", self.out_features),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        // dW = gradᵀ · x, db = Σ_batch grad, dx = grad · W
+        let grad_w = grad_output.transpose()?.matmul(&input)?;
+        self.weight.accumulate_grad(&grad_w);
+        if let Some(bias) = &mut self.bias {
+            let grad_b = grad_output.sum_axis(Axis(0))?;
+            bias.accumulate_grad(&grad_b);
+        }
+        Ok(grad_output.matmul(&self.weight.value)?)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        visitor(&mut self.weight);
+        if let Some(bias) = &mut self.bias {
+            visitor(bias);
+        }
+    }
+
+    fn output_dims(&self, input: &[usize]) -> Result<Vec<usize>> {
+        if input.len() != 2 || input[1] != self.in_features {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                expected: format!("[batch, {}]", self.in_features),
+                actual: input.to_vec(),
+            });
+        }
+        Ok(vec![input[0], self.out_features])
+    }
+
+    fn macs(&self, _input: &[usize]) -> u64 {
+        (self.in_features * self.out_features) as u64
+    }
+
+    fn weight_count(&self) -> u64 {
+        let bias = if self.bias.is_some() { self.out_features } else { 0 };
+        (self.in_features * self.out_features + bias) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(layer: &mut Linear, x: &Tensor) {
+        // Numerical gradient check of dL/dx where L = sum(forward(x)).
+        let eps = 1e-3;
+        let y = layer.forward(x, Mode::Train).unwrap();
+        let grad_in = layer.backward(&Tensor::ones(y.dims())).unwrap();
+        for idx in 0..x.len().min(6) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = layer.forward(&xp, Mode::Eval).unwrap().sum();
+            let lm = layer.forward(&xm, Mode::Eval).unwrap().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.as_slice()[idx]).abs() < 1e-2,
+                "idx {idx}: numeric {numeric} analytic {}",
+                grad_in.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = SeedRng::new(0);
+        let mut layer = Linear::new(3, 5, true, &mut rng);
+        let x = Tensor::ones(&[2, 3]);
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 5]);
+        assert!(layer.forward(&Tensor::ones(&[2, 4]), Mode::Eval).is_err());
+        assert_eq!(layer.output_dims(&[2, 3]).unwrap(), vec![2, 5]);
+        assert!(layer.output_dims(&[3]).is_err());
+    }
+
+    #[test]
+    fn known_small_case() {
+        let mut rng = SeedRng::new(0);
+        let mut layer = Linear::new(2, 1, true, &mut rng);
+        layer.weight_mut().as_mut_slice().copy_from_slice(&[2.0, -1.0]);
+        let x = Tensor::from_vec(vec![3.0, 4.0], &[1, 2]).unwrap();
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut rng = SeedRng::new(0);
+        let mut layer = Linear::new(2, 2, false, &mut rng);
+        assert!(matches!(
+            layer.backward(&Tensor::ones(&[1, 2])),
+            Err(NnError::NoForwardCache(_))
+        ));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = SeedRng::new(3);
+        let mut layer = Linear::new(4, 3, true, &mut rng);
+        let x = Tensor::from_vec((0..8).map(|i| 0.25 * i as f32 - 1.0).collect(), &[2, 4]).unwrap();
+        finite_diff_check(&mut layer, &x);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut rng = SeedRng::new(5);
+        let mut layer = Linear::new(3, 2, true, &mut rng);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5], &[2, 3]).unwrap();
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        layer.backward(&Tensor::ones(y.dims())).unwrap();
+        let analytic = layer.weight.grad.clone();
+
+        let eps = 1e-3;
+        for idx in 0..layer.weight.value.len() {
+            let orig = layer.weight.value.as_slice()[idx];
+            layer.weight.value.as_mut_slice()[idx] = orig + eps;
+            let lp = layer.forward(&x, Mode::Eval).unwrap().sum();
+            layer.weight.value.as_mut_slice()[idx] = orig - eps;
+            let lm = layer.forward(&x, Mode::Eval).unwrap().sum();
+            layer.weight.value.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.as_slice()[idx]).abs() < 1e-2,
+                "numeric {numeric} vs analytic {}",
+                analytic.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_and_macs() {
+        let mut rng = SeedRng::new(0);
+        let mut layer = Linear::new(10, 4, true, &mut rng);
+        assert_eq!(layer.param_count(), 44);
+        assert_eq!(layer.macs(&[10]), 40);
+        let mut no_bias = Linear::new(10, 4, false, &mut rng);
+        assert_eq!(no_bias.param_count(), 40);
+    }
+}

@@ -1,0 +1,20 @@
+//! Primitive layers: convolutions, batch normalisation, activations, pooling,
+//! linear projections and the [`Sequential`] container.
+
+mod activation;
+mod batchnorm;
+mod conv2d;
+mod dwconv;
+mod flatten;
+mod linear;
+mod pool;
+mod sequential;
+
+pub use activation::{Relu, Relu6};
+pub use batchnorm::BatchNorm;
+pub use conv2d::Conv2d;
+pub use dwconv::DepthwiseConv2d;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use sequential::Sequential;

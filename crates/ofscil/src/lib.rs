@@ -1,0 +1,75 @@
+//! O-FSCIL — Online Few-Shot Class-Incremental Learning, reproduced in Rust.
+//!
+//! This facade crate re-exports the whole workspace behind a single
+//! dependency and provides a [`prelude`] with the types most applications
+//! need. See the individual crates for the full APIs:
+//!
+//! * [`tensor`] — dense tensor math, RNG, initialisers,
+//! * [`nn`] — the layer-wise training engine, backbones, losses, optimizers,
+//! * [`quant`] — int8 quantization and explicit-memory precision reduction,
+//! * [`data`] — the synthetic CIFAR100-like dataset and the FSCIL protocol,
+//! * [`core`] — the O-FSCIL method itself (FCR, explicit memory, pretraining,
+//!   metalearning, online learning, fine-tuning, the session evaluator),
+//! * [`baselines`] — comparison classifier heads,
+//! * [`gap9`] — the GAP9-class MCU deployment and energy model.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ofscil::prelude::*;
+//!
+//! let config = ExperimentConfig::micro(42);
+//! let outcome = run_experiment(&config).unwrap();
+//! println!("per-session accuracy: {}", outcome.sessions.to_row());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ofscil_baselines as baselines;
+pub use ofscil_core as core;
+pub use ofscil_data as data;
+pub use ofscil_gap9 as gap9;
+pub use ofscil_nn as nn;
+pub use ofscil_quant as quant;
+pub use ofscil_tensor as tensor;
+
+/// The most commonly used types, re-exported for convenient glob imports.
+pub mod prelude {
+    pub use ofscil_baselines::{
+        run_baseline_protocol, BaselineHead, EtfHead, FeatureSpace, NearestClassMean,
+        SimilarityMetric,
+    };
+    pub use ofscil_core::{
+        finetune_fcr, metalearn, pretrain, run_ablation, run_experiment, run_fscil_protocol,
+        AblationVariant, EvalPrecision, ExperimentConfig, ExplicitMemory, Fcr, FinetuneConfig,
+        MetaLoss, MetalearnConfig, OFscilModel, PretrainConfig, SessionResults,
+    };
+    pub use ofscil_data::{
+        Augmenter, AugmenterConfig, Batch, CutMix, Dataset, FscilBenchmark, FscilConfig, Mixup,
+        Sample, SyntheticCifar, SyntheticConfig,
+    };
+    pub use ofscil_gap9::{
+        deploy_backbone, deploy_fcr, estimate_execution, Gap9Config, Gap9Executor, OperationCost,
+        PowerModel,
+    };
+    pub use ofscil_nn::models::{BackboneKind, MobileNetVariant};
+    pub use ofscil_nn::profile::{profile_backbone, profile_with_fcr};
+    pub use ofscil_nn::{Layer, Mode};
+    pub use ofscil_quant::{ExplicitMemoryFootprint, FakeQuant, PrototypePrecision, QuantTensor};
+    pub use ofscil_tensor::{SeedRng, Tensor};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_entry_points() {
+        use crate::prelude::*;
+        // Type-level smoke test: constructing the micro config must work from
+        // the prelude alone.
+        let config = ExperimentConfig::micro(0);
+        assert_eq!(config.fscil.num_sessions, 8);
+        let _ = Gap9Config::default();
+        let _ = SeedRng::new(0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Matrix multiplication and related linear-algebra kernels.
+
+use crate::parallel::{parallel_chunks, recommended_threads};
+use crate::{Result, Tensor, TensorError};
+
+/// Options controlling the blocked matrix-multiplication kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatmulOptions {
+    /// Number of worker threads; `1` forces the single-threaded path.
+    pub threads: usize,
+    /// Block size along the shared (K) dimension.
+    pub block_k: usize,
+}
+
+impl Default for MatmulOptions {
+    fn default() -> Self {
+        MatmulOptions { threads: recommended_threads(), block_k: 64 }
+    }
+}
+
+impl MatmulOptions {
+    /// Options for a deterministic single-threaded multiplication.
+    pub fn single_threaded() -> Self {
+        MatmulOptions { threads: 1, ..Default::default() }
+    }
+}
+
+impl Tensor {
+    /// Matrix product `self · other` for rank-2 tensors.
+    ///
+    /// Uses the default [`MatmulOptions`] (multi-threaded for large outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either operand is not a matrix or the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        self.matmul_with(other, MatmulOptions::default())
+    }
+
+    /// Matrix product with explicit execution options.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either operand is not a matrix or the inner
+    /// dimensions disagree.
+    pub fn matmul_with(&self, other: &Tensor, opts: MatmulOptions) -> Result<Tensor> {
+        let (m, k) = matrix_dims(self, "matmul lhs")?;
+        let (k2, n) = matrix_dims(other, "matmul rhs")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+                op: "matmul",
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        let block_k = opts.block_k.max(8);
+
+        let kernel = |row_start: usize, rows: &mut [f32]| {
+            let row_count = rows.len() / n;
+            for bk in (0..k).step_by(block_k) {
+                let k_end = (bk + block_k).min(k);
+                for local_i in 0..row_count {
+                    let i = row_start / n + local_i;
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let out_row = &mut rows[local_i * n..(local_i + 1) * n];
+                    for kk in bk..k_end {
+                        let aik = a_row[kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[kk * n..(kk + 1) * n];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += aik * bv;
+                        }
+                    }
+                }
+            }
+        };
+
+        // Parallelise over output rows: each worker owns whole rows so no
+        // synchronisation is needed.
+        if opts.threads <= 1 || m * n < 4096 {
+            kernel(0, &mut out);
+        } else {
+            let rows_per_chunk = m.div_ceil(opts.threads).max(1);
+            crossbeam::thread::scope(|scope| {
+                for (chunk_idx, rows) in out.chunks_mut(rows_per_chunk * n).enumerate() {
+                    let kernel = &kernel;
+                    scope.spawn(move |_| kernel(chunk_idx * rows_per_chunk * n, rows));
+                }
+            })
+            .expect("matmul worker panicked");
+        }
+
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product `self · v` for a rank-2 tensor and rank-1 vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `self` is not a matrix or the lengths disagree.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        let (m, k) = matrix_dims(self, "matvec lhs")?;
+        if v.dims().len() != 1 || v.len() != k {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: v.dims().to_vec(),
+                op: "matvec",
+            });
+        }
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(Tensor::from_slice(&out))
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn transpose(&self) -> Result<Tensor> {
+        let (m, n) = matrix_dims(self, "transpose")?;
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = src[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Outer product of two vectors, returning an `m x n` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when either input is not rank-1.
+    pub fn outer(&self, other: &Tensor) -> Result<Tensor> {
+        if self.dims().len() != 1 || other.dims().len() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: self.dims().len().max(other.dims().len()),
+                op: "outer",
+            });
+        }
+        let m = self.len();
+        let n = other.len();
+        let mut out = vec![0.0f32; m * n];
+        let mut chunk_threads = 1;
+        if m * n >= 1 << 16 {
+            chunk_threads = recommended_threads();
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        parallel_chunks(&mut out, chunk_threads, |start, chunk| {
+            for (offset, o) in chunk.iter_mut().enumerate() {
+                let idx = start + offset;
+                *o = a[idx / n] * b[idx % n];
+            }
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Dot product of two vectors (or any two same-length tensors, flattened).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the lengths differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+                op: "dot",
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+}
+
+fn matrix_dims(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.dims().len() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.dims().len(),
+            op,
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.as_slice()[i * k + kk] * b.as_slice()[kk * n + j];
+                }
+                out.as_mut_slice()[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let i = Tensor::eye(3);
+        let c = a.matmul(&i).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = crate::SeedRng::new(7);
+        let a = Tensor::from_vec((0..12 * 17).map(|_| rng.normal()).collect(), &[12, 17]).unwrap();
+        let b = Tensor::from_vec((0..17 * 9).map(|_| rng.normal()).collect(), &[17, 9]).unwrap();
+        let fast = a.matmul(&b).unwrap();
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_parallel_matches_single() {
+        let mut rng = crate::SeedRng::new(3);
+        let a = Tensor::from_vec((0..96 * 64).map(|_| rng.normal()).collect(), &[96, 64]).unwrap();
+        let b = Tensor::from_vec((0..64 * 80).map(|_| rng.normal()).collect(), &[64, 80]).unwrap();
+        let multi = a
+            .matmul_with(&b, MatmulOptions { threads: 4, block_k: 32 })
+            .unwrap();
+        let single = a.matmul_with(&b, MatmulOptions::single_threaded()).unwrap();
+        assert!(multi.max_abs_diff(&single).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(v.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matvec_and_dot() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let v = Tensor::from_slice(&[1.0, -1.0]);
+        assert_eq!(a.matvec(&v).unwrap().as_slice(), &[-1.0, -1.0]);
+        assert_eq!(v.dot(&v).unwrap(), 2.0);
+        assert!(a.matvec(&Tensor::zeros(&[3])).is_err());
+        assert!(v.dot(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0, 5.0]);
+        let o = a.outer(&b).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+        assert!(a.outer(&Tensor::zeros(&[2, 2])).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Lightweight data-parallel helpers built on crossbeam scoped threads.
+
+/// Returns a reasonable number of worker threads for CPU-bound kernels.
+///
+/// The value is `min(available_parallelism, 8)` and never less than one; the
+/// cap keeps thread spawn overhead small for the modest matrix sizes used by
+/// the O-FSCIL models.
+pub fn recommended_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+        .max(1)
+}
+
+/// Splits `items` into at most `threads` contiguous chunks and runs `f` on
+/// each chunk in parallel, passing the chunk's starting index.
+///
+/// When `threads <= 1` or the slice is small the work runs on the calling
+/// thread, which keeps the fast path allocation-free.
+pub fn parallel_chunks<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(len);
+    if threads == 1 || len < 64 {
+        f(0, items);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut start = 0usize;
+        for piece in items.chunks_mut(chunk) {
+            let f = &f;
+            let begin = start;
+            start += piece.len();
+            scope.spawn(move |_| f(begin, piece));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommended_threads_is_positive() {
+        assert!(recommended_threads() >= 1);
+        assert!(recommended_threads() <= 8);
+    }
+
+    #[test]
+    fn chunks_cover_all_elements() {
+        let mut data: Vec<usize> = vec![0; 1000];
+        parallel_chunks(&mut data, 4, |start, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = start + i;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let mut data = vec![1.0f32; 10];
+        parallel_chunks(&mut data, 1, |_, chunk| {
+            for x in chunk {
+                *x *= 2.0;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn empty_slice_is_noop() {
+        let mut data: Vec<f32> = vec![];
+        parallel_chunks(&mut data, 4, |_, _| panic!("must not be called"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the tensor substrate.
+
+use ofscil_tensor::{cosine_similarity, im2col, softmax, Conv2dGeometry, MatmulOptions, Tensor};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_is_commutative(data in prop::collection::vec(-1e3f32..1e3, 1..64)) {
+        let a = Tensor::from_slice(&data);
+        let b = a.scale(0.5);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn scale_then_norm_scales_norm(data in prop::collection::vec(-10.0f32..10.0, 1..64), k in 0.1f32..4.0) {
+        let t = Tensor::from_slice(&data);
+        let scaled = t.scale(k);
+        prop_assert!((scaled.norm() - k * t.norm()).abs() < 1e-2 * (1.0 + t.norm()));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_vec(6 * 4), b in small_vec(4 * 5), c in small_vec(4 * 5)
+    ) {
+        let a = Tensor::from_vec(a, &[6, 4]).unwrap();
+        let b = Tensor::from_vec(b, &[4, 5]).unwrap();
+        let c = Tensor::from_vec(c, &[4, 5]).unwrap();
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-1);
+    }
+
+    #[test]
+    fn matmul_threading_is_equivalent(a in small_vec(32 * 16), b in small_vec(16 * 24)) {
+        let a = Tensor::from_vec(a, &[32, 16]).unwrap();
+        let b = Tensor::from_vec(b, &[16, 24]).unwrap();
+        let single = a.matmul_with(&b, MatmulOptions::single_threaded()).unwrap();
+        let multi = a.matmul_with(&b, MatmulOptions { threads: 4, block_k: 16 }).unwrap();
+        prop_assert!(single.max_abs_diff(&multi).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn transpose_is_involution(data in small_vec(7 * 9)) {
+        let t = Tensor::from_vec(data, &[7, 9]).unwrap();
+        prop_assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
+    }
+
+    #[test]
+    fn cosine_similarity_is_bounded(a in small_vec(16), b in small_vec(16)) {
+        let c = cosine_similarity(&a, &b).unwrap();
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c));
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant(a in small_vec(16), k in 0.1f32..10.0) {
+        let scaled: Vec<f32> = a.iter().map(|x| x * k).collect();
+        let c1 = cosine_similarity(&a, &a).unwrap();
+        let c2 = cosine_similarity(&a, &scaled).unwrap();
+        prop_assert!((c1 - c2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-20.0f32..20.0, 1..32)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn l2_normalized_rows_have_unit_or_zero_norm(data in small_vec(8 * 6)) {
+        let t = Tensor::from_vec(data, &[8, 6]).unwrap();
+        let n = t.l2_normalize_rows().unwrap();
+        for i in 0..8 {
+            let norm = ofscil_tensor::l2_norm(n.row(i).unwrap());
+            prop_assert!(norm < 1e-6 || (norm - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_preserves_energy_without_padding_stride_kernel(
+        data in prop::collection::vec(-5.0f32..5.0, 2 * 6 * 6)
+    ) {
+        // With a 1x1 kernel and stride 1 the lowering is a permutation, so the
+        // sum of elements must be preserved exactly.
+        let img = Tensor::from_vec(data, &[2, 6, 6]).unwrap();
+        let g = Conv2dGeometry::new(6, 6, 1, 1, 0);
+        let cols = im2col(&img, 2, &g).unwrap();
+        prop_assert!((cols.sum() - img.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reshape_preserves_data(data in small_vec(24)) {
+        let t = Tensor::from_vec(data.clone(), &[2, 3, 4]).unwrap();
+        let r = t.reshape(&[6, 4]).unwrap();
+        prop_assert_eq!(r.as_slice(), &data[..]);
+    }
+}

@@ -1,0 +1,64 @@
+//! FSCIL benchmark comparison: O-FSCIL against the baseline classifier heads
+//! on the same backbone and data — a laptop-scale version of the paper's
+//! Table II comparison.
+//!
+//! ```text
+//! cargo run --release --example fscil_benchmark
+//! ```
+
+use ofscil::prelude::*;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let seed = 7;
+    let config = ExperimentConfig::micro(seed);
+    println!(
+        "FSCIL benchmark (micro profile): {} base + {}x{}-way {}-shot sessions",
+        config.fscil.num_base_classes,
+        config.fscil.num_sessions,
+        config.fscil.ways,
+        config.fscil.shots
+    );
+
+    // O-FSCIL: pretraining + metalearning + online prototype learning.
+    let outcome = run_experiment(&config)?;
+    println!("\n{:<28} {}", "method", "sessions 0..N then average [%]");
+    println!("{:<28} {}", "O-FSCIL (ours)", outcome.sessions.to_row());
+
+    // Baselines share the *pretrained* backbone and FCR of the O-FSCIL model
+    // so the comparison isolates the classifier / memory design.
+    let mut model = outcome.model;
+    let benchmark = outcome.benchmark;
+
+    let mut ncm_backbone = NearestClassMean::new(SimilarityMetric::Cosine);
+    let ncm_results = run_baseline_protocol(
+        &mut model,
+        &benchmark,
+        &mut ncm_backbone,
+        FeatureSpace::Backbone,
+        64,
+    )?;
+    println!("{:<28} {}", "NCM on backbone features", ncm_results.to_row());
+
+    let mut ncm_euclid = NearestClassMean::new(SimilarityMetric::Euclidean);
+    let euclid_results = run_baseline_protocol(
+        &mut model,
+        &benchmark,
+        &mut ncm_euclid,
+        FeatureSpace::Projected,
+        64,
+    )?;
+    println!("{:<28} {}", "C-FSCIL-style (euclidean)", euclid_results.to_row());
+
+    let mut etf = EtfHead::new(
+        model.projection_dim(),
+        benchmark.config().total_classes(),
+        seed,
+    );
+    let etf_results =
+        run_baseline_protocol(&mut model, &benchmark, &mut etf, FeatureSpace::Projected, 64)?;
+    println!("{:<28} {}", "NC-FSCIL-style ETF head", etf_results.to_row());
+
+    println!("\n(all methods use the same pretrained backbone, FCR and data)");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! On-device learning cost walk-through: deploy the paper's three MobileNetV2
+//! stride profiles on the GAP9-class device model and report what learning a
+//! new class costs (the Table IV scenario), together with the explicit-memory
+//! footprint at different prototype precisions.
+//!
+//! ```text
+//! cargo run --release --example on_device_learning
+//! ```
+
+use ofscil::prelude::*;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let executor = Gap9Executor::default();
+    let config = executor.config();
+    println!(
+        "GAP9-class device model: {} cluster cores @ {:.0} MHz, {:.2} V",
+        config.cluster_cores,
+        config.frequency_hz / 1e6,
+        config.voltage_v
+    );
+    println!("{:-<78}", "");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12}",
+        "operation", "backbone", "time [ms]", "power [mW]", "energy [mJ]"
+    );
+
+    let mut rng = SeedRng::new(0);
+    let shots = 5;
+    for variant in [
+        MobileNetVariant::X1,
+        MobileNetVariant::X2,
+        MobileNetVariant::X4,
+    ] {
+        let backbone = ofscil::nn::models::mobilenet_v2(variant, &mut rng);
+        let deployed = deploy_backbone(&backbone, 32, 32);
+        let d_a = backbone.feature_dim;
+        let d_p = 256;
+
+        for cost in [
+            executor.fcr_inference(d_a, d_p, 8)?,
+            executor.backbone_inference(&deployed, 8)?,
+            executor.em_update(&deployed, d_a, d_p, shots, 8)?,
+            executor.fcr_finetune(&deployed.name, d_a, d_p, 60, 100, 8)?,
+        ] {
+            println!(
+                "{:<18} {:>12} {:>12.2} {:>12.2} {:>12.2}",
+                cost.operation,
+                variant_label(variant),
+                cost.time_ms,
+                cost.power_mw,
+                cost.energy_mj
+            );
+        }
+        println!("{:-<78}", "");
+    }
+
+    println!("\nexplicit-memory footprint for 100 classes, d_p = 256:");
+    for bits in [32u8, 8, 3, 1] {
+        let footprint = ExplicitMemoryFootprint::new(100, 256, bits);
+        println!("  {bits:>2}-bit prototypes: {:6.1} kB", footprint.kilobytes());
+    }
+    Ok(())
+}
+
+fn variant_label(variant: MobileNetVariant) -> &'static str {
+    match variant {
+        MobileNetVariant::X1 => "M",
+        MobileNetVariant::X2 => "M2",
+        MobileNetVariant::X4 => "M4",
+    }
+}

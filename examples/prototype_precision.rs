@@ -1,0 +1,44 @@
+//! Prototype-precision sweep (the paper's Fig. 3): train once, then
+//! re-quantize the explicit memory at decreasing bit widths and measure the
+//! accuracy on the base and final sessions together with the memory
+//! footprint.
+//!
+//! ```text
+//! cargo run --release --example prototype_precision
+//! ```
+
+use ofscil::prelude::*;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let config = ExperimentConfig::micro(11);
+    println!("training the micro-profile model once…");
+    let outcome = run_experiment(&config)?;
+    let mut model = outcome.model;
+    let benchmark = outcome.benchmark;
+    let classes = benchmark.config().total_classes();
+
+    let session0 = benchmark.test_after_session(0)?;
+    let session_last = benchmark.test_after_session(benchmark.config().num_sessions)?;
+
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>16}",
+        "bits", "session 0 [%]", "last sess. [%]", "EM size [kB]"
+    );
+    for precision in PrototypePrecision::figure3_sweep() {
+        model.set_prototype_precision(precision);
+        let acc0 = model.evaluate(&session0, 64)?;
+        let acc_last = model.evaluate(&session_last, 64)?;
+        let footprint =
+            ExplicitMemoryFootprint::new(classes, model.projection_dim(), precision.bits());
+        println!(
+            "{:>6} {:>14.2} {:>14.2} {:>16.2}",
+            precision.bits(),
+            100.0 * acc0,
+            100.0 * acc_last,
+            footprint.kilobytes()
+        );
+    }
+    println!("\n(the paper's claim: accuracy holds down to 3-bit prototypes, Fig. 3)");
+    Ok(())
+}

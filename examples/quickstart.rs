@@ -1,0 +1,54 @@
+//! Quickstart: run the complete O-FSCIL pipeline (pretraining, metalearning,
+//! eight incremental sessions) on the laptop-scale profile and print the
+//! per-session accuracies.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ofscil::prelude::*;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let seed = 42;
+    println!("O-FSCIL quickstart (micro profile, seed {seed})");
+    println!("================================================");
+
+    let config = ExperimentConfig::micro(seed);
+    println!(
+        "protocol: {} base classes, {} sessions x {}-way {}-shot, {} classes total",
+        config.fscil.num_base_classes,
+        config.fscil.num_sessions,
+        config.fscil.ways,
+        config.fscil.shots,
+        config.fscil.total_classes()
+    );
+
+    let outcome = run_experiment(&config)?;
+
+    println!("\npretraining:");
+    for (epoch, loss) in outcome.pretrain.epoch_losses.iter().enumerate() {
+        println!("  epoch {epoch}: loss {loss:.4}");
+    }
+    println!(
+        "  final training accuracy: {:.1}%",
+        100.0 * outcome.pretrain.final_train_accuracy
+    );
+    if let Some(meta) = &outcome.metalearn {
+        println!(
+            "metalearning: {} iterations, late query accuracy {:.1}%",
+            meta.iteration_losses.len(),
+            100.0 * meta.late_accuracy()
+        );
+    }
+
+    println!("\nincremental learning (accuracy per session, then average):");
+    println!("  {}", outcome.sessions.to_row());
+    println!(
+        "\nexplicit memory: {} prototypes of dimension {}, {:.1} kB",
+        outcome.model.em().num_classes(),
+        outcome.model.em().dim(),
+        outcome.em_kilobytes()
+    );
+    Ok(())
+}
