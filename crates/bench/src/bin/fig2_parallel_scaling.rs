@@ -3,7 +3,7 @@
 //! inference (centre panel) and FCR fine-tuning (right panel).
 //!
 //! ```text
-//! cargo run --release -p ofscil-bench --bin fig2_parallel_scaling
+//! cargo run --release -p ofscil_bench --bin fig2_parallel_scaling
 //! ```
 
 use ofscil::nn::models::{mobilenet_v2, MobileNetVariant};

@@ -3,7 +3,7 @@
 //! memory requirement for 100 class prototypes.
 //!
 //! ```text
-//! cargo run --release -p ofscil-bench --bin fig3_precision_sweep
+//! cargo run --release -p ofscil_bench --bin fig3_precision_sweep
 //! ```
 
 use ofscil::prelude::*;

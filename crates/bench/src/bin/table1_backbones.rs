@@ -2,7 +2,7 @@
 //! profiles, feature dimensionalities, parameter counts and MAC counts.
 //!
 //! ```text
-//! cargo run --release -p ofscil-bench --bin table1_backbones
+//! cargo run --release -p ofscil_bench --bin table1_backbones
 //! ```
 
 use ofscil::nn::models::{mobilenet_v2, resnet12, MobileNetVariant};

@@ -9,7 +9,7 @@
 //! configuration (hours of runtime with the pure-Rust engine).
 //!
 //! ```text
-//! cargo run --release -p ofscil-bench --bin table2_fscil_accuracy
+//! cargo run --release -p ofscil_bench --bin table2_fscil_accuracy
 //! ```
 
 use ofscil::prelude::*;

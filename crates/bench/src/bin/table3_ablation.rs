@@ -4,7 +4,7 @@
 //! session-0, final-session and average accuracy per variant.
 //!
 //! ```text
-//! cargo run --release -p ofscil-bench --bin table3_ablation
+//! cargo run --release -p ofscil_bench --bin table3_ablation
 //! ```
 
 use ofscil::prelude::*;

@@ -3,7 +3,7 @@
 //! new class) and FCR fine-tuning (100 epochs), per backbone.
 //!
 //! ```text
-//! cargo run --release -p ofscil-bench --bin table4_energy
+//! cargo run --release -p ofscil_bench --bin table4_energy
 //! ```
 
 use ofscil::nn::models::{mobilenet_v2, MobileNetVariant};

@@ -19,7 +19,7 @@
 //!   bipolarised prototypes (paper §V-B, "Mode 2"),
 //! * [`run_fscil_protocol`] — the full FSCIL session evaluator producing the
 //!   per-session accuracies of Table II,
-//! * [`ablation`] — the component toggles of Table III.
+//! * [`run_ablation`] — the component toggles of Table III.
 //!
 //! # Example
 //!

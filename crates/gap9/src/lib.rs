@@ -34,6 +34,13 @@
 //! assert!(estimate.time_ms(&config) > 0.0);
 //! ```
 
+//!
+//! The section below (included from `src/README.md` so it is readable both
+//! on GitHub and in rustdoc) documents the energy model end-to-end: the
+//! workload extraction, the latency and power equations, the calibration
+//! protocol and the model's limits.
+#![doc = ""]
+#![doc = include_str!("README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -11,16 +11,25 @@
 //! * [`core`] — the O-FSCIL method itself (FCR, explicit memory, pretraining,
 //!   metalearning, online learning, fine-tuning, the session evaluator),
 //! * [`baselines`] — comparison classifier heads,
-//! * [`gap9`] — the GAP9-class MCU deployment and energy model.
+//! * [`gap9`] — the GAP9-class MCU deployment and energy model (the crate's
+//!   module docs walk through the full latency/power/energy pipeline and its
+//!   calibration).
 //!
 //! # Quickstart
 //!
 //! ```no_run
 //! use ofscil::prelude::*;
 //!
+//! // Pretrain + metalearn a micro backbone, then run the incremental
+//! // protocol, evaluating after every session.
 //! let config = ExperimentConfig::micro(42);
 //! let outcome = run_experiment(&config).unwrap();
 //! println!("per-session accuracy: {}", outcome.sessions.to_row());
+//!
+//! // Estimate what one FCR inference costs on the MCU model.
+//! let executor = Gap9Executor::new(Gap9Config::default());
+//! let cost = executor.fcr_inference(1280, 256, 8).unwrap();
+//! println!("FCR inference: {:.2} ms, {:.2} mJ", cost.time_ms, cost.energy_mj);
 //! ```
 
 #![forbid(unsafe_code)]

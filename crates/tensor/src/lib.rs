@@ -9,7 +9,7 @@
 //! The design goals, in order, are correctness, determinism (every stochastic
 //! routine takes an explicit seed or RNG), and reasonable single-node
 //! performance (blocked matrix multiplication, optionally parallelised with
-//! crossbeam scoped threads).
+//! `std::thread::scope`).
 //!
 //! # Example
 //!

@@ -87,13 +87,12 @@ impl Tensor {
             kernel(0, &mut out);
         } else {
             let rows_per_chunk = m.div_ceil(opts.threads).max(1);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (chunk_idx, rows) in out.chunks_mut(rows_per_chunk * n).enumerate() {
                     let kernel = &kernel;
-                    scope.spawn(move |_| kernel(chunk_idx * rows_per_chunk * n, rows));
+                    scope.spawn(move || kernel(chunk_idx * rows_per_chunk * n, rows));
                 }
-            })
-            .expect("matmul worker panicked");
+            });
         }
 
         Tensor::from_vec(out, &[m, n])

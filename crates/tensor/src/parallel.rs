@@ -1,4 +1,4 @@
-//! Lightweight data-parallel helpers built on crossbeam scoped threads.
+//! Lightweight data-parallel helpers built on `std::thread::scope`.
 
 /// Returns a reasonable number of worker threads for CPU-bound kernels.
 ///
@@ -33,16 +33,15 @@ where
         return;
     }
     let chunk = len.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut start = 0usize;
         for piece in items.chunks_mut(chunk) {
             let f = &f;
             let begin = start;
             start += piece.len();
-            scope.spawn(move |_| f(begin, piece));
+            scope.spawn(move || f(begin, piece));
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 #[cfg(test)]

@@ -1,105 +1,161 @@
 //! Property-based tests for the tensor substrate.
+//!
+//! `proptest` is unavailable offline, so these are hand-rolled randomized
+//! property checks: each property is evaluated over `CASES` independent
+//! inputs drawn from a seeded [`SeedRng`], so failures are reproducible.
 
-use ofscil_tensor::{cosine_similarity, im2col, softmax, Conv2dGeometry, MatmulOptions, Tensor};
-use proptest::prelude::*;
+use ofscil_tensor::{
+    cosine_similarity, im2col, softmax, Conv2dGeometry, MatmulOptions, SeedRng, Tensor,
+};
 
-fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-100.0f32..100.0, len)
+const CASES: usize = 64;
+
+/// Uniform vector in `[lo, hi)` of the given length.
+fn rand_vec(rng: &mut SeedRng, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform_range(lo, hi)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn small_vec(rng: &mut SeedRng, len: usize) -> Vec<f32> {
+    rand_vec(rng, len, -100.0, 100.0)
+}
 
-    #[test]
-    fn add_is_commutative(data in prop::collection::vec(-1e3f32..1e3, 1..64)) {
+/// Random length in `[min, max)`.
+fn rand_len(rng: &mut SeedRng, min: usize, max: usize) -> usize {
+    min + rng.below(max - min)
+}
+
+#[test]
+fn add_is_commutative() {
+    let mut rng = SeedRng::new(0xADD);
+    for case in 0..CASES {
+        let len = rand_len(&mut rng, 1, 64);
+        let data = rand_vec(&mut rng, len, -1e3, 1e3);
         let a = Tensor::from_slice(&data);
         let b = a.scale(0.5);
         let ab = a.add(&b).unwrap();
         let ba = b.add(&a).unwrap();
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba, "case {case}");
     }
+}
 
-    #[test]
-    fn scale_then_norm_scales_norm(data in prop::collection::vec(-10.0f32..10.0, 1..64), k in 0.1f32..4.0) {
-        let t = Tensor::from_slice(&data);
+#[test]
+fn scale_then_norm_scales_norm() {
+    let mut rng = SeedRng::new(0x5CA1E);
+    for case in 0..CASES {
+        let len = rand_len(&mut rng, 1, 64);
+        let t = Tensor::from_slice(&rand_vec(&mut rng, len, -10.0, 10.0));
+        let k = rng.uniform_range(0.1, 4.0);
         let scaled = t.scale(k);
-        prop_assert!((scaled.norm() - k * t.norm()).abs() < 1e-2 * (1.0 + t.norm()));
+        assert!(
+            (scaled.norm() - k * t.norm()).abs() < 1e-2 * (1.0 + t.norm()),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in small_vec(6 * 4), b in small_vec(4 * 5), c in small_vec(4 * 5)
-    ) {
-        let a = Tensor::from_vec(a, &[6, 4]).unwrap();
-        let b = Tensor::from_vec(b, &[4, 5]).unwrap();
-        let c = Tensor::from_vec(c, &[4, 5]).unwrap();
+#[test]
+fn matmul_distributes_over_addition() {
+    let mut rng = SeedRng::new(0xAA77);
+    for case in 0..CASES {
+        let a = Tensor::from_vec(small_vec(&mut rng, 6 * 4), &[6, 4]).unwrap();
+        let b = Tensor::from_vec(small_vec(&mut rng, 4 * 5), &[4, 5]).unwrap();
+        let c = Tensor::from_vec(small_vec(&mut rng, 4 * 5), &[4, 5]).unwrap();
         let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
         let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
-        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-1);
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-1, "case {case}");
     }
+}
 
-    #[test]
-    fn matmul_threading_is_equivalent(a in small_vec(32 * 16), b in small_vec(16 * 24)) {
-        let a = Tensor::from_vec(a, &[32, 16]).unwrap();
-        let b = Tensor::from_vec(b, &[16, 24]).unwrap();
+#[test]
+fn matmul_threading_is_equivalent() {
+    let mut rng = SeedRng::new(0x7EAD);
+    for case in 0..CASES {
+        let a = Tensor::from_vec(small_vec(&mut rng, 32 * 16), &[32, 16]).unwrap();
+        let b = Tensor::from_vec(small_vec(&mut rng, 16 * 24), &[16, 24]).unwrap();
         let single = a.matmul_with(&b, MatmulOptions::single_threaded()).unwrap();
         let multi = a.matmul_with(&b, MatmulOptions { threads: 4, block_k: 16 }).unwrap();
-        prop_assert!(single.max_abs_diff(&multi).unwrap() < 1e-3);
+        assert!(single.max_abs_diff(&multi).unwrap() < 1e-3, "case {case}");
     }
+}
 
-    #[test]
-    fn transpose_is_involution(data in small_vec(7 * 9)) {
-        let t = Tensor::from_vec(data, &[7, 9]).unwrap();
-        prop_assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
+#[test]
+fn transpose_is_involution() {
+    let mut rng = SeedRng::new(0x7A05);
+    for case in 0..CASES {
+        let t = Tensor::from_vec(small_vec(&mut rng, 7 * 9), &[7, 9]).unwrap();
+        assert_eq!(t.transpose().unwrap().transpose().unwrap(), t, "case {case}");
     }
+}
 
-    #[test]
-    fn cosine_similarity_is_bounded(a in small_vec(16), b in small_vec(16)) {
+#[test]
+fn cosine_similarity_is_bounded() {
+    let mut rng = SeedRng::new(0xC05);
+    for case in 0..CASES {
+        let a = small_vec(&mut rng, 16);
+        let b = small_vec(&mut rng, 16);
         let c = cosine_similarity(&a, &b).unwrap();
-        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c));
+        assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c), "case {case}: {c}");
     }
+}
 
-    #[test]
-    fn cosine_is_scale_invariant(a in small_vec(16), k in 0.1f32..10.0) {
+#[test]
+fn cosine_is_scale_invariant() {
+    let mut rng = SeedRng::new(0x5CA1E2);
+    for case in 0..CASES {
+        let a = small_vec(&mut rng, 16);
+        let k = rng.uniform_range(0.1, 10.0);
         let scaled: Vec<f32> = a.iter().map(|x| x * k).collect();
         let c1 = cosine_similarity(&a, &a).unwrap();
         let c2 = cosine_similarity(&a, &scaled).unwrap();
-        prop_assert!((c1 - c2).abs() < 1e-3);
+        assert!((c1 - c2).abs() < 1e-3, "case {case}");
     }
+}
 
-    #[test]
-    fn softmax_is_a_distribution(logits in prop::collection::vec(-20.0f32..20.0, 1..32)) {
+#[test]
+fn softmax_is_a_distribution() {
+    let mut rng = SeedRng::new(0x50F7);
+    for case in 0..CASES {
+        let len = rand_len(&mut rng, 1, 32);
+        let logits = rand_vec(&mut rng, len, -20.0, 20.0);
         let p = softmax(&logits);
-        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
-        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4, "case {case}");
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)), "case {case}");
     }
+}
 
-    #[test]
-    fn l2_normalized_rows_have_unit_or_zero_norm(data in small_vec(8 * 6)) {
-        let t = Tensor::from_vec(data, &[8, 6]).unwrap();
+#[test]
+fn l2_normalized_rows_have_unit_or_zero_norm() {
+    let mut rng = SeedRng::new(0x12);
+    for case in 0..CASES {
+        let t = Tensor::from_vec(small_vec(&mut rng, 8 * 6), &[8, 6]).unwrap();
         let n = t.l2_normalize_rows().unwrap();
         for i in 0..8 {
             let norm = ofscil_tensor::l2_norm(n.row(i).unwrap());
-            prop_assert!(norm < 1e-6 || (norm - 1.0).abs() < 1e-3);
+            assert!(norm < 1e-6 || (norm - 1.0).abs() < 1e-3, "case {case} row {i}");
         }
     }
+}
 
-    #[test]
-    fn im2col_preserves_energy_without_padding_stride_kernel(
-        data in prop::collection::vec(-5.0f32..5.0, 2 * 6 * 6)
-    ) {
+#[test]
+fn im2col_preserves_energy_without_padding_stride_kernel() {
+    let mut rng = SeedRng::new(0x132C);
+    for case in 0..CASES {
         // With a 1x1 kernel and stride 1 the lowering is a permutation, so the
         // sum of elements must be preserved exactly.
-        let img = Tensor::from_vec(data, &[2, 6, 6]).unwrap();
+        let img = Tensor::from_vec(rand_vec(&mut rng, 2 * 6 * 6, -5.0, 5.0), &[2, 6, 6]).unwrap();
         let g = Conv2dGeometry::new(6, 6, 1, 1, 0);
         let cols = im2col(&img, 2, &g).unwrap();
-        prop_assert!((cols.sum() - img.sum()).abs() < 1e-3);
+        assert!((cols.sum() - img.sum()).abs() < 1e-3, "case {case}");
     }
+}
 
-    #[test]
-    fn reshape_preserves_data(data in small_vec(24)) {
+#[test]
+fn reshape_preserves_data() {
+    let mut rng = SeedRng::new(0x2E5);
+    for case in 0..CASES {
+        let data = small_vec(&mut rng, 24);
         let t = Tensor::from_vec(data.clone(), &[2, 3, 4]).unwrap();
         let r = t.reshape(&[6, 4]).unwrap();
-        prop_assert_eq!(r.as_slice(), &data[..]);
+        assert_eq!(r.as_slice(), &data[..], "case {case}");
     }
 }

@@ -1,0 +1,167 @@
+//! Offline API-subset stand-in for `criterion`.
+//!
+//! Implements the slice of the Criterion 0.5 API that the
+//! `crates/bench/benches/*` files use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] — with a
+//! real (if simple) wall-clock measurement loop, so `cargo bench` produces
+//! meaningful per-iteration timings without a registry. Statistical
+//! analysis, plotting, and CLI filtering of the real crate are omitted.
+//! See `third_party/README.md` for how to swap in the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name the real crate uses.
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function, mirroring
+/// `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100, warm_up_time: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark (builder-style,
+    /// like the real crate).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling begins.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs `routine` under a measurement loop and prints a one-line
+    /// summary: median, minimum and maximum time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the routine until the warm-up budget is spent, and use
+        // the observed rate to pick an iteration count per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        while warm_start.elapsed() < self.warm_up_time {
+            routine(&mut bencher);
+            warm_iters += bencher.iters;
+        }
+        let warm_elapsed = warm_start.elapsed();
+        let per_iter = warm_elapsed.as_nanos().max(1) / u128::from(warm_iters.max(1));
+        // Aim for roughly 10 ms per sample, clamped to a sane iteration range.
+        let iters_per_sample = (10_000_000 / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            routine(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{id:<44} time: [{} {} {}]",
+            format_time(min),
+            format_time(median),
+            format_time(max)
+        );
+        self
+    }
+}
+
+/// Measurement handle passed to the benchmark closure, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group: expands to a function that runs every target
+/// against the configured [`Criterion`]. Supports both the positional and
+/// the `name =`/`config =`/`targets =` forms of the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_returns() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline API-subset stand-in for `serde`.
+//!
+//! Provides the two marker traits and (behind the `derive` feature) the
+//! derive macros that workspace types import via
+//! `use serde::{Deserialize, Serialize};`. The workspace never serializes
+//! anything at runtime — the derives are forward declarations for a future
+//! checkpoint/export format — so marker traits are sufficient. See
+//! `third_party/README.md` for how to swap in the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The real trait's `serialize` method is omitted: no workspace code calls
+/// a serializer, and the no-op derive would otherwise have to generate a
+/// working implementation for every annotated type.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+///
+/// Mirrors the real trait's lifetime parameter so bounds written against
+/// the real crate keep compiling.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,27 @@
+//! Offline no-op stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` as forward
+//! declarations of serializability — nothing calls a serializer, and no code
+//! takes `T: Serialize` bounds. These derives therefore expand to nothing,
+//! which keeps every annotated type compiling without a registry. See
+//! `third_party/README.md` for how to swap in the real crate.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+///
+/// Accepts (and ignores) `#[serde(...)]` helper attributes so sources
+/// written against the real crate parse unchanged.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+///
+/// Accepts (and ignores) `#[serde(...)]` helper attributes so sources
+/// written against the real crate parse unchanged.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
