@@ -1,0 +1,149 @@
+//! Serving-runtime throughput: coalesced batching vs request-at-a-time.
+//!
+//! Drives one deployment of the serving runtime with the same inference
+//! traffic twice:
+//!
+//! * **sequential** — `ServeConfig::sequential()` (one worker, batch cap
+//!   of one) with a blocking round trip per request: the classic
+//!   request-at-a-time server,
+//! * **batched** — the default worker pool with coalescing enabled and the
+//!   whole burst submitted up front, so the dispatcher merges concurrent
+//!   requests into batched forward passes.
+//!
+//! Prints a human-readable table plus one machine-readable JSON line
+//! (`{"bench":"serve_throughput",...}`) so successive runs can chart the
+//! perf trajectory. `OFSCIL_SEED` overrides the seed; `OFSCIL_PROFILE=full`
+//! scales the traffic up.
+
+use ofscil::prelude::*;
+use ofscil::serve::traffic;
+use ofscil_bench::{full_profile_requested, rule, seed_from_env};
+use std::time::Instant;
+
+const IMAGE: usize = 8;
+const MAX_BATCH: usize = 32;
+
+fn class_image(class: usize, jitter: f32) -> Tensor {
+    traffic::class_image(IMAGE, class, jitter)
+}
+
+fn support_batch(classes: &[usize], shots: usize) -> Batch {
+    traffic::support_batch(IMAGE, classes, shots)
+}
+
+fn registry_with_tenant(seed: u64) -> LearnerRegistry {
+    let mut rng = SeedRng::new(seed);
+    let registry = LearnerRegistry::new();
+    registry
+        .register(
+            DeploymentSpec::new("tenant", (IMAGE, IMAGE)),
+            OFscilModel::new(BackboneKind::Micro, 32, &mut rng),
+        )
+        .expect("registration");
+    registry
+        .with_model("tenant", |model| {
+            model.learn_classes_online(&support_batch(&[0, 1, 2], 5))
+        })
+        .expect("deployment exists")
+        .expect("online learning");
+    registry
+}
+
+/// Round-trips every request one at a time; returns elapsed seconds.
+fn run_sequential(registry: &LearnerRegistry, requests: &[Tensor]) -> f64 {
+    let config = ServeConfig::sequential();
+    ServeRuntime::run(registry, &config, |client| {
+        let start = Instant::now();
+        for image in requests {
+            client
+                .call(ServeRequest::Infer { deployment: "tenant".into(), image: image.clone() })
+                .expect("sequential inference");
+        }
+        start.elapsed().as_secs_f64()
+    })
+    .expect("runtime")
+}
+
+/// Submits the whole burst, then collects; returns `(elapsed seconds, mean
+/// coalesced batch, largest coalesced batch)`.
+fn run_batched(registry: &LearnerRegistry, requests: &[Tensor]) -> (f64, f64, usize) {
+    let config = ServeConfig::default().with_max_batch(MAX_BATCH);
+    let elapsed = ServeRuntime::run(registry, &config, |client| {
+        let start = Instant::now();
+        let pending: Vec<PendingResponse> = requests
+            .iter()
+            .map(|image| {
+                client.submit(ServeRequest::Infer {
+                    deployment: "tenant".into(),
+                    image: image.clone(),
+                })
+            })
+            .collect();
+        for pending in pending {
+            pending.wait().expect("batched inference");
+        }
+        start.elapsed().as_secs_f64()
+    })
+    .expect("runtime");
+    let stats = registry.stats("tenant").expect("stats");
+    (elapsed, stats.mean_batch(), stats.largest_batch)
+}
+
+fn main() {
+    let seed = seed_from_env();
+    let requests_total = if full_profile_requested() { 4096 } else { 512 };
+    println!(
+        "serve_throughput: {requests_total} inference requests, one tenant, \
+         micro backbone, max_batch {MAX_BATCH} (seed {seed})"
+    );
+    rule(78);
+
+    let mut rng = SeedRng::new(seed);
+    let requests: Vec<Tensor> = (0..requests_total)
+        .map(|i| class_image(i % 3, 0.05 * rng.normal().abs()))
+        .collect();
+
+    // Fresh registries so each mode starts from identical state; a warmup
+    // pass primes allocators and the thread pool out of the timed region.
+    let sequential_registry = registry_with_tenant(seed);
+    run_sequential(&sequential_registry, &requests[..requests.len().min(32)]);
+    let sequential_s = run_sequential(&sequential_registry, &requests);
+
+    let batched_registry = registry_with_tenant(seed);
+    let (batched_s, mean_batch, largest_batch) = run_batched(&batched_registry, &requests);
+
+    let sequential_rps = requests_total as f64 / sequential_s;
+    let batched_rps = requests_total as f64 / batched_s;
+    let speedup = batched_rps / sequential_rps;
+
+    println!("{:<26} {:>12} {:>14}", "mode", "time [ms]", "throughput [req/s]");
+    println!(
+        "{:<26} {:>12.1} {:>14.0}",
+        "sequential (batch=1)",
+        1e3 * sequential_s,
+        sequential_rps
+    );
+    println!(
+        "{:<26} {:>12.1} {:>14.0}",
+        format!("coalesced (batch<={MAX_BATCH})"),
+        1e3 * batched_s,
+        batched_rps
+    );
+    rule(78);
+    println!(
+        "speedup {speedup:.2}x; coalesced batches: mean {mean_batch:.1}, largest {largest_batch}"
+    );
+
+    // Machine-readable trajectory line (kept grep-friendly and append-only).
+    println!(
+        "{{\"bench\":\"serve_throughput\",\"seed\":{seed},\"requests\":{requests_total},\
+         \"max_batch\":{MAX_BATCH},\"sequential_rps\":{sequential_rps:.1},\
+         \"batched_rps\":{batched_rps:.1},\"speedup\":{speedup:.3},\
+         \"mean_batch\":{mean_batch:.2},\"largest_batch\":{largest_batch}}}"
+    );
+
+    assert!(
+        speedup > 1.0,
+        "coalesced batching must beat request-at-a-time (got {speedup:.3}x)"
+    );
+}

@@ -13,12 +13,23 @@
 use ofscil::prelude::*;
 
 /// Returns the experiment seed, overridable with the `OFSCIL_SEED`
-/// environment variable.
+/// environment variable. An unset variable silently uses the default seed
+/// 42; a *set but unparsable* value falls back too, but warns on stderr
+/// naming the bad value so a typoed override is never mistaken for a real
+/// one.
 pub fn seed_from_env() -> u64 {
-    std::env::var("OFSCIL_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
+    match std::env::var("OFSCIL_SEED") {
+        Ok(raw) => match raw.parse() {
+            Ok(seed) => seed,
+            Err(_) => {
+                eprintln!(
+                    "warning: OFSCIL_SEED={raw:?} is not a valid u64 seed; using default 42"
+                );
+                42
+            }
+        },
+        Err(_) => 42,
+    }
 }
 
 /// Returns `true` when the `OFSCIL_PROFILE=full` environment variable asks
@@ -55,10 +66,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn seed_defaults_to_42() {
-        // The environment variable is not set in the test harness.
-        if std::env::var("OFSCIL_SEED").is_err() {
+    fn seed_parsing_and_fallback() {
+        // All OFSCIL_SEED handling lives in one test: the variable is
+        // process-global, so splitting these cases across tests would race
+        // under the parallel test harness.
+        let previous = std::env::var("OFSCIL_SEED").ok();
+        if previous.is_none() {
             assert_eq!(seed_from_env(), 42);
+        }
+        std::env::set_var("OFSCIL_SEED", "not-a-number");
+        assert_eq!(seed_from_env(), 42);
+        std::env::set_var("OFSCIL_SEED", "7");
+        assert_eq!(seed_from_env(), 7);
+        match previous {
+            Some(value) => std::env::set_var("OFSCIL_SEED", value),
+            None => std::env::remove_var("OFSCIL_SEED"),
         }
     }
 

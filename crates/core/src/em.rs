@@ -128,6 +128,34 @@ impl ExplicitMemory {
         Ok(())
     }
 
+    /// Stores a prototype exactly as given, bypassing the storage-precision
+    /// quantizer. This is the deserialization path of snapshot codecs: the
+    /// values are assumed to already be at the memory's storage precision
+    /// (they were quantized when first written), and re-quantizing them would
+    /// not be bit-exact because the quantizer's clip search depends on the
+    /// input distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the dimension is wrong.
+    pub fn restore_prototype(&mut self, class: usize, prototype: &[f32]) -> Result<()> {
+        if prototype.len() != self.dim {
+            return Err(CoreError::InvalidConfig(format!(
+                "prototype dimension {} does not match EM dimension {}",
+                prototype.len(),
+                self.dim
+            )));
+        }
+        self.prototypes.insert(class, prototype.to_vec());
+        Ok(())
+    }
+
+    /// Iterates over `(class, prototype)` pairs in ascending class order —
+    /// the serialization path of snapshot codecs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f32])> {
+        self.prototypes.iter().map(|(&c, p)| (c, p.as_slice()))
+    }
+
     /// Removes every stored prototype.
     pub fn clear(&mut self) {
         self.prototypes.clear();
@@ -273,6 +301,20 @@ mod tests {
         em.set_prototype(2, &[0.5, -0.1, 0.0, -2.0]).unwrap();
         assert_eq!(em.bipolarized(2).unwrap(), vec![1.0, -1.0, 1.0, -1.0]);
         assert!(em.bipolarized(9).is_err());
+    }
+
+    #[test]
+    fn restore_bypasses_quantization() {
+        let p3 = PrototypePrecision::new(3).unwrap();
+        let mut em = ExplicitMemory::with_precision(4, p3);
+        // set_prototype quantizes; restore_prototype must not.
+        let raw = [0.123, -0.456, 0.789, -0.012];
+        em.restore_prototype(7, &raw).unwrap();
+        assert_eq!(em.prototype(7).unwrap(), &raw);
+        assert!(em.restore_prototype(7, &[1.0]).is_err());
+        let pairs: Vec<(usize, &[f32])> = em.iter().collect();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, 7);
     }
 
     #[test]

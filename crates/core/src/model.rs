@@ -41,6 +41,12 @@ impl OFscilModel {
         }
     }
 
+    /// The backbone (read access; deployment cost models need the layer
+    /// structure without mutating the model).
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
     /// The backbone.
     pub fn backbone_mut(&mut self) -> &mut Backbone {
         &mut self.backbone

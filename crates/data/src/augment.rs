@@ -206,9 +206,8 @@ impl Mixup {
         let mut images = batch.images.clone();
         let mut soft = soft_labels(&batch.labels, num_classes)?;
         let partners = rng.permutation(b);
-        for i in 0..b {
+        for (i, &j) in partners.iter().enumerate() {
             let lambda = sample_lambda(self.alpha, rng);
-            let j = partners[i];
             if j == i {
                 continue;
             }
@@ -258,8 +257,7 @@ impl CutMix {
         let mut images = batch.images.clone();
         let mut soft = soft_labels(&batch.labels, num_classes)?;
         let partners = rng.permutation(b);
-        for i in 0..b {
-            let j = partners[i];
+        for (i, &j) in partners.iter().enumerate() {
             if j == i {
                 continue;
             }

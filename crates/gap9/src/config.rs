@@ -135,14 +135,11 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut config = Gap9Config::default();
-        config.cluster_cores = 0;
+        let config = Gap9Config { cluster_cores: 0, ..Gap9Config::default() };
         assert!(config.validate().is_err());
-        let mut config = Gap9Config::default();
-        config.dma_l3_bytes_per_cycle = 0.0;
+        let config = Gap9Config { dma_l3_bytes_per_cycle: 0.0, ..Gap9Config::default() };
         assert!(config.validate().is_err());
-        let mut config = Gap9Config::default();
-        config.l1_bytes = 0;
+        let config = Gap9Config { l1_bytes: 0, ..Gap9Config::default() };
         assert!(config.validate().is_err());
     }
 

@@ -105,10 +105,10 @@ impl Layer for BatchNorm {
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
             for b in 0..batch {
-                for ch in 0..c {
+                for (ch, m) in mean.iter_mut().enumerate() {
                     let base = (b * c + ch) * spatial;
                     for s in 0..spatial {
-                        mean[ch] += src[base + s];
+                        *m += src[base + s];
                     }
                 }
             }

@@ -131,7 +131,7 @@ impl Layer for DepthwiseConv2d {
         let mut grad_bias = vec![0.0f32; self.channels];
 
         for b in 0..batch {
-            for c in 0..self.channels {
+            for (c, bias_slot) in grad_bias.iter_mut().enumerate() {
                 let offset = (b * self.channels + c) * in_plane;
                 let channel = Tensor::from_vec(
                     input.as_slice()[offset..offset + in_plane].to_vec(),
@@ -153,7 +153,7 @@ impl Layer for DepthwiseConv2d {
                 {
                     *dst += src;
                 }
-                grad_bias[c] += grad_y.sum();
+                *bias_slot += grad_y.sum();
                 // dx_c = col2im(w_cᵀ · grad_y)
                 let kernel = Tensor::from_vec(
                     self.weight.value.row(c)?.to_vec(),

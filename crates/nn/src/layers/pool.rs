@@ -216,7 +216,8 @@ mod tests {
     #[test]
     fn averages_spatial_extent() {
         let mut pool = GlobalAvgPool::new();
-        let x = Tensor::from_vec((0..2 * 1 * 2 * 2).map(|v| v as f32).collect(), &[2, 1, 2, 2])
+        // 2 samples × 1 channel × 2×2 spatial.
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[2, 1, 2, 2])
             .unwrap();
         let y = pool.forward(&x, Mode::Eval).unwrap();
         assert_eq!(y.dims(), &[2, 1]);

@@ -151,13 +151,13 @@ pub fn orthogonality_loss(features: &Tensor) -> Result<(f32, Tensor)> {
     // normalisation: dL/df_i = (dL/dg_i − (dL/dg_i · g_i) g_i) / ||f_i||.
     let grad_normalized = diff.matmul(&normalized)?.scale(4.0 / denom);
     let mut grad = grad_normalized.clone();
-    for i in 0..batch {
+    for (i, &norm) in norms.iter().enumerate() {
         let g = &normalized.as_slice()[i * dim..(i + 1) * dim];
         let dg = &grad_normalized.as_slice()[i * dim..(i + 1) * dim];
         let dot: f32 = g.iter().zip(dg).map(|(a, b)| a * b).sum();
         let out = &mut grad.as_mut_slice()[i * dim..(i + 1) * dim];
         for (k, o) in out.iter_mut().enumerate() {
-            *o = (dg[k] - dot * g[k]) / norms[i];
+            *o = (dg[k] - dot * g[k]) / norm;
         }
     }
     Ok((loss, grad))
@@ -188,8 +188,7 @@ pub fn multi_margin_loss(logits: &Tensor, labels: &[usize], margin: f32) -> Resu
     }
     let mut loss = 0.0f32;
     let mut grad = Tensor::zeros(logits.dims());
-    for b in 0..batch {
-        let gt = labels[b];
+    for (b, &gt) in labels.iter().enumerate() {
         if gt >= classes {
             return Err(NnError::InvalidConfig(format!(
                 "label {gt} out of range for {classes} classes"

@@ -13,7 +13,10 @@
 //! * [`baselines`] — comparison classifier heads,
 //! * [`gap9`] — the GAP9-class MCU deployment and energy model (the crate's
 //!   module docs walk through the full latency/power/energy pipeline and its
-//!   calibration).
+//!   calibration),
+//! * [`serve`] — the multi-tenant serving runtime: request batching,
+//!   energy-budget admission and explicit-memory snapshots for long-lived
+//!   deployments.
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@ pub use ofscil_data as data;
 pub use ofscil_gap9 as gap9;
 pub use ofscil_nn as nn;
 pub use ofscil_quant as quant;
+pub use ofscil_serve as serve;
 pub use ofscil_tensor as tensor;
 
 /// The most commonly used types, re-exported for convenient glob imports.
@@ -66,6 +70,11 @@ pub mod prelude {
     pub use ofscil_nn::profile::{profile_backbone, profile_with_fcr};
     pub use ofscil_nn::{Layer, Mode};
     pub use ofscil_quant::{ExplicitMemoryFootprint, FakeQuant, PrototypePrecision, QuantTensor};
+    pub use ofscil_serve::{
+        decode_explicit_memory, encode_explicit_memory, BudgetPolicy, DeploymentSpec,
+        DeploymentStats, LearnerRegistry, PendingResponse, ServeClient, ServeConfig, ServeError,
+        ServeRequest, ServeResponse, ServeRuntime,
+    };
     pub use ofscil_tensor::{SeedRng, Tensor};
 }
 
@@ -80,5 +89,8 @@ mod tests {
         assert_eq!(config.fscil.num_sessions, 8);
         let _ = Gap9Config::default();
         let _ = SeedRng::new(0);
+        let registry = LearnerRegistry::new();
+        assert!(registry.is_empty());
+        ServeConfig::default().validate().unwrap();
     }
 }

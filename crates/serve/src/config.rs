@@ -1,0 +1,90 @@
+//! Runtime configuration for the serving loop.
+
+use crate::{Result, ServeError};
+use ofscil_tensor::recommended_threads;
+
+/// Configuration of a [`ServeRuntime`](crate::ServeRuntime).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of worker threads executing jobs. Workers for *different*
+    /// deployments run concurrently; requests for the same deployment are
+    /// serialized by the deployment's own lock.
+    pub workers: usize,
+    /// Maximum number of concurrent `Infer` requests for one deployment that
+    /// the batcher coalesces into a single batched forward pass.
+    pub max_batch: usize,
+    /// Maximum number of queued envelopes the dispatcher drains per cycle
+    /// before emitting jobs. Bounds the latency a burst can add to the first
+    /// request of the cycle.
+    pub drain_limit: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: recommended_threads(),
+            max_batch: 16,
+            drain_limit: 256,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A request-at-a-time configuration: one worker, no coalescing. This is
+    /// the baseline the `serve_throughput` bench compares batching against.
+    pub fn sequential() -> Self {
+        ServeConfig { workers: 1, max_batch: 1, drain_limit: 1 }
+    }
+
+    /// Sets the worker count (builder style).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the maximum coalesced batch size (builder style).
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when any knob is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be at least 1".into()));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be at least 1".into()));
+        }
+        if self.drain_limit == 0 {
+            return Err(ServeError::InvalidConfig("drain_limit must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        ServeConfig::default().validate().unwrap();
+        ServeConfig::sequential().validate().unwrap();
+        assert_eq!(ServeConfig::sequential().max_batch, 1);
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        assert!(ServeConfig::default().with_workers(0).validate().is_err());
+        assert!(ServeConfig::default().with_max_batch(0).validate().is_err());
+        let config = ServeConfig { drain_limit: 0, ..ServeConfig::default() };
+        assert!(config.validate().is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Error type for the serving runtime.
+
+use crate::snapshot::SnapshotError;
+use ofscil_core::CoreError;
+use ofscil_gap9::Gap9Error;
+use ofscil_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the serving runtime, registry and snapshot codec.
+#[derive(Debug)]
+pub enum ServeError {
+    /// No deployment with the given name is registered.
+    UnknownDeployment(String),
+    /// A deployment with the given name is already registered.
+    DuplicateDeployment(String),
+    /// The deployment's energy budget cannot cover the request.
+    BudgetExhausted {
+        /// Deployment whose budget ran out.
+        deployment: String,
+        /// Energy the request would have cost in millijoules.
+        required_mj: f64,
+        /// Energy remaining in the budget in millijoules.
+        remaining_mj: f64,
+    },
+    /// The request payload is malformed for the target deployment (e.g. an
+    /// image whose shape does not match what the deployment was registered
+    /// with). Rejected at admission so one bad request can never poison a
+    /// coalesced batch.
+    InvalidRequest(String),
+    /// The runtime configuration is inconsistent.
+    InvalidConfig(String),
+    /// Executing a request against the model failed. Carries the formatted
+    /// underlying error so a batched failure can be delivered to every
+    /// affected requester.
+    Execution(String),
+    /// The runtime is shutting down (or already gone) and the request will
+    /// not be served.
+    ShuttingDown,
+    /// Encoding or decoding an explicit-memory snapshot failed.
+    Snapshot(SnapshotError),
+    /// A model operation failed outside the request path (registration,
+    /// direct registry access).
+    Core(CoreError),
+    /// Pricing a deployment on the GAP9 cost model failed.
+    Gap9(Gap9Error),
+    /// A tensor operation failed outside the request path.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownDeployment(name) => {
+                write!(f, "no deployment named {name:?} is registered")
+            }
+            ServeError::DuplicateDeployment(name) => {
+                write!(f, "a deployment named {name:?} is already registered")
+            }
+            ServeError::BudgetExhausted { deployment, required_mj, remaining_mj } => write!(
+                f,
+                "deployment {deployment:?} energy budget exhausted: request needs \
+                 {required_mj:.3} mJ but only {remaining_mj:.3} mJ remain"
+            ),
+            ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve configuration: {msg}"),
+            ServeError::Execution(msg) => write!(f, "request execution failed: {msg}"),
+            ServeError::ShuttingDown => write!(f, "the serving runtime is shutting down"),
+            ServeError::Snapshot(e) => write!(f, "snapshot codec error: {e}"),
+            ServeError::Core(e) => write!(f, "model error: {e}"),
+            ServeError::Gap9(e) => write!(f, "deployment pricing error: {e}"),
+            ServeError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Snapshot(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            ServeError::Gap9(e) => Some(e),
+            ServeError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<Gap9Error> for ServeError {
+    fn from(e: Gap9Error) -> Self {
+        ServeError::Gap9(e)
+    }
+}
+
+impl From<TensorError> for ServeError {
+    fn from(e: TensorError) -> Self {
+        ServeError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = ServeError::UnknownDeployment("tenant-a".into());
+        assert!(e.to_string().contains("tenant-a"));
+        assert!(e.source().is_none());
+        let e = ServeError::BudgetExhausted {
+            deployment: "t".into(),
+            required_mj: 12.0,
+            remaining_mj: 1.5,
+        };
+        assert!(e.to_string().contains("12.000"));
+        let e: ServeError = CoreError::UnknownClass(3).into();
+        assert!(e.source().is_some());
+        let e: ServeError =
+            Gap9Error::InvalidCoreCount { requested: 16, available: 8 }.into();
+        assert!(e.to_string().contains("16"));
+    }
+}

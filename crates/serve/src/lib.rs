@@ -1,0 +1,79 @@
+//! `ofscil_serve` — a multi-tenant serving runtime for online few-shot
+//! class-incremental learners.
+//!
+//! The rest of the workspace exercises O-FSCIL through the one-shot
+//! [`run_experiment`](ofscil_core::run_experiment) driver. This crate keeps
+//! models **alive**: many independent [`OFscilModel`](ofscil_core::OFscilModel)
+//! deployments serve mixed inference and online-learning traffic from
+//! concurrent clients, under the paper's energy envelope, across restarts.
+//!
+//! The pieces:
+//!
+//! * [`LearnerRegistry`] — named deployments behind sharded `RwLock`s; each
+//!   model sits behind its own lock so tenants proceed concurrently,
+//! * [`ServeRequest`] / [`ServeResponse`] — the typed request API (`Infer`,
+//!   `LearnOnline`, `Snapshot`, `Stats`, `TopUpBudget`), dispatched over
+//!   `std::sync::mpsc` channels to a `std::thread::scope` worker pool by
+//!   [`ServeRuntime::run`],
+//! * a coalescing batcher — concurrent `Infer` requests for one deployment
+//!   merge into a single batched forward pass, amortizing the matmul (the
+//!   `serve_throughput` bench prints the batched-vs-sequential ratio),
+//! * energy-budget admission — every request is priced in millijoules on the
+//!   GAP9 cost model ([`RequestPricing`]); once a deployment's budget is
+//!   spent, work is rejected or deferred per [`BudgetPolicy`], turning the
+//!   paper's 12 mJ/class headline into a runtime policy,
+//! * [`snapshot`] — an in-tree binary codec that round-trips the explicit
+//!   memory bit-exactly for warm restart and replication (the workspace's
+//!   `serde` stand-in is marker-only, so the wire format lives here).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ofscil_serve::{
+//!     DeploymentSpec, LearnerRegistry, ServeConfig, ServeRequest, ServeRuntime,
+//! };
+//! use ofscil_core::OFscilModel;
+//! use ofscil_nn::models::BackboneKind;
+//! use ofscil_tensor::{SeedRng, Tensor};
+//!
+//! let mut rng = SeedRng::new(42);
+//! let registry = LearnerRegistry::new();
+//! registry
+//!     .register(
+//!         DeploymentSpec::new("tenant-a", (32, 32)),
+//!         OFscilModel::new(BackboneKind::Micro, 32, &mut rng),
+//!     )
+//!     .unwrap();
+//! ServeRuntime::run(&registry, &ServeConfig::default(), |client| {
+//!     let response = client.call(ServeRequest::Infer {
+//!         deployment: "tenant-a".into(),
+//!         image: Tensor::zeros(&[3, 32, 32]),
+//!     });
+//!     println!("{response:?}");
+//! })
+//! .unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod config;
+mod error;
+mod registry;
+mod request;
+mod runtime;
+pub mod snapshot;
+pub mod traffic;
+
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use registry::{
+    BudgetPolicy, DeploymentSpec, DeploymentStats, LearnerRegistry, RequestPricing,
+};
+pub use request::{PendingResponse, ServeRequest, ServeResponse};
+pub use runtime::{ServeClient, ServeRuntime};
+pub use snapshot::{decode_explicit_memory, encode_explicit_memory, SnapshotError};
+
+/// Result alias used across the serve crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

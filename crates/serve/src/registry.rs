@@ -1,0 +1,566 @@
+//! The multi-tenant learner registry: named [`OFscilModel`] deployments
+//! behind sharded locks, each with its own energy budget and statistics.
+
+use crate::snapshot::{decode_explicit_memory, encode_explicit_memory};
+use crate::{Result, ServeError};
+use ofscil_core::OFscilModel;
+use ofscil_gap9::{deploy_backbone, Gap9Config, Gap9Executor};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// What happens to a request once a deployment's energy budget is spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetPolicy {
+    /// Over-budget requests are rejected with
+    /// [`ServeError::BudgetExhausted`].
+    Reject,
+    /// Over-budget requests are parked in a per-deployment deferred queue and
+    /// released in FIFO order when the budget is topped up
+    /// (`ServeRequest::TopUpBudget`). Requests still deferred at shutdown are
+    /// failed with [`ServeError::BudgetExhausted`] so no response is lost.
+    Defer,
+}
+
+/// Registration-time description of one deployment.
+#[derive(Debug, Clone)]
+pub struct DeploymentSpec {
+    /// Unique deployment (tenant) name.
+    pub name: String,
+    /// Input image height and width the deployment serves. Requests are
+    /// validated against this shape at admission.
+    pub image_hw: (usize, usize),
+    /// Energy budget in millijoules; `None` means unlimited.
+    pub energy_budget_mj: Option<f64>,
+    /// Policy applied once the budget is spent.
+    pub budget_policy: BudgetPolicy,
+    /// Cluster cores assumed when pricing requests on the GAP9 model.
+    pub cores: usize,
+    /// Device model used for pricing.
+    pub gap9: Gap9Config,
+}
+
+impl DeploymentSpec {
+    /// Creates a spec with an unlimited budget, the full 8-core cluster and
+    /// the default device model.
+    pub fn new(name: &str, image_hw: (usize, usize)) -> Self {
+        DeploymentSpec {
+            name: name.to_string(),
+            image_hw,
+            energy_budget_mj: None,
+            budget_policy: BudgetPolicy::Reject,
+            cores: 8,
+            gap9: Gap9Config::default(),
+        }
+    }
+
+    /// Sets an energy budget and the policy applied once it is spent
+    /// (builder style).
+    #[must_use]
+    pub fn with_energy_budget(mut self, budget_mj: f64, policy: BudgetPolicy) -> Self {
+        self.energy_budget_mj = Some(budget_mj);
+        self.budget_policy = policy;
+        self
+    }
+
+    /// Sets the core count used for pricing (builder style).
+    #[must_use]
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+}
+
+/// Energy prices of one deployment's request types, derived from the GAP9
+/// cost model at registration time. This is the paper's 12 mJ/class headline
+/// turned into an admission-control price list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestPricing {
+    /// Energy of one inference (backbone + FCR forward) in millijoules.
+    pub infer_mj: f64,
+    /// Energy of learning from one support sample (one backbone + FCR pass;
+    /// the prototype accumulation is negligible next to it) in millijoules.
+    pub learn_sample_mj: f64,
+}
+
+impl RequestPricing {
+    /// A zero-cost price list (used when pricing is irrelevant, e.g. tests).
+    pub fn free() -> Self {
+        RequestPricing { infer_mj: 0.0, learn_sample_mj: 0.0 }
+    }
+}
+
+/// Point-in-time statistics of one deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentStats {
+    /// Deployment name.
+    pub name: String,
+    /// Classes currently stored in the explicit memory.
+    pub classes: usize,
+    /// Individual `Infer` requests served.
+    pub infer_requests: u64,
+    /// Batched forward passes those requests were coalesced into.
+    pub infer_batches: u64,
+    /// Largest coalesced batch observed.
+    pub largest_batch: usize,
+    /// `LearnOnline` requests served.
+    pub learn_requests: u64,
+    /// Snapshots taken.
+    pub snapshots: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests deferred by admission control (may since have been released).
+    pub deferred: u64,
+    /// Energy admitted against the budget so far, in millijoules.
+    pub energy_spent_mj: f64,
+    /// The configured energy budget in millijoules, if any.
+    pub energy_budget_mj: Option<f64>,
+}
+
+impl DeploymentStats {
+    /// Mean coalesced batch size over all served `Infer` requests.
+    pub fn mean_batch(&self) -> f64 {
+        if self.infer_batches == 0 {
+            0.0
+        } else {
+            self.infer_requests as f64 / self.infer_batches as f64
+        }
+    }
+}
+
+/// Mutable counters behind the deployment lock.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub infer_requests: u64,
+    pub infer_batches: u64,
+    pub largest_batch: usize,
+    pub learn_requests: u64,
+    pub snapshots: u64,
+    pub rejected: u64,
+    pub deferred: u64,
+}
+
+/// The energy budget meter of one deployment.
+#[derive(Debug)]
+pub(crate) struct EnergyMeter {
+    inner: Mutex<MeterInner>,
+}
+
+#[derive(Debug)]
+struct MeterInner {
+    budget_mj: Option<f64>,
+    spent_mj: f64,
+}
+
+impl EnergyMeter {
+    fn new(budget_mj: Option<f64>) -> Self {
+        EnergyMeter { inner: Mutex::new(MeterInner { budget_mj, spent_mj: 0.0 }) }
+    }
+
+    /// Admits `cost_mj` against the budget. Returns the remaining budget on
+    /// refusal.
+    pub fn try_spend(&self, cost_mj: f64) -> std::result::Result<(), f64> {
+        let mut inner = self.inner.lock().expect("meter lock poisoned");
+        match inner.budget_mj {
+            Some(budget) if inner.spent_mj + cost_mj > budget => {
+                Err((budget - inner.spent_mj).max(0.0))
+            }
+            _ => {
+                inner.spent_mj += cost_mj;
+                Ok(())
+            }
+        }
+    }
+
+    /// Raises the budget by `mj` (a no-op for unlimited deployments).
+    pub fn top_up(&self, mj: f64) {
+        let mut inner = self.inner.lock().expect("meter lock poisoned");
+        if let Some(budget) = inner.budget_mj.as_mut() {
+            *budget += mj;
+        }
+    }
+
+    /// Returns `(spent, remaining)`; remaining is `None` for unlimited.
+    pub fn state(&self) -> (f64, Option<f64>) {
+        let inner = self.inner.lock().expect("meter lock poisoned");
+        (inner.spent_mj, inner.budget_mj.map(|b| (b - inner.spent_mj).max(0.0)))
+    }
+
+    fn budget(&self) -> Option<f64> {
+        self.inner.lock().expect("meter lock poisoned").budget_mj
+    }
+}
+
+/// One registered deployment: the model behind its own lock, the per-
+/// deployment FIFO work queue, and the immutable admission metadata the
+/// dispatcher reads without locking either.
+pub(crate) struct Deployment {
+    pub name: String,
+    pub model: Mutex<OFscilModel>,
+    pub work: Mutex<crate::batch::WorkQueue>,
+    pub stats: Mutex<StatsInner>,
+    pub meter: EnergyMeter,
+    pub pricing: RequestPricing,
+    pub policy: BudgetPolicy,
+    /// `[channels, height, width]` every `Infer` image must match.
+    pub image_dims: Vec<usize>,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("name", &self.name)
+            .field("pricing", &self.pricing)
+            .field("policy", &self.policy)
+            .field("image_dims", &self.image_dims)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Deployment {
+    pub fn stats_snapshot(&self) -> DeploymentStats {
+        let classes = self.model.lock().expect("model lock poisoned").em().num_classes();
+        let stats = self.stats.lock().expect("stats lock poisoned");
+        let (spent, _) = self.meter.state();
+        DeploymentStats {
+            name: self.name.clone(),
+            classes,
+            infer_requests: stats.infer_requests,
+            infer_batches: stats.infer_batches,
+            largest_batch: stats.largest_batch,
+            learn_requests: stats.learn_requests,
+            snapshots: stats.snapshots,
+            rejected: stats.rejected,
+            deferred: stats.deferred,
+            energy_spent_mj: spent,
+            energy_budget_mj: self.meter.budget(),
+        }
+    }
+}
+
+/// FNV-1a over a name — the shard selector.
+fn shard_of(name: &str, shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards as u64) as usize
+}
+
+/// A sharded registry of independent [`OFscilModel`] deployments.
+///
+/// Each shard is an `RwLock` over a name → deployment map; each deployment
+/// holds its model behind its own `Mutex`. Lookups take a shard read lock
+/// only long enough to clone the `Arc`, so tenants on different deployments
+/// infer and learn fully concurrently, and tenants on different shards even
+/// register concurrently.
+#[derive(Debug)]
+pub struct LearnerRegistry {
+    shards: Vec<RwLock<HashMap<String, Arc<Deployment>>>>,
+}
+
+impl Default for LearnerRegistry {
+    fn default() -> Self {
+        LearnerRegistry::new()
+    }
+}
+
+impl LearnerRegistry {
+    /// Creates a registry with the default shard count (8).
+    pub fn new() -> Self {
+        LearnerRegistry::with_shards(8)
+    }
+
+    /// Creates a registry with an explicit shard count (minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        LearnerRegistry {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Registers a deployment. The request price list is derived from the
+    /// model's backbone and FCR on the spec's GAP9 device model, so the
+    /// energy budget is enforced in the same millijoules the paper reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::DuplicateDeployment`] when the name is taken and
+    /// a pricing error when the spec's core count is invalid for the device.
+    pub fn register(&self, spec: DeploymentSpec, model: OFscilModel) -> Result<()> {
+        let executor = Gap9Executor::new(spec.gap9.clone());
+        let (height, width) = spec.image_hw;
+        let workload = deploy_backbone(model.backbone(), height, width);
+        let backbone_cost = executor.backbone_inference(&workload, spec.cores)?;
+        let fcr_cost = executor.fcr_inference(
+            model.backbone().feature_dim,
+            model.projection_dim(),
+            spec.cores,
+        )?;
+        let per_pass_mj = backbone_cost.energy_mj + fcr_cost.energy_mj;
+        let pricing = RequestPricing { infer_mj: per_pass_mj, learn_sample_mj: per_pass_mj };
+        let image_dims = vec![model.backbone().in_channels, height, width];
+
+        let deployment = Arc::new(Deployment {
+            name: spec.name.clone(),
+            model: Mutex::new(model),
+            work: Mutex::new(crate::batch::WorkQueue::default()),
+            stats: Mutex::new(StatsInner::default()),
+            meter: EnergyMeter::new(spec.energy_budget_mj),
+            pricing,
+            policy: spec.budget_policy,
+            image_dims,
+        });
+
+        let shard = &self.shards[shard_of(&spec.name, self.shards.len())];
+        let mut map = shard.write().expect("shard lock poisoned");
+        if map.contains_key(&spec.name) {
+            return Err(ServeError::DuplicateDeployment(spec.name));
+        }
+        map.insert(spec.name, deployment);
+        Ok(())
+    }
+
+    /// Resolves a deployment handle by name.
+    pub(crate) fn resolve(&self, name: &str) -> Result<Arc<Deployment>> {
+        let shard = &self.shards[shard_of(name, self.shards.len())];
+        shard
+            .read()
+            .expect("shard lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownDeployment(name.to_string()))
+    }
+
+    /// The sorted list of registered deployment names.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().expect("shard lock poisoned").keys().cloned().collect::<Vec<_>>())
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered deployments.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` when no deployment is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs a closure with exclusive access to a deployment's model — the
+    /// out-of-band management path (pre-loading classes, converting to int8)
+    /// used before or between serving runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names.
+    pub fn with_model<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut OFscilModel) -> T,
+    ) -> Result<T> {
+        let deployment = self.resolve(name)?;
+        let mut model = deployment.model.lock().expect("model lock poisoned");
+        Ok(f(&mut model))
+    }
+
+    /// Point-in-time statistics of a deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names.
+    pub fn stats(&self, name: &str) -> Result<DeploymentStats> {
+        Ok(self.resolve(name)?.stats_snapshot())
+    }
+
+    /// Serializes a deployment's explicit memory with the snapshot codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names.
+    pub fn snapshot(&self, name: &str) -> Result<Vec<u8>> {
+        self.with_model(name, |model| encode_explicit_memory(model.em()))
+    }
+
+    /// Restores a deployment's explicit memory from snapshot bytes (warm
+    /// restart / replication). Returns the number of restored classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for malformed bytes and
+    /// [`ServeError::InvalidRequest`] when the snapshot's dimensionality does
+    /// not match the deployment's projection head.
+    pub fn restore(&self, name: &str, bytes: &[u8]) -> Result<usize> {
+        let em = decode_explicit_memory(bytes)?;
+        let deployment = self.resolve(name)?;
+        let mut model = deployment.model.lock().expect("model lock poisoned");
+        if em.dim() != model.projection_dim() {
+            return Err(ServeError::InvalidRequest(format!(
+                "snapshot dimension {} does not match deployment projection dimension {}",
+                em.dim(),
+                model.projection_dim()
+            )));
+        }
+        let classes = em.num_classes();
+        *model.em_mut() = em;
+        Ok(classes)
+    }
+
+    /// Raises a deployment's energy budget by `mj` out-of-band. Budget
+    /// top-ups submitted through the runtime (`ServeRequest::TopUpBudget`)
+    /// additionally release deferred requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names and
+    /// [`ServeError::InvalidRequest`] for non-finite or negative amounts
+    /// (which would otherwise corrupt the budget meter — a NaN budget admits
+    /// everything forever).
+    pub fn top_up(&self, name: &str, mj: f64) -> Result<()> {
+        if !mj.is_finite() || mj < 0.0 {
+            return Err(ServeError::InvalidRequest(format!(
+                "budget top-up must be a finite non-negative amount, got {mj}"
+            )));
+        }
+        self.resolve(name)?.meter.top_up(mj);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofscil_nn::models::BackboneKind;
+    use ofscil_tensor::SeedRng;
+
+    fn micro_model(seed: u64) -> OFscilModel {
+        let mut rng = SeedRng::new(seed);
+        OFscilModel::new(BackboneKind::Micro, 16, &mut rng)
+    }
+
+    #[test]
+    fn register_resolve_and_duplicates() {
+        let registry = LearnerRegistry::with_shards(2);
+        assert!(registry.is_empty());
+        registry
+            .register(DeploymentSpec::new("tenant-a", (8, 8)), micro_model(0))
+            .unwrap();
+        registry
+            .register(DeploymentSpec::new("tenant-b", (8, 8)), micro_model(1))
+            .unwrap();
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names(), vec!["tenant-a".to_string(), "tenant-b".to_string()]);
+        let err = registry
+            .register(DeploymentSpec::new("tenant-a", (8, 8)), micro_model(2))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DuplicateDeployment(_)));
+        assert!(matches!(
+            registry.stats("nope").unwrap_err(),
+            ServeError::UnknownDeployment(_)
+        ));
+    }
+
+    #[test]
+    fn pricing_is_positive_and_device_derived() {
+        let registry = LearnerRegistry::new();
+        registry
+            .register(DeploymentSpec::new("t", (8, 8)), micro_model(0))
+            .unwrap();
+        let deployment = registry.resolve("t").unwrap();
+        assert!(deployment.pricing.infer_mj > 0.0);
+        assert!((deployment.pricing.learn_sample_mj - deployment.pricing.infer_mj).abs() < 1e-12);
+        assert_eq!(deployment.image_dims, vec![3, 8, 8]);
+    }
+
+    #[test]
+    fn invalid_core_count_fails_registration() {
+        let registry = LearnerRegistry::new();
+        let spec = DeploymentSpec::new("t", (8, 8)).with_cores(99);
+        assert!(matches!(
+            registry.register(spec, micro_model(0)).unwrap_err(),
+            ServeError::Gap9(_)
+        ));
+    }
+
+    #[test]
+    fn meter_spends_tops_up_and_refuses() {
+        let meter = EnergyMeter::new(Some(10.0));
+        meter.try_spend(6.0).unwrap();
+        let remaining = meter.try_spend(6.0).unwrap_err();
+        assert!((remaining - 4.0).abs() < 1e-12);
+        meter.top_up(5.0);
+        meter.try_spend(6.0).unwrap();
+        let (spent, remaining) = meter.state();
+        assert!((spent - 12.0).abs() < 1e-12);
+        assert!((remaining.unwrap() - 3.0).abs() < 1e-12);
+        // Unlimited meters never refuse and ignore top-ups.
+        let unlimited = EnergyMeter::new(None);
+        unlimited.try_spend(1e9).unwrap();
+        unlimited.top_up(1.0);
+        assert_eq!(unlimited.state().1, None);
+    }
+
+    #[test]
+    fn top_up_rejects_nan_and_negative_amounts() {
+        let registry = LearnerRegistry::new();
+        let spec = DeploymentSpec::new("t", (8, 8)).with_energy_budget(1.0, BudgetPolicy::Reject);
+        registry.register(spec, micro_model(0)).unwrap();
+        assert!(matches!(
+            registry.top_up("t", f64::NAN).unwrap_err(),
+            ServeError::InvalidRequest(_)
+        ));
+        assert!(matches!(
+            registry.top_up("t", -5.0).unwrap_err(),
+            ServeError::InvalidRequest(_)
+        ));
+        registry.top_up("t", 2.0).unwrap();
+        let stats = registry.stats("t").unwrap();
+        assert_eq!(stats.energy_budget_mj, Some(3.0));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_through_registry() {
+        let registry = LearnerRegistry::new();
+        registry
+            .register(DeploymentSpec::new("a", (8, 8)), micro_model(0))
+            .unwrap();
+        registry
+            .register(DeploymentSpec::new("b", (8, 8)), micro_model(1))
+            .unwrap();
+        registry
+            .with_model("a", |model| {
+                let proto: Vec<f32> = (0..16).map(|i| i as f32 / 16.0).collect();
+                model.em_mut().set_prototype(4, &proto).unwrap();
+            })
+            .unwrap();
+        let bytes = registry.snapshot("a").unwrap();
+        let restored = registry.restore("b", &bytes).unwrap();
+        assert_eq!(restored, 1);
+        let classes = registry
+            .with_model("b", |model| model.em().classes())
+            .unwrap();
+        assert_eq!(classes, vec![4]);
+    }
+
+    #[test]
+    fn restore_rejects_dimension_mismatch() {
+        let registry = LearnerRegistry::new();
+        registry
+            .register(DeploymentSpec::new("a", (8, 8)), micro_model(0))
+            .unwrap();
+        let foreign = ofscil_core::ExplicitMemory::new(99);
+        let err = registry
+            .restore("a", &encode_explicit_memory(&foreign))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidRequest(_)));
+    }
+}

@@ -1,0 +1,823 @@
+//! The serving runtime: dispatcher, admission control and the worker pool.
+//!
+//! Architecture (all `std`, no async runtime):
+//!
+//! ```text
+//!  clients ──mpsc──▶ dispatcher ──deployment tokens──▶ workers (scoped pool)
+//!                     │  resolve deployment (sharded registry lookup)
+//!                     │  validate payload shape
+//!                     │  price on the GAP9 energy model + admit/defer/reject
+//!                     │  coalesce Infer requests into batched jobs
+//!                     │  append jobs to the deployment's FIFO work queue
+//!                     ▼
+//!                  deferred queues (released by TopUpBudget)
+//! ```
+//!
+//! The global queue carries *deployment tokens*, not jobs: a worker that
+//! claims a token drains that deployment's work queue in admission order,
+//! and the `scheduled` flag keeps a deployment off two workers at once — so
+//! per-deployment request order is a guarantee, while distinct deployments
+//! run fully in parallel.
+//!
+//! Every submitted request receives exactly one reply: a successful response,
+//! an admission error, an execution error, or — for requests still parked in
+//! a deferred queue at shutdown — a final [`ServeError::BudgetExhausted`].
+
+use crate::batch::{Coalescer, DeploymentJob, InferItem};
+use crate::registry::{BudgetPolicy, Deployment, LearnerRegistry};
+use crate::request::{Envelope, PendingResponse, Reply, ServeRequest, ServeResponse};
+use crate::snapshot::encode_explicit_memory;
+use crate::{Result, ServeConfig, ServeError};
+use ofscil_nn::Mode;
+use ofscil_tensor::Tensor;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+/// A handle for submitting requests to a running [`ServeRuntime`].
+///
+/// Cloneable and sendable: hand one clone to each client thread. The runtime
+/// shuts down once every clone has been dropped (the body of
+/// [`ServeRuntime::run`] returning drops the original).
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    tx: mpsc::Sender<Envelope>,
+}
+
+impl ServeClient {
+    /// Submits a request without waiting; pair with
+    /// [`PendingResponse::wait`].
+    pub fn submit(&self, request: ServeRequest) -> PendingResponse {
+        let (reply, rx) = mpsc::channel();
+        // A failed send means the dispatcher is gone; the reply sender is
+        // dropped with the envelope and `wait` reports `ShuttingDown`.
+        let _ = self.tx.send(Envelope { request, reply });
+        PendingResponse { rx }
+    }
+
+    /// Submits a request and blocks for the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request's admission or execution error, or
+    /// [`ServeError::ShuttingDown`] when the runtime terminated first.
+    pub fn call(&self, request: ServeRequest) -> Result<ServeResponse> {
+        self.submit(request).wait()
+    }
+}
+
+/// The embedded serving runtime.
+///
+/// [`ServeRuntime::run`] spawns the dispatcher and worker pool inside a
+/// [`std::thread::scope`], hands the body a [`ServeClient`], and tears the
+/// pool down when the body returns — no detached threads, no shared global
+/// state, deterministic shutdown.
+///
+/// # Example
+///
+/// ```no_run
+/// use ofscil_serve::{
+///     DeploymentSpec, LearnerRegistry, ServeConfig, ServeRequest, ServeRuntime,
+/// };
+/// use ofscil_core::OFscilModel;
+/// use ofscil_nn::models::BackboneKind;
+/// use ofscil_tensor::{SeedRng, Tensor};
+///
+/// let mut rng = SeedRng::new(0);
+/// let registry = LearnerRegistry::new();
+/// registry
+///     .register(
+///         DeploymentSpec::new("tenant-a", (8, 8)),
+///         OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+///     )
+///     .unwrap();
+/// let _stats = ServeRuntime::run(&registry, &ServeConfig::default(), |client| {
+///     client.call(ServeRequest::Stats { deployment: "tenant-a".into() })
+/// })
+/// .unwrap();
+/// ```
+#[derive(Debug)]
+pub struct ServeRuntime;
+
+impl ServeRuntime {
+    /// Runs a serving session: workers and dispatcher live for exactly the
+    /// duration of `body`, which receives the client handle. Returns the
+    /// body's value once every in-flight request has been settled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the configuration is
+    /// invalid; the body itself is infallible from the runtime's view.
+    pub fn run<T, F>(registry: &LearnerRegistry, config: &ServeConfig, body: F) -> Result<T>
+    where
+        F: FnOnce(&ServeClient) -> T,
+    {
+        config.validate()?;
+        let (tx, rx) = mpsc::channel::<Envelope>();
+        let queue = JobQueue::new();
+
+        let value = std::thread::scope(|scope| {
+            for _ in 0..config.workers {
+                scope.spawn(|| worker_loop(&queue));
+            }
+            let dispatcher_queue = &queue;
+            scope.spawn(move || dispatch_loop(rx, registry, config, dispatcher_queue));
+
+            let client = ServeClient { tx };
+            body(&client)
+            // `client` (the last envelope sender) drops here; the dispatcher
+            // drains the channel, flushes its batches, fails whatever is
+            // still deferred and closes the job queue, which releases the
+            // workers. The scope then joins everything.
+        });
+        Ok(value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------------
+
+fn dispatch_loop(
+    rx: mpsc::Receiver<Envelope>,
+    registry: &LearnerRegistry,
+    config: &ServeConfig,
+    queue: &JobQueue,
+) {
+    let mut coalescer = Coalescer::new(config.max_batch);
+    let mut deferred: HashMap<String, VecDeque<Envelope>> = HashMap::new();
+
+    while let Ok(first) = rx.recv() {
+        let mut cycle = vec![first];
+        while cycle.len() < config.drain_limit {
+            match rx.try_recv() {
+                Ok(envelope) => cycle.push(envelope),
+                Err(_) => break,
+            }
+        }
+        for envelope in cycle {
+            route(envelope, registry, queue, &mut coalescer, &mut deferred);
+        }
+        for (deployment, job) in coalescer.flush_all() {
+            enqueue(&deployment, job, queue);
+        }
+    }
+
+    // Shutdown: nothing can top budgets up any more, so deferred requests
+    // are settled with the admission error they would otherwise wait on
+    // forever — every submitted request gets exactly one reply.
+    for (name, parked) in deferred {
+        if let Ok(deployment) = registry.resolve(&name) {
+            for envelope in parked {
+                let required_mj = price(&deployment, &envelope.request);
+                let (_, remaining) = deployment.meter.state();
+                envelope.reject(ServeError::BudgetExhausted {
+                    deployment: name.clone(),
+                    required_mj,
+                    remaining_mj: remaining.unwrap_or(0.0),
+                });
+            }
+        }
+    }
+    queue.close();
+}
+
+/// Energy price of a request on a deployment's price list, in millijoules.
+fn price(deployment: &Deployment, request: &ServeRequest) -> f64 {
+    match request {
+        ServeRequest::Infer { .. } => deployment.pricing.infer_mj,
+        ServeRequest::LearnOnline { batch, .. } => {
+            deployment.pricing.learn_sample_mj * batch.len() as f64
+        }
+        _ => 0.0,
+    }
+}
+
+/// Shape-validates a request payload against the deployment's registered
+/// input geometry, so one malformed request can never poison a coalesced
+/// batch or reach a worker.
+fn validate(deployment: &Deployment, request: &ServeRequest) -> Result<()> {
+    match request {
+        ServeRequest::Infer { image, .. }
+            if image.dims() != deployment.image_dims.as_slice() =>
+        {
+            return Err(ServeError::InvalidRequest(format!(
+                "image shape {:?} does not match deployment input shape {:?}",
+                image.dims(),
+                deployment.image_dims
+            )));
+        }
+        ServeRequest::LearnOnline { batch, .. } => {
+            if batch.is_empty() {
+                return Err(ServeError::InvalidRequest(
+                    "cannot learn from an empty batch".into(),
+                ));
+            }
+            let dims = batch.images.dims();
+            let expected: Vec<usize> = std::iter::once(batch.len())
+                .chain(deployment.image_dims.iter().copied())
+                .collect();
+            if dims != expected.as_slice() {
+                return Err(ServeError::InvalidRequest(format!(
+                    "support batch shape {dims:?} does not match {expected:?} \
+                     ({} labels, registered input shape {:?})",
+                    batch.len(),
+                    deployment.image_dims
+                )));
+            }
+        }
+        // A NaN increment would make the budget NaN and every admission
+        // comparison false — admission control silently disabled.
+        ServeRequest::TopUpBudget { energy_mj, .. }
+            if !energy_mj.is_finite() || *energy_mj < 0.0 =>
+        {
+            return Err(ServeError::InvalidRequest(format!(
+                "budget top-up must be a finite non-negative amount, got {energy_mj}"
+            )));
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn route(
+    envelope: Envelope,
+    registry: &LearnerRegistry,
+    queue: &JobQueue,
+    coalescer: &mut Coalescer,
+    deferred: &mut HashMap<String, VecDeque<Envelope>>,
+) {
+    let name = envelope.request.deployment().to_string();
+    let deployment = match registry.resolve(&name) {
+        Ok(deployment) => deployment,
+        Err(error) => return envelope.reject(error),
+    };
+    if let Err(error) = validate(&deployment, &envelope.request) {
+        return envelope.reject(error);
+    }
+
+    // Budget top-ups are answered by the dispatcher itself, then unblock as
+    // much deferred work as the new budget covers, oldest first.
+    if let ServeRequest::TopUpBudget { energy_mj, .. } = envelope.request {
+        deployment.meter.top_up(energy_mj);
+        let (spent_mj, remaining_mj) = deployment.meter.state();
+        let _ = envelope
+            .reply
+            .send(Ok(ServeResponse::Budget { spent_mj, remaining_mj }));
+        release_deferred(&name, registry, queue, coalescer, deferred);
+        return;
+    }
+
+    match admit(&deployment, &envelope.request) {
+        Admission::Granted => dispatch(deployment, envelope, queue, coalescer),
+        Admission::Refused { required_mj, remaining_mj } => match deployment.policy {
+            BudgetPolicy::Reject => {
+                deployment.stats.lock().expect("stats lock poisoned").rejected += 1;
+                envelope.reject(ServeError::BudgetExhausted {
+                    deployment: name,
+                    required_mj,
+                    remaining_mj,
+                });
+            }
+            BudgetPolicy::Defer => {
+                deployment.stats.lock().expect("stats lock poisoned").deferred += 1;
+                deferred.entry(name).or_default().push_back(envelope);
+            }
+        },
+    }
+}
+
+enum Admission {
+    Granted,
+    Refused { required_mj: f64, remaining_mj: f64 },
+}
+
+fn admit(deployment: &Deployment, request: &ServeRequest) -> Admission {
+    let required_mj = price(deployment, request);
+    if required_mj <= 0.0 {
+        return Admission::Granted;
+    }
+    match deployment.meter.try_spend(required_mj) {
+        Ok(()) => Admission::Granted,
+        Err(remaining_mj) => Admission::Refused { required_mj, remaining_mj },
+    }
+}
+
+/// Appends a job to the deployment's FIFO work queue and schedules the
+/// deployment on the worker pool unless a token for it is already out.
+fn enqueue(deployment: &Arc<Deployment>, job: DeploymentJob, queue: &JobQueue) {
+    let needs_token = {
+        let mut work = deployment.work.lock().expect("work queue lock poisoned");
+        work.jobs.push_back(job);
+        !std::mem::replace(&mut work.scheduled, true)
+    };
+    if needs_token {
+        queue.push(Arc::clone(deployment));
+    }
+}
+
+/// Turns an admitted envelope into work: infers join the coalescer, other
+/// requests become immediate jobs behind an ordering barrier that flushes
+/// the deployment's pending batch first. Per-deployment execution order is
+/// the enqueue order, enforced by the token scheduling.
+fn dispatch(
+    deployment: Arc<Deployment>,
+    envelope: Envelope,
+    queue: &JobQueue,
+    coalescer: &mut Coalescer,
+) {
+    let Envelope { request, reply } = envelope;
+    match request {
+        ServeRequest::Infer { image, .. } => {
+            if let Some((deployment, job)) = coalescer.push(deployment, InferItem { image, reply })
+            {
+                enqueue(&deployment, job, queue);
+            }
+        }
+        ServeRequest::LearnOnline { batch, .. } => {
+            if let Some((deployment, job)) = coalescer.flush_deployment(&deployment.name) {
+                enqueue(&deployment, job, queue);
+            }
+            enqueue(&deployment, DeploymentJob::Learn { batch, reply }, queue);
+        }
+        ServeRequest::Snapshot { .. } => {
+            if let Some((deployment, job)) = coalescer.flush_deployment(&deployment.name) {
+                enqueue(&deployment, job, queue);
+            }
+            enqueue(&deployment, DeploymentJob::Snapshot { reply }, queue);
+        }
+        ServeRequest::Stats { .. } => {
+            if let Some((deployment, job)) = coalescer.flush_deployment(&deployment.name) {
+                enqueue(&deployment, job, queue);
+            }
+            enqueue(&deployment, DeploymentJob::Stats { reply }, queue);
+        }
+        // Handled by `route` before admission.
+        ServeRequest::TopUpBudget { .. } => unreachable!("top-ups are dispatcher-local"),
+    }
+}
+
+fn release_deferred(
+    name: &str,
+    registry: &LearnerRegistry,
+    queue: &JobQueue,
+    coalescer: &mut Coalescer,
+    deferred: &mut HashMap<String, VecDeque<Envelope>>,
+) {
+    let Some(parked) = deferred.get_mut(name) else { return };
+    // Deployments cannot be unregistered, so one resolve covers the whole
+    // queue.
+    let Ok(deployment) = registry.resolve(name) else {
+        for envelope in parked.drain(..) {
+            envelope.reject(ServeError::UnknownDeployment(name.to_string()));
+        }
+        deferred.remove(name);
+        return;
+    };
+    while let Some(envelope) = parked.pop_front() {
+        match admit(&deployment, &envelope.request) {
+            Admission::Granted => {
+                dispatch(Arc::clone(&deployment), envelope, queue, coalescer);
+            }
+            Admission::Refused { .. } => {
+                // Budget ran dry again; keep FIFO order and stop.
+                parked.push_front(envelope);
+                break;
+            }
+        }
+    }
+    if parked.is_empty() {
+        deferred.remove(name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+fn worker_loop(queue: &JobQueue) {
+    while let Some(deployment) = queue.pop() {
+        // Drain this deployment's queue in FIFO order. The `scheduled` flag
+        // is cleared under the same lock that proves the queue empty, so a
+        // concurrent `enqueue` either sees the flag still set (and this loop
+        // picks its job up) or re-schedules the deployment itself.
+        loop {
+            let job = {
+                let mut work = deployment.work.lock().expect("work queue lock poisoned");
+                match work.jobs.pop_front() {
+                    Some(job) => job,
+                    None => {
+                        work.scheduled = false;
+                        break;
+                    }
+                }
+            };
+            match job {
+                DeploymentJob::InferBatch(items) => run_infer_batch(&deployment, items),
+                DeploymentJob::Learn { batch, reply } => run_learn(&deployment, &batch, &reply),
+                DeploymentJob::Snapshot { reply } => run_snapshot(&deployment, &reply),
+                DeploymentJob::Stats { reply } => {
+                    let _ = reply.send(Ok(ServeResponse::Stats(deployment.stats_snapshot())));
+                }
+            }
+        }
+    }
+}
+
+fn run_infer_batch(deployment: &Deployment, items: Vec<InferItem>) {
+    let n = items.len();
+    let images: Vec<&Tensor> = items.iter().map(|item| &item.image).collect();
+    // One lock acquisition and one batched forward for the whole batch; the
+    // per-row cosine classification reuses the already-projected features.
+    let outcome = Tensor::stack(&images)
+        .map_err(|e| e.to_string())
+        .and_then(|batch| {
+            let mut model = deployment.model.lock().expect("model lock poisoned");
+            let theta_p = model
+                .extract_features(&batch, Mode::Eval)
+                .map_err(|e| e.to_string())?;
+            let d_p = theta_p.dims()[1];
+            let mut predictions = Vec::with_capacity(n);
+            for row in 0..n {
+                let query = &theta_p.as_slice()[row * d_p..(row + 1) * d_p];
+                predictions.push(model.em().classify(query).map_err(|e| e.to_string())?);
+            }
+            Ok(predictions)
+        });
+    match outcome {
+        Ok(predictions) => {
+            for (item, (class, similarity)) in items.into_iter().zip(predictions) {
+                let _ = item.reply.send(Ok(ServeResponse::Prediction {
+                    class,
+                    similarity,
+                    batched_with: n,
+                }));
+            }
+            let mut stats = deployment.stats.lock().expect("stats lock poisoned");
+            stats.infer_requests += n as u64;
+            stats.infer_batches += 1;
+            stats.largest_batch = stats.largest_batch.max(n);
+        }
+        Err(message) => {
+            for item in items {
+                let _ = item.reply.send(Err(ServeError::Execution(message.clone())));
+            }
+        }
+    }
+}
+
+fn run_learn(deployment: &Deployment, batch: &ofscil_data::Batch, reply: &Reply) {
+    let outcome = {
+        let mut model = deployment.model.lock().expect("model lock poisoned");
+        model
+            .learn_classes_online(batch)
+            .map(|()| {
+                let mut classes = batch.labels.clone();
+                classes.sort_unstable();
+                classes.dedup();
+                (classes, model.em().num_classes())
+            })
+            .map_err(|e| e.to_string())
+    };
+    match outcome {
+        Ok((classes, total_classes)) => {
+            deployment.stats.lock().expect("stats lock poisoned").learn_requests += 1;
+            let _ = reply.send(Ok(ServeResponse::Learned { classes, total_classes }));
+        }
+        Err(message) => {
+            let _ = reply.send(Err(ServeError::Execution(message)));
+        }
+    }
+}
+
+fn run_snapshot(deployment: &Deployment, reply: &Reply) {
+    let bytes = {
+        let model = deployment.model.lock().expect("model lock poisoned");
+        encode_explicit_memory(model.em())
+    };
+    deployment.stats.lock().expect("stats lock poisoned").snapshots += 1;
+    let _ = reply.send(Ok(ServeResponse::Snapshot { bytes }));
+}
+
+// ---------------------------------------------------------------------------
+// Job queue
+// ---------------------------------------------------------------------------
+
+/// A blocking MPMC queue of deployment tokens: the dispatcher pushes, every
+/// worker pops.
+///
+/// `std::sync::mpsc` receivers cannot be shared between workers without
+/// holding a lock across the blocking `recv` (which would serialize the
+/// pool), so the pool uses the classic `Mutex<VecDeque> + Condvar` shape.
+struct JobQueue {
+    inner: Mutex<JobQueueInner>,
+    ready: Condvar,
+}
+
+struct JobQueueInner {
+    tokens: VecDeque<Arc<Deployment>>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            inner: Mutex::new(JobQueueInner { tokens: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, token: Arc<Deployment>) {
+        let mut inner = self.inner.lock().expect("job queue lock poisoned");
+        inner.tokens.push_back(token);
+        drop(inner);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until a token is available; returns `None` once the queue is
+    /// closed and drained.
+    fn pop(&self) -> Option<Arc<Deployment>> {
+        let mut inner = self.inner.lock().expect("job queue lock poisoned");
+        loop {
+            if let Some(token) = inner.tokens.pop_front() {
+                return Some(token);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("job queue lock poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut inner = self.inner.lock().expect("job queue lock poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::DeploymentSpec;
+    use ofscil_core::OFscilModel;
+    use ofscil_nn::models::BackboneKind;
+    use ofscil_tensor::SeedRng;
+
+    fn registry_with(names: &[&str]) -> LearnerRegistry {
+        let registry = LearnerRegistry::new();
+        for (i, name) in names.iter().enumerate() {
+            let mut rng = SeedRng::new(i as u64);
+            registry
+                .register(
+                    DeploymentSpec::new(name, (8, 8)),
+                    OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+                )
+                .unwrap();
+        }
+        registry
+    }
+
+    fn class_image(class: usize, jitter: f32) -> Tensor {
+        crate::traffic::class_image(8, class, jitter)
+    }
+
+    fn support_batch(classes: &[usize], shots: usize) -> ofscil_data::Batch {
+        crate::traffic::support_batch(8, classes, shots)
+    }
+
+    #[test]
+    fn learn_then_infer_roundtrip() {
+        let registry = registry_with(&["t"]);
+        let prediction = ServeRuntime::run(&registry, &ServeConfig::default(), |client| {
+            let learned = client
+                .call(ServeRequest::LearnOnline {
+                    deployment: "t".into(),
+                    batch: support_batch(&[0, 1, 2], 3),
+                })
+                .unwrap();
+            match learned {
+                ServeResponse::Learned { classes, total_classes } => {
+                    assert_eq!(classes, vec![0, 1, 2]);
+                    assert_eq!(total_classes, 3);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+            client
+                .call(ServeRequest::Infer { deployment: "t".into(), image: class_image(1, 0.02) })
+                .unwrap()
+        })
+        .unwrap();
+        match prediction {
+            ServeResponse::Prediction { class, similarity, batched_with } => {
+                assert_eq!(class, 1);
+                assert!(similarity > 0.5);
+                assert_eq!(batched_with, 1);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Counters survive the runtime (they live in the registry).
+        let stats = registry.stats("t").unwrap();
+        assert_eq!(stats.infer_requests, 1);
+        assert_eq!(stats.learn_requests, 1);
+        assert_eq!(stats.classes, 3);
+    }
+
+    #[test]
+    fn unknown_deployment_and_bad_shape_are_rejected() {
+        let registry = registry_with(&["t"]);
+        ServeRuntime::run(&registry, &ServeConfig::default(), |client| {
+            let err = client
+                .call(ServeRequest::Infer {
+                    deployment: "ghost".into(),
+                    image: class_image(0, 0.0),
+                })
+                .unwrap_err();
+            assert!(matches!(err, ServeError::UnknownDeployment(_)));
+            let err = client
+                .call(ServeRequest::Infer {
+                    deployment: "t".into(),
+                    image: Tensor::zeros(&[3, 4, 4]),
+                })
+                .unwrap_err();
+            assert!(matches!(err, ServeError::InvalidRequest(_)));
+            let err = client
+                .call(ServeRequest::LearnOnline {
+                    deployment: "t".into(),
+                    batch: ofscil_data::Batch {
+                        images: Tensor::zeros(&[0, 3, 8, 8]),
+                        labels: vec![],
+                    },
+                })
+                .unwrap_err();
+            assert!(matches!(err, ServeError::InvalidRequest(_)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn snapshot_via_request_matches_registry_snapshot() {
+        let registry = registry_with(&["t"]);
+        registry
+            .with_model("t", |model| {
+                model.em_mut().set_prototype(3, &[0.5; 16]).unwrap();
+            })
+            .unwrap();
+        let bytes = ServeRuntime::run(&registry, &ServeConfig::default(), |client| {
+            match client.call(ServeRequest::Snapshot { deployment: "t".into() }).unwrap() {
+                ServeResponse::Snapshot { bytes } => bytes,
+                other => panic!("unexpected response {other:?}"),
+            }
+        })
+        .unwrap();
+        assert_eq!(bytes, registry.snapshot("t").unwrap());
+        assert_eq!(registry.stats("t").unwrap().snapshots, 1);
+    }
+
+    #[test]
+    fn per_deployment_order_holds_without_waiting() {
+        // Submit learn → infer → snapshot back-to-back with no intermediate
+        // waits: the per-deployment FIFO guarantees the snapshot observes
+        // the learn (and the infer finds a populated memory) even with a
+        // full worker pool racing.
+        let registry = registry_with(&["t"]);
+        let (inferred, snapshot) = ServeRuntime::run(&registry, &ServeConfig::default(), |client| {
+            let learn = client.submit(ServeRequest::LearnOnline {
+                deployment: "t".into(),
+                batch: support_batch(&[0, 1], 2),
+            });
+            let infer = client.submit(ServeRequest::Infer {
+                deployment: "t".into(),
+                image: class_image(0, 0.03),
+            });
+            let stats = client.submit(ServeRequest::Stats { deployment: "t".into() });
+            let snapshot = client.submit(ServeRequest::Snapshot { deployment: "t".into() });
+            learn.wait().unwrap();
+            match stats.wait().unwrap() {
+                ServeResponse::Stats(stats) => {
+                    // The stats read is itself ordered: it must count the
+                    // infer admitted before it.
+                    assert_eq!(stats.infer_requests, 1);
+                    assert_eq!(stats.learn_requests, 1);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+            (infer.wait(), snapshot.wait().unwrap())
+        })
+        .unwrap();
+        assert!(inferred.is_ok(), "infer ran before the learn it followed: {inferred:?}");
+        match snapshot {
+            ServeResponse::Snapshot { bytes } => {
+                let em = crate::snapshot::decode_explicit_memory(&bytes).unwrap();
+                assert_eq!(em.classes(), vec![0, 1]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_top_up_is_rejected_before_touching_the_meter() {
+        let registry = LearnerRegistry::new();
+        let mut rng = SeedRng::new(0);
+        registry
+            .register(
+                DeploymentSpec::new("t", (8, 8))
+                    .with_energy_budget(1e6, BudgetPolicy::Reject),
+                OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+            )
+            .unwrap();
+        ServeRuntime::run(&registry, &ServeConfig::default(), |client| {
+            let err = client
+                .call(ServeRequest::TopUpBudget { deployment: "t".into(), energy_mj: f64::NAN })
+                .unwrap_err();
+            assert!(matches!(err, ServeError::InvalidRequest(_)));
+            let err = client
+                .call(ServeRequest::TopUpBudget { deployment: "t".into(), energy_mj: -1.0 })
+                .unwrap_err();
+            assert!(matches!(err, ServeError::InvalidRequest(_)));
+            // The budget survived untouched and still admits work.
+            client
+                .call(ServeRequest::Infer { deployment: "t".into(), image: class_image(0, 0.0) })
+                .unwrap_err(); // empty memory -> execution error, but admitted
+        })
+        .unwrap();
+        let stats = registry.stats("t").unwrap();
+        assert_eq!(stats.energy_budget_mj, Some(1e6));
+        assert!(stats.energy_spent_mj > 0.0);
+    }
+
+    #[test]
+    fn reject_policy_surfaces_budget_errors() {
+        let registry = LearnerRegistry::new();
+        let mut rng = SeedRng::new(0);
+        registry
+            .register(
+                DeploymentSpec::new("t", (8, 8))
+                    .with_energy_budget(0.0, BudgetPolicy::Reject),
+                OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+            )
+            .unwrap();
+        ServeRuntime::run(&registry, &ServeConfig::default(), |client| {
+            let err = client
+                .call(ServeRequest::Infer { deployment: "t".into(), image: class_image(0, 0.0) })
+                .unwrap_err();
+            assert!(matches!(err, ServeError::BudgetExhausted { .. }));
+            // Free requests are always admitted.
+            client.call(ServeRequest::Stats { deployment: "t".into() }).unwrap();
+        })
+        .unwrap();
+        assert_eq!(registry.stats("t").unwrap().rejected, 1);
+    }
+
+    #[test]
+    fn defer_policy_parks_until_top_up_and_fails_at_shutdown() {
+        let registry = LearnerRegistry::new();
+        let mut rng = SeedRng::new(0);
+        registry
+            .register(
+                DeploymentSpec::new("t", (8, 8))
+                    .with_energy_budget(0.0, BudgetPolicy::Defer),
+                OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+            )
+            .unwrap();
+        registry
+            .with_model("t", |model| {
+                model.em_mut().set_prototype(0, &[1.0; 16]).unwrap();
+            })
+            .unwrap();
+
+        // Released by a top-up: the deferred inference completes.
+        let released = ServeRuntime::run(&registry, &ServeConfig::default(), |client| {
+            let parked = client.submit(ServeRequest::Infer {
+                deployment: "t".into(),
+                image: class_image(0, 0.0),
+            });
+            client
+                .call(ServeRequest::TopUpBudget { deployment: "t".into(), energy_mj: 1e6 })
+                .unwrap();
+            parked.wait()
+        })
+        .unwrap();
+        assert!(released.is_ok(), "released request failed: {released:?}");
+
+        // Never topped up: the deferred request is settled at shutdown.
+        let registry2 = LearnerRegistry::new();
+        let mut rng = SeedRng::new(1);
+        registry2
+            .register(
+                DeploymentSpec::new("t", (8, 8))
+                    .with_energy_budget(0.0, BudgetPolicy::Defer),
+                OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+            )
+            .unwrap();
+        let parked = ServeRuntime::run(&registry2, &ServeConfig::default(), |client| {
+            client.submit(ServeRequest::Infer {
+                deployment: "t".into(),
+                image: class_image(0, 0.0),
+            })
+        })
+        .unwrap();
+        assert!(matches!(parked.wait(), Err(ServeError::BudgetExhausted { .. })));
+        assert_eq!(registry2.stats("t").unwrap().deferred, 1);
+    }
+}

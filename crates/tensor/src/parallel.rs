@@ -9,8 +9,7 @@ pub fn recommended_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(8)
-        .max(1)
+        .clamp(1, 8)
 }
 
 /// Splits `items` into at most `threads` contiguous chunks and runs `f` on

@@ -343,6 +343,35 @@ impl Tensor {
         self.norm_sq().sqrt()
     }
 
+    /// Stacks tensors of identical shape along a new leading axis: `n`
+    /// tensors of shape `[d0, d1, …]` become one tensor of shape
+    /// `[n, d0, d1, …]`. This is the batch-assembly primitive used by
+    /// request coalescing in the serving runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] when `tensors` is empty and
+    /// [`TensorError::ShapeMismatch`] when any element's shape differs from
+    /// the first.
+    pub fn stack(tensors: &[&Tensor]) -> Result<Tensor> {
+        let first = tensors.first().ok_or(TensorError::Empty("stack"))?;
+        let mut data = Vec::with_capacity(tensors.len() * first.len());
+        for t in tensors {
+            if !t.shape.same_as(&first.shape) {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.shape.dims().to_vec(),
+                    right: t.shape.dims().to_vec(),
+                    op: "stack",
+                });
+            }
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = Vec::with_capacity(first.shape.dims().len() + 1);
+        dims.push(tensors.len());
+        dims.extend_from_slice(first.shape.dims());
+        Tensor::from_vec(data, &dims)
+    }
+
     /// Maximum absolute difference between two same-shaped tensors.
     ///
     /// # Errors
@@ -385,6 +414,20 @@ impl fmt::Display for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stack_builds_a_batch_axis() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let stacked = Tensor::stack(&[&a, &b]).unwrap();
+        assert_eq!(stacked.dims(), &[2, 2, 2]);
+        assert_eq!(stacked.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        // Singleton stacks still gain the leading axis.
+        assert_eq!(Tensor::stack(&[&a]).unwrap().dims(), &[1, 2, 2]);
+        // Mismatched shapes and empty inputs are rejected.
+        assert!(Tensor::stack(&[]).is_err());
+        assert!(Tensor::stack(&[&a, &Tensor::zeros(&[3])]).is_err());
+    }
 
     #[test]
     fn constructors() {

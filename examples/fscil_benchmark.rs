@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // O-FSCIL: pretraining + metalearning + online prototype learning.
     let outcome = run_experiment(&config)?;
-    println!("\n{:<28} {}", "method", "sessions 0..N then average [%]");
+    println!("\n{:<28} sessions 0..N then average [%]", "method");
     println!("{:<28} {}", "O-FSCIL (ours)", outcome.sessions.to_row());
 
     // Baselines share the *pretrained* backbone and FCR of the O-FSCIL model
