@@ -1,14 +1,19 @@
-//! Serving-runtime throughput: coalesced batching vs request-at-a-time.
+//! Serving-runtime throughput: coalesced batching vs request-at-a-time vs
+//! the socket frontend.
 //!
 //! Drives one deployment of the serving runtime with the same inference
-//! traffic twice:
+//! traffic three times:
 //!
 //! * **sequential** — `ServeConfig::sequential()` (one worker, batch cap
 //!   of one) with a blocking round trip per request: the classic
 //!   request-at-a-time server,
 //! * **batched** — the default worker pool with coalescing enabled and the
 //!   whole burst submitted up front, so the dispatcher merges concurrent
-//!   requests into batched forward passes.
+//!   requests into batched forward passes,
+//! * **wire loopback** — the same burst through `WireServer`/`WireClient`
+//!   over loopback TCP with several connections, measuring what the frame
+//!   codec + socket hop cost on top of the in-process runtime (coalescing
+//!   still applies across connections).
 //!
 //! Prints a human-readable table plus one machine-readable JSON line
 //! (`{"bench":"serve_throughput",...}`) so successive runs can chart the
@@ -22,6 +27,7 @@ use std::time::Instant;
 
 const IMAGE: usize = 8;
 const MAX_BATCH: usize = 32;
+const WIRE_CLIENTS: usize = 4;
 
 fn class_image(class: usize, jitter: f32) -> Tensor {
     traffic::class_image(IMAGE, class, jitter)
@@ -89,6 +95,34 @@ fn run_batched(registry: &LearnerRegistry, requests: &[Tensor]) -> (f64, f64, us
     (elapsed, stats.mean_batch(), stats.largest_batch)
 }
 
+/// Round-trips the burst over loopback TCP with `WIRE_CLIENTS` connections;
+/// returns elapsed seconds.
+fn run_wire(registry: &LearnerRegistry, requests: &[Tensor]) -> f64 {
+    let config = WireConfig::tcp_loopback()
+        .with_serve(ServeConfig::default().with_max_batch(MAX_BATCH));
+    WireServer::run(registry, &config, |server| {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for chunk in requests.chunks(requests.len().div_ceil(WIRE_CLIENTS)) {
+                let addr = server.addr().clone();
+                scope.spawn(move || {
+                    let mut client = WireClient::connect(&addr).expect("connect");
+                    for image in chunk {
+                        client
+                            .call(ServeRequest::Infer {
+                                deployment: "tenant".into(),
+                                image: image.clone(),
+                            })
+                            .expect("wire inference");
+                    }
+                });
+            }
+        });
+        start.elapsed().as_secs_f64()
+    })
+    .expect("wire server")
+}
+
 fn main() {
     let seed = seed_from_env();
     let requests_total = if full_profile_requested() { 4096 } else { 512 };
@@ -112,9 +146,15 @@ fn main() {
     let batched_registry = registry_with_tenant(seed);
     let (batched_s, mean_batch, largest_batch) = run_batched(&batched_registry, &requests);
 
+    let wire_registry = registry_with_tenant(seed);
+    run_wire(&wire_registry, &requests[..requests.len().min(32)]);
+    let wire_s = run_wire(&wire_registry, &requests);
+
     let sequential_rps = requests_total as f64 / sequential_s;
     let batched_rps = requests_total as f64 / batched_s;
+    let wire_rps = requests_total as f64 / wire_s;
     let speedup = batched_rps / sequential_rps;
+    let wire_overhead = sequential_s / wire_s;
 
     println!("{:<26} {:>12} {:>14}", "mode", "time [ms]", "throughput [req/s]");
     println!(
@@ -129,9 +169,16 @@ fn main() {
         1e3 * batched_s,
         batched_rps
     );
+    println!(
+        "{:<26} {:>12.1} {:>14.0}",
+        format!("wire loopback ({WIRE_CLIENTS} conns)"),
+        1e3 * wire_s,
+        wire_rps
+    );
     rule(78);
     println!(
-        "speedup {speedup:.2}x; coalesced batches: mean {mean_batch:.1}, largest {largest_batch}"
+        "speedup {speedup:.2}x; coalesced batches: mean {mean_batch:.1}, largest {largest_batch}; \
+         wire vs sequential {wire_overhead:.2}x"
     );
 
     // Machine-readable trajectory line (kept grep-friendly and append-only).
@@ -139,7 +186,8 @@ fn main() {
         "{{\"bench\":\"serve_throughput\",\"seed\":{seed},\"requests\":{requests_total},\
          \"max_batch\":{MAX_BATCH},\"sequential_rps\":{sequential_rps:.1},\
          \"batched_rps\":{batched_rps:.1},\"speedup\":{speedup:.3},\
-         \"mean_batch\":{mean_batch:.2},\"largest_batch\":{largest_batch}}}"
+         \"mean_batch\":{mean_batch:.2},\"largest_batch\":{largest_batch},\
+         \"wire_clients\":{WIRE_CLIENTS},\"wire_rps\":{wire_rps:.1}}}"
     );
 
     assert!(

@@ -16,7 +16,10 @@
 //!   calibration),
 //! * [`serve`] — the multi-tenant serving runtime: request batching,
 //!   energy-budget admission and explicit-memory snapshots for long-lived
-//!   deployments.
+//!   deployments,
+//! * [`wire`] — cross-process serving: the checksummed binary wire protocol,
+//!   the blocking TCP / Unix-socket server and client, and the
+//!   snapshot-replicated read-only follower mode.
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@ pub use ofscil_nn as nn;
 pub use ofscil_quant as quant;
 pub use ofscil_serve as serve;
 pub use ofscil_tensor as tensor;
+pub use ofscil_wire as wire;
 
 /// The most commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
@@ -72,10 +76,14 @@ pub mod prelude {
     pub use ofscil_quant::{ExplicitMemoryFootprint, FakeQuant, PrototypePrecision, QuantTensor};
     pub use ofscil_serve::{
         decode_explicit_memory, encode_explicit_memory, BudgetPolicy, DeploymentSpec,
-        DeploymentStats, LearnerRegistry, PendingResponse, ServeClient, ServeConfig, ServeError,
-        ServeRequest, ServeResponse, ServeRuntime,
+        DeploymentStats, LearnCommit, LearnerRegistry, PendingResponse, ServeClient, ServeConfig,
+        ServeError, ServeRequest, ServeResponse, ServeRuntime,
     };
     pub use ofscil_tensor::{SeedRng, Tensor};
+    pub use ofscil_wire::{
+        BoundAddr, Follower, FollowerConfig, ReplEvent, WireBind, WireClient, WireConfig,
+        WireError, WireServer,
+    };
 }
 
 #[cfg(test)]

@@ -17,6 +17,17 @@ pub struct ServeConfig {
     /// before emitting jobs. Bounds the latency a burst can add to the first
     /// request of the cycle.
     pub drain_limit: usize,
+    /// Maximum number of submitted-but-undispatched requests. Submissions
+    /// beyond this depth are shed immediately with
+    /// [`ServeError::QueueFull`](crate::ServeError::QueueFull) instead of
+    /// buffering without bound — the backpressure a socket frontend needs so
+    /// slow peers cannot exhaust memory. `None` means unbounded.
+    pub queue_depth: Option<usize>,
+    /// When `true` the runtime serves a read-only replica: `Infer`, `Stats`
+    /// and `Snapshot` are served normally, while state-mutating requests
+    /// (`LearnOnline`, `TopUpBudget`) are rejected with
+    /// [`ServeError::ReadOnlyReplica`](crate::ServeError::ReadOnlyReplica).
+    pub read_only: bool,
 }
 
 impl Default for ServeConfig {
@@ -25,6 +36,8 @@ impl Default for ServeConfig {
             workers: recommended_threads(),
             max_batch: 16,
             drain_limit: 256,
+            queue_depth: None,
+            read_only: false,
         }
     }
 }
@@ -33,7 +46,13 @@ impl ServeConfig {
     /// A request-at-a-time configuration: one worker, no coalescing. This is
     /// the baseline the `serve_throughput` bench compares batching against.
     pub fn sequential() -> Self {
-        ServeConfig { workers: 1, max_batch: 1, drain_limit: 1 }
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            drain_limit: 1,
+            queue_depth: None,
+            read_only: false,
+        }
     }
 
     /// Sets the worker count (builder style).
@@ -47,6 +66,22 @@ impl ServeConfig {
     #[must_use]
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch;
+        self
+    }
+
+    /// Bounds the dispatcher queue: submissions beyond `depth` in-flight
+    /// undispatched requests are shed with `QueueFull` (builder style).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = Some(depth);
+        self
+    }
+
+    /// Marks the runtime as a read-only replica (builder style): writes are
+    /// rejected with `ReadOnlyReplica`.
+    #[must_use]
+    pub fn read_only(mut self) -> Self {
+        self.read_only = true;
         self
     }
 
@@ -64,6 +99,11 @@ impl ServeConfig {
         }
         if self.drain_limit == 0 {
             return Err(ServeError::InvalidConfig("drain_limit must be at least 1".into()));
+        }
+        if self.queue_depth == Some(0) {
+            return Err(ServeError::InvalidConfig(
+                "queue_depth must be at least 1 when bounded".into(),
+            ));
         }
         Ok(())
     }
@@ -86,5 +126,14 @@ mod tests {
         assert!(ServeConfig::default().with_max_batch(0).validate().is_err());
         let config = ServeConfig { drain_limit: 0, ..ServeConfig::default() };
         assert!(config.validate().is_err());
+        assert!(ServeConfig::default().with_queue_depth(0).validate().is_err());
+        ServeConfig::default().with_queue_depth(1).validate().unwrap();
+    }
+
+    #[test]
+    fn read_only_builder_sets_the_flag() {
+        let config = ServeConfig::default().read_only();
+        assert!(config.read_only);
+        config.validate().unwrap();
     }
 }

@@ -28,6 +28,20 @@ pub enum ServeError {
     /// with). Rejected at admission so one bad request can never poison a
     /// coalesced batch.
     InvalidRequest(String),
+    /// The dispatcher queue is at its configured depth limit
+    /// ([`ServeConfig::queue_depth`](crate::ServeConfig)); the request was
+    /// shed at submission instead of buffering without bound.
+    QueueFull {
+        /// The configured queue depth limit.
+        depth: usize,
+    },
+    /// The runtime serves a read-only replica: state-mutating requests
+    /// (`LearnOnline`, `TopUpBudget`) are rejected. Replica state changes
+    /// only by tailing its primary's snapshot stream.
+    ReadOnlyReplica {
+        /// Deployment the write was addressed to.
+        deployment: String,
+    },
     /// The runtime configuration is inconsistent.
     InvalidConfig(String),
     /// Executing a request against the model failed. Carries the formatted
@@ -63,6 +77,14 @@ impl fmt::Display for ServeError {
                  {required_mj:.3} mJ but only {remaining_mj:.3} mJ remain"
             ),
             ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::QueueFull { depth } => {
+                write!(f, "dispatcher queue is full ({depth} requests queued); load shed")
+            }
+            ServeError::ReadOnlyReplica { deployment } => write!(
+                f,
+                "deployment {deployment:?} is served by a read-only replica; \
+                 writes must go to the primary"
+            ),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve configuration: {msg}"),
             ServeError::Execution(msg) => write!(f, "request execution failed: {msg}"),
             ServeError::ShuttingDown => write!(f, "the serving runtime is shutting down"),

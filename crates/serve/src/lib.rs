@@ -24,7 +24,14 @@
 //!   paper's 12 mJ/class headline into a runtime policy,
 //! * [`snapshot`] — an in-tree binary codec that round-trips the explicit
 //!   memory bit-exactly for warm restart and replication (the workspace's
-//!   `serde` stand-in is marker-only, so the wire format lives here).
+//!   `serde` stand-in is marker-only, so the wire format lives here),
+//! * replication hooks — [`ServeRuntime::run_replicated`] streams every
+//!   committed `LearnOnline` as a sequence-numbered [`LearnCommit`], and a
+//!   runtime configured [`read_only`](ServeConfig::read_only) serves replica
+//!   traffic while rejecting writes (`ofscil_wire` builds its socket server
+//!   and follower mode on these),
+//! * backpressure — [`ServeConfig::queue_depth`] bounds the dispatcher queue
+//!   and sheds excess submissions with [`ServeError::QueueFull`].
 //!
 //! # Example
 //!
@@ -72,7 +79,7 @@ pub use registry::{
     BudgetPolicy, DeploymentSpec, DeploymentStats, LearnerRegistry, RequestPricing,
 };
 pub use request::{PendingResponse, ServeRequest, ServeResponse};
-pub use runtime::{ServeClient, ServeRuntime};
+pub use runtime::{LearnCommit, ServeClient, ServeRuntime};
 pub use snapshot::{decode_explicit_memory, encode_explicit_memory, SnapshotError};
 
 /// Result alias used across the serve crate.

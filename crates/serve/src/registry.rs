@@ -4,7 +4,9 @@
 use crate::snapshot::{decode_explicit_memory, encode_explicit_memory};
 use crate::{Result, ServeError};
 use ofscil_core::OFscilModel;
-use ofscil_gap9::{deploy_backbone, Gap9Config, Gap9Executor};
+use ofscil_gap9::{
+    deploy_backbone, deploy_fcr, estimate_execution, Gap9Config, NetworkWorkload, PowerModel,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -87,6 +89,54 @@ impl RequestPricing {
     pub fn free() -> Self {
         RequestPricing { infer_mj: 0.0, learn_sample_mj: 0.0 }
     }
+}
+
+/// Everything needed to re-derive a deployment's price list when its
+/// execution precision changes (fp32 → int8 conversion).
+#[derive(Debug, Clone)]
+struct PricingBasis {
+    gap9: Gap9Config,
+    cores: usize,
+    image_hw: (usize, usize),
+}
+
+/// Bytes moved per parameter/activation at fp32 relative to the int8
+/// deployment the GAP9 workload descriptors assume.
+const FP32_BYTES_PER_INT8: u64 = 4;
+
+/// Scales an int8-deployed workload to fp32 byte traffic: weights and
+/// activations are four bytes each instead of one, so every DMA transfer
+/// quadruples. Compute (MAC count) is unchanged — on the modelled device the
+/// dominant fp32 penalty is the memory traffic, which is exactly what the
+/// latency model prices.
+fn scale_workload_to_fp32(workload: &mut NetworkWorkload) {
+    for layer in &mut workload.layers {
+        layer.weight_bytes *= FP32_BYTES_PER_INT8;
+        layer.input_bytes *= FP32_BYTES_PER_INT8;
+        layer.output_bytes *= FP32_BYTES_PER_INT8;
+    }
+}
+
+/// Energy of one forward pass of `workload` on the device model, in
+/// millijoules.
+fn workload_energy_mj(workload: &NetworkWorkload, basis: &PricingBasis) -> Result<f64> {
+    let estimate = estimate_execution(workload, &basis.gap9, basis.cores, false)?;
+    Ok(PowerModel::new(basis.gap9.clone()).energy_mj(&estimate))
+}
+
+/// Derives the price list for the model at its *current* execution precision:
+/// an fp32 model pays fp32 byte traffic; once converted to int8 the same
+/// deployment is re-priced at the cheaper quantized rate.
+fn derive_pricing(model: &OFscilModel, basis: &PricingBasis) -> Result<RequestPricing> {
+    let (height, width) = basis.image_hw;
+    let mut backbone = deploy_backbone(model.backbone(), height, width);
+    let mut fcr = deploy_fcr(model.backbone().feature_dim, model.projection_dim());
+    if !model.is_int8() {
+        scale_workload_to_fp32(&mut backbone);
+        scale_workload_to_fp32(&mut fcr);
+    }
+    let per_pass_mj = workload_energy_mj(&backbone, basis)? + workload_energy_mj(&fcr, basis)?;
+    Ok(RequestPricing { infer_mj: per_pass_mj, learn_sample_mj: per_pass_mj })
 }
 
 /// Point-in-time statistics of one deployment.
@@ -199,17 +249,24 @@ pub(crate) struct Deployment {
     pub work: Mutex<crate::batch::WorkQueue>,
     pub stats: Mutex<StatsInner>,
     pub meter: EnergyMeter,
-    pub pricing: RequestPricing,
+    /// Current price list; swapped atomically when the deployment converts
+    /// to int8 and is re-priced at the cheaper quantized rate.
+    pub pricing: Mutex<RequestPricing>,
     pub policy: BudgetPolicy,
     /// `[channels, height, width]` every `Infer` image must match.
     pub image_dims: Vec<usize>,
+    /// Replication sequence number: incremented once per committed
+    /// `LearnOnline`, read/written only while the model lock is held so the
+    /// sequence order matches the order of memory mutations exactly.
+    pub repl_seq: Mutex<u64>,
+    /// Inputs for re-deriving the price list on precision changes.
+    basis: PricingBasis,
 }
 
 impl std::fmt::Debug for Deployment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Deployment")
             .field("name", &self.name)
-            .field("pricing", &self.pricing)
             .field("policy", &self.policy)
             .field("image_dims", &self.image_dims)
             .finish_non_exhaustive()
@@ -217,6 +274,11 @@ impl std::fmt::Debug for Deployment {
 }
 
 impl Deployment {
+    /// The current request price list.
+    pub fn pricing(&self) -> RequestPricing {
+        *self.pricing.lock().expect("pricing lock poisoned")
+    }
+
     pub fn stats_snapshot(&self) -> DeploymentStats {
         let classes = self.model.lock().expect("model lock poisoned").em().num_classes();
         let stats = self.stats.lock().expect("stats lock poisoned");
@@ -280,25 +342,23 @@ impl LearnerRegistry {
     }
 
     /// Registers a deployment. The request price list is derived from the
-    /// model's backbone and FCR on the spec's GAP9 device model, so the
-    /// energy budget is enforced in the same millijoules the paper reports.
+    /// model's backbone and FCR on the spec's GAP9 device model **at the
+    /// model's current execution precision** (fp32 pays fp32 byte traffic;
+    /// int8 the quantized rate), so the energy budget is enforced in the
+    /// same millijoules the paper reports.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::DuplicateDeployment`] when the name is taken and
     /// a pricing error when the spec's core count is invalid for the device.
     pub fn register(&self, spec: DeploymentSpec, model: OFscilModel) -> Result<()> {
-        let executor = Gap9Executor::new(spec.gap9.clone());
+        let basis = PricingBasis {
+            gap9: spec.gap9.clone(),
+            cores: spec.cores,
+            image_hw: spec.image_hw,
+        };
+        let pricing = derive_pricing(&model, &basis)?;
         let (height, width) = spec.image_hw;
-        let workload = deploy_backbone(model.backbone(), height, width);
-        let backbone_cost = executor.backbone_inference(&workload, spec.cores)?;
-        let fcr_cost = executor.fcr_inference(
-            model.backbone().feature_dim,
-            model.projection_dim(),
-            spec.cores,
-        )?;
-        let per_pass_mj = backbone_cost.energy_mj + fcr_cost.energy_mj;
-        let pricing = RequestPricing { infer_mj: per_pass_mj, learn_sample_mj: per_pass_mj };
         let image_dims = vec![model.backbone().in_channels, height, width];
 
         let deployment = Arc::new(Deployment {
@@ -307,9 +367,11 @@ impl LearnerRegistry {
             work: Mutex::new(crate::batch::WorkQueue::default()),
             stats: Mutex::new(StatsInner::default()),
             meter: EnergyMeter::new(spec.energy_budget_mj),
-            pricing,
+            pricing: Mutex::new(pricing),
             policy: spec.budget_policy,
             image_dims,
+            repl_seq: Mutex::new(0),
+            basis,
         });
 
         let shard = &self.shards[shard_of(&spec.name, self.shards.len())];
@@ -391,8 +453,88 @@ impl LearnerRegistry {
         self.with_model(name, |model| encode_explicit_memory(model.em()))
     }
 
+    /// Serializes a deployment's explicit memory together with its current
+    /// replication sequence number, read atomically under the model lock.
+    /// This is the anchor a follower's snapshot stream starts from: deltas
+    /// with a sequence number at or below the returned one are already part
+    /// of the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names.
+    pub fn snapshot_with_seq(&self, name: &str) -> Result<(u64, Vec<u8>)> {
+        let deployment = self.resolve(name)?;
+        let model = deployment.model.lock().expect("model lock poisoned");
+        let seq = *deployment.repl_seq.lock().expect("repl seq lock poisoned");
+        Ok((seq, encode_explicit_memory(model.em())))
+    }
+
+    /// Applies a replication delta: stores each `(class, prototype)` pair
+    /// bit-exactly via [`ExplicitMemory::restore_prototype`], bypassing the
+    /// storage quantizer (the values were quantized on the primary). Returns
+    /// the number of classes now stored.
+    ///
+    /// [`ExplicitMemory::restore_prototype`]: ofscil_core::ExplicitMemory::restore_prototype
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names and a
+    /// model error when a prototype's dimensionality does not match the
+    /// deployment's projection head.
+    pub fn apply_prototype_updates(
+        &self,
+        name: &str,
+        updates: &[(usize, Vec<f32>)],
+    ) -> Result<usize> {
+        let deployment = self.resolve(name)?;
+        let mut model = deployment.model.lock().expect("model lock poisoned");
+        for (class, prototype) in updates {
+            model.em_mut().restore_prototype(*class, prototype)?;
+        }
+        // Every explicit-memory mutation advances the replication sequence
+        // (still under the model lock), so this deployment's own snapshot
+        // anchor keeps its "seq s contains every mutation <= s" meaning.
+        *deployment.repl_seq.lock().expect("repl seq lock poisoned") += 1;
+        Ok(model.em().num_classes())
+    }
+
+    /// The deployment's current request price list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names.
+    pub fn pricing(&self, name: &str) -> Result<RequestPricing> {
+        Ok(self.resolve(name)?.pricing())
+    }
+
+    /// Converts a deployment's model to simulated int8 execution and
+    /// re-derives its price list at the quantized rate, so the energy-budget
+    /// meter charges subsequent requests the cheaper int8 price. Returns the
+    /// new price list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names, a model
+    /// error when weight calibration fails, and a pricing error when the
+    /// stored pricing basis no longer validates.
+    pub fn convert_to_int8(&self, name: &str) -> Result<RequestPricing> {
+        let deployment = self.resolve(name)?;
+        let mut model = deployment.model.lock().expect("model lock poisoned");
+        if !model.is_int8() {
+            model.convert_to_int8()?;
+        }
+        let pricing = derive_pricing(&model, &deployment.basis)?;
+        *deployment.pricing.lock().expect("pricing lock poisoned") = pricing;
+        Ok(pricing)
+    }
+
     /// Restores a deployment's explicit memory from snapshot bytes (warm
     /// restart / replication). Returns the number of restored classes.
+    ///
+    /// Restoring counts as a mutation: the replication sequence number
+    /// advances, so a subscriber that was tailing this deployment observes a
+    /// sequence gap on the next commit and halts loudly (its state can no
+    /// longer be proven exact) instead of silently diverging.
     ///
     /// # Errors
     ///
@@ -412,6 +554,7 @@ impl LearnerRegistry {
         }
         let classes = em.num_classes();
         *model.em_mut() = em;
+        *deployment.repl_seq.lock().expect("repl seq lock poisoned") += 1;
         Ok(classes)
     }
 
@@ -476,9 +619,90 @@ mod tests {
             .register(DeploymentSpec::new("t", (8, 8)), micro_model(0))
             .unwrap();
         let deployment = registry.resolve("t").unwrap();
-        assert!(deployment.pricing.infer_mj > 0.0);
-        assert!((deployment.pricing.learn_sample_mj - deployment.pricing.infer_mj).abs() < 1e-12);
+        let pricing = deployment.pricing();
+        assert!(pricing.infer_mj > 0.0);
+        assert!((pricing.learn_sample_mj - pricing.infer_mj).abs() < 1e-12);
         assert_eq!(deployment.image_dims, vec![3, 8, 8]);
+    }
+
+    #[test]
+    fn int8_conversion_reprices_at_the_cheaper_quantized_rate() {
+        let registry = LearnerRegistry::new();
+        registry
+            .register(DeploymentSpec::new("t", (8, 8)), micro_model(0))
+            .unwrap();
+        let fp32 = registry.pricing("t").unwrap();
+        let int8 = registry.convert_to_int8("t").unwrap();
+        assert!(
+            int8.infer_mj < fp32.infer_mj,
+            "int8 price {} must undercut fp32 price {}",
+            int8.infer_mj,
+            fp32.infer_mj
+        );
+        assert_eq!(registry.pricing("t").unwrap(), int8);
+        assert!(registry.with_model("t", |m| m.is_int8()).unwrap());
+        // Converting again is idempotent: same price, no double quantization.
+        let again = registry.convert_to_int8("t").unwrap();
+        assert_eq!(again, int8);
+        // A model registered already-converted gets the int8 rate up front.
+        let mut pre = micro_model(1);
+        pre.convert_to_int8().unwrap();
+        registry
+            .register(DeploymentSpec::new("pre", (8, 8)), pre)
+            .unwrap();
+        let pre_pricing = registry.pricing("pre").unwrap();
+        assert!((pre_pricing.infer_mj - int8.infer_mj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_rejected_at_fp32_price_admits_after_int8_conversion() {
+        let registry = LearnerRegistry::new();
+        registry
+            .register(DeploymentSpec::new("t", (8, 8)), micro_model(0))
+            .unwrap();
+        let fp32 = registry.pricing("t").unwrap();
+        let int8_estimate = fp32.infer_mj / FP32_BYTES_PER_INT8 as f64;
+        // A budget below the fp32 price but comfortably above the int8 one.
+        let registry = LearnerRegistry::new();
+        registry
+            .register(
+                DeploymentSpec::new("t", (8, 8))
+                    .with_energy_budget(fp32.infer_mj * 0.9, BudgetPolicy::Reject),
+                micro_model(0),
+            )
+            .unwrap();
+        let deployment = registry.resolve("t").unwrap();
+        assert!(deployment.meter.try_spend(registry.pricing("t").unwrap().infer_mj).is_err());
+        let int8 = registry.convert_to_int8("t").unwrap();
+        assert!(int8.infer_mj < fp32.infer_mj * 0.9);
+        assert!(int8.infer_mj > int8_estimate * 0.5, "sanity: int8 price in plausible range");
+        deployment.meter.try_spend(int8.infer_mj).unwrap();
+    }
+
+    #[test]
+    fn snapshot_with_seq_and_prototype_updates_roundtrip() {
+        let registry = LearnerRegistry::new();
+        registry
+            .register(DeploymentSpec::new("a", (8, 8)), micro_model(0))
+            .unwrap();
+        let (seq, bytes) = registry.snapshot_with_seq("a").unwrap();
+        assert_eq!(seq, 0);
+        assert_eq!(bytes, registry.snapshot("a").unwrap());
+        let proto: Vec<f32> = (0..16).map(|i| i as f32 / 8.0 - 1.0).collect();
+        let classes = registry
+            .apply_prototype_updates("a", &[(3, proto.clone()), (7, proto.clone())])
+            .unwrap();
+        assert_eq!(classes, 2);
+        let stored = registry
+            .with_model("a", |m| m.em().prototype(3).unwrap().to_vec())
+            .unwrap();
+        assert!(stored.iter().zip(&proto).all(|(a, b)| a.to_bits() == b.to_bits()));
+        // Wrong dimensionality is a typed error, not a panic.
+        assert!(registry.apply_prototype_updates("a", &[(0, vec![1.0; 3])]).is_err());
+        assert!(matches!(
+            registry.snapshot_with_seq("ghost").unwrap_err(),
+            ServeError::UnknownDeployment(_)
+        ));
     }
 
     #[test]

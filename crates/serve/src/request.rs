@@ -11,7 +11,7 @@ use std::sync::mpsc;
 /// Every request names its target deployment; the dispatcher resolves the
 /// name, prices the work on the deployment's energy budget and routes it to
 /// the worker pool.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServeRequest {
     /// Classify one image. Concurrent `Infer` requests for the same
     /// deployment are coalesced into a single batched forward pass.
@@ -61,10 +61,19 @@ impl ServeRequest {
             | ServeRequest::TopUpBudget { deployment, .. } => deployment,
         }
     }
+
+    /// Returns `true` when the request mutates deployment state (learning or
+    /// budget changes) — the requests a read-only replica rejects.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            ServeRequest::LearnOnline { .. } | ServeRequest::TopUpBudget { .. }
+        )
+    }
 }
 
 /// A successful response to a [`ServeRequest`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServeResponse {
     /// Answer to `Infer`.
     Prediction {
@@ -151,6 +160,23 @@ mod tests {
         for request in &requests {
             assert_eq!(request.deployment(), "d");
         }
+    }
+
+    #[test]
+    fn write_classification_matches_replica_semantics() {
+        assert!(ServeRequest::LearnOnline {
+            deployment: "d".into(),
+            batch: ofscil_data::Batch { images: Tensor::zeros(&[1, 3, 2, 2]), labels: vec![0] },
+        }
+        .is_write());
+        assert!(ServeRequest::TopUpBudget { deployment: "d".into(), energy_mj: 1.0 }.is_write());
+        assert!(!ServeRequest::Infer {
+            deployment: "d".into(),
+            image: Tensor::zeros(&[3, 2, 2])
+        }
+        .is_write());
+        assert!(!ServeRequest::Snapshot { deployment: "d".into() }.is_write());
+        assert!(!ServeRequest::Stats { deployment: "d".into() }.is_write());
     }
 
     #[test]

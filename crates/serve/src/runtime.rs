@@ -31,7 +31,39 @@ use crate::{Result, ServeConfig, ServeError};
 use ofscil_nn::Mode;
 use ofscil_tensor::Tensor;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+/// One committed `LearnOnline`, as delivered to a replication sink (see
+/// [`ServeRuntime::run_replicated`]).
+///
+/// The sequence number is assigned under the deployment's model lock, so for
+/// one deployment commits are numbered in exactly the order their memory
+/// mutations happened: a follower that applies deltas in sequence order
+/// reconstructs the primary's explicit memory bit-exactly. `updates` carries
+/// the post-commit prototypes of the classes the batch touched, read back
+/// from the explicit memory after quantization — the bit patterns a replica
+/// must store verbatim (via `restore_prototype`).
+#[derive(Debug, Clone)]
+pub struct LearnCommit {
+    /// Deployment the learn ran on.
+    pub deployment: String,
+    /// 1-based commit sequence number; a full snapshot taken at sequence `s`
+    /// already contains every commit numbered `<= s`.
+    pub seq: u64,
+    /// `(class, stored prototype)` pairs, ascending by class.
+    pub updates: Vec<(usize, Vec<f32>)>,
+    /// Total classes stored after the commit.
+    pub total_classes: usize,
+}
+
+/// Tracks submitted-but-undispatched requests against the configured depth
+/// limit (`usize::MAX` when unbounded).
+#[derive(Debug)]
+struct DepthGauge {
+    queued: AtomicUsize,
+    limit: usize,
+}
 
 /// A handle for submitting requests to a running [`ServeRuntime`].
 ///
@@ -41,13 +73,24 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 #[derive(Debug, Clone)]
 pub struct ServeClient {
     tx: mpsc::Sender<Envelope>,
+    gauge: Arc<DepthGauge>,
 }
 
 impl ServeClient {
     /// Submits a request without waiting; pair with
     /// [`PendingResponse::wait`].
+    ///
+    /// When the runtime was configured with a bounded queue
+    /// ([`ServeConfig::queue_depth`]) and the dispatcher is that far behind,
+    /// the request is shed immediately: the returned handle yields
+    /// [`ServeError::QueueFull`] without the request ever entering the queue.
     pub fn submit(&self, request: ServeRequest) -> PendingResponse {
         let (reply, rx) = mpsc::channel();
+        if self.gauge.queued.fetch_add(1, Ordering::AcqRel) >= self.gauge.limit {
+            self.gauge.queued.fetch_sub(1, Ordering::AcqRel);
+            let _ = reply.send(Err(ServeError::QueueFull { depth: self.gauge.limit }));
+            return PendingResponse { rx };
+        }
         // A failed send means the dispatcher is gone; the reply sender is
         // dropped with the envelope and `wait` reports `ShuttingDown`.
         let _ = self.tx.send(Envelope { request, reply });
@@ -111,18 +154,50 @@ impl ServeRuntime {
     where
         F: FnOnce(&ServeClient) -> T,
     {
+        ServeRuntime::run_replicated(registry, config, None, body)
+    }
+
+    /// Like [`ServeRuntime::run`], but every committed `LearnOnline` is also
+    /// delivered to `sink` as a sequence-numbered [`LearnCommit`] — the hook
+    /// a replication frontend tails to stream snapshot deltas to followers.
+    ///
+    /// The sink is read from the worker pool; a receiver that disconnects
+    /// mid-run is ignored (commits are dropped, serving continues).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the configuration is
+    /// invalid; the body itself is infallible from the runtime's view.
+    pub fn run_replicated<T, F>(
+        registry: &LearnerRegistry,
+        config: &ServeConfig,
+        sink: Option<mpsc::Sender<LearnCommit>>,
+        body: F,
+    ) -> Result<T>
+    where
+        F: FnOnce(&ServeClient) -> T,
+    {
         config.validate()?;
         let (tx, rx) = mpsc::channel::<Envelope>();
         let queue = JobQueue::new();
+        let gauge = Arc::new(DepthGauge {
+            queued: AtomicUsize::new(0),
+            limit: config.queue_depth.unwrap_or(usize::MAX),
+        });
 
         let value = std::thread::scope(|scope| {
             for _ in 0..config.workers {
-                scope.spawn(|| worker_loop(&queue));
+                let sink = sink.clone();
+                let queue = &queue;
+                scope.spawn(move || worker_loop(queue, sink.as_ref()));
             }
             let dispatcher_queue = &queue;
-            scope.spawn(move || dispatch_loop(rx, registry, config, dispatcher_queue));
+            let dispatcher_gauge = Arc::clone(&gauge);
+            scope.spawn(move || {
+                dispatch_loop(rx, registry, config, dispatcher_queue, &dispatcher_gauge)
+            });
 
-            let client = ServeClient { tx };
+            let client = ServeClient { tx, gauge };
             body(&client)
             // `client` (the last envelope sender) drops here; the dispatcher
             // drains the channel, flushes its batches, fails whatever is
@@ -142,6 +217,7 @@ fn dispatch_loop(
     registry: &LearnerRegistry,
     config: &ServeConfig,
     queue: &JobQueue,
+    gauge: &DepthGauge,
 ) {
     let mut coalescer = Coalescer::new(config.max_batch);
     let mut deferred: HashMap<String, VecDeque<Envelope>> = HashMap::new();
@@ -154,8 +230,11 @@ fn dispatch_loop(
                 Err(_) => break,
             }
         }
+        // Envelopes pulled off the channel no longer count against the
+        // submission depth limit (they are now the dispatcher's problem).
+        gauge.queued.fetch_sub(cycle.len(), Ordering::AcqRel);
         for envelope in cycle {
-            route(envelope, registry, queue, &mut coalescer, &mut deferred);
+            route(envelope, registry, config, queue, &mut coalescer, &mut deferred);
         }
         for (deployment, job) in coalescer.flush_all() {
             enqueue(&deployment, job, queue);
@@ -181,12 +260,13 @@ fn dispatch_loop(
     queue.close();
 }
 
-/// Energy price of a request on a deployment's price list, in millijoules.
+/// Energy price of a request on a deployment's *current* price list, in
+/// millijoules (the list is re-derived when a deployment converts to int8).
 fn price(deployment: &Deployment, request: &ServeRequest) -> f64 {
     match request {
-        ServeRequest::Infer { .. } => deployment.pricing.infer_mj,
+        ServeRequest::Infer { .. } => deployment.pricing().infer_mj,
         ServeRequest::LearnOnline { batch, .. } => {
-            deployment.pricing.learn_sample_mj * batch.len() as f64
+            deployment.pricing().learn_sample_mj * batch.len() as f64
         }
         _ => 0.0,
     }
@@ -242,11 +322,18 @@ fn validate(deployment: &Deployment, request: &ServeRequest) -> Result<()> {
 fn route(
     envelope: Envelope,
     registry: &LearnerRegistry,
+    config: &ServeConfig,
     queue: &JobQueue,
     coalescer: &mut Coalescer,
     deferred: &mut HashMap<String, VecDeque<Envelope>>,
 ) {
     let name = envelope.request.deployment().to_string();
+    // A read-only replica rejects writes before even resolving the
+    // deployment: its state changes only by tailing the primary's snapshot
+    // stream, never through its own request path.
+    if config.read_only && envelope.request.is_write() {
+        return envelope.reject(ServeError::ReadOnlyReplica { deployment: name });
+    }
     let deployment = match registry.resolve(&name) {
         Ok(deployment) => deployment,
         Err(error) => return envelope.reject(error),
@@ -394,7 +481,7 @@ fn release_deferred(
 // Worker pool
 // ---------------------------------------------------------------------------
 
-fn worker_loop(queue: &JobQueue) {
+fn worker_loop(queue: &JobQueue, sink: Option<&mpsc::Sender<LearnCommit>>) {
     while let Some(deployment) = queue.pop() {
         // Drain this deployment's queue in FIFO order. The `scheduled` flag
         // is cleared under the same lock that proves the queue empty, so a
@@ -413,7 +500,9 @@ fn worker_loop(queue: &JobQueue) {
             };
             match job {
                 DeploymentJob::InferBatch(items) => run_infer_batch(&deployment, items),
-                DeploymentJob::Learn { batch, reply } => run_learn(&deployment, &batch, &reply),
+                DeploymentJob::Learn { batch, reply } => {
+                    run_learn(&deployment, &batch, &reply, sink)
+                }
                 DeploymentJob::Snapshot { reply } => run_snapshot(&deployment, &reply),
                 DeploymentJob::Stats { reply } => {
                     let _ = reply.send(Ok(ServeResponse::Stats(deployment.stats_snapshot())));
@@ -465,7 +554,15 @@ fn run_infer_batch(deployment: &Deployment, items: Vec<InferItem>) {
     }
 }
 
-fn run_learn(deployment: &Deployment, batch: &ofscil_data::Batch, reply: &Reply) {
+fn run_learn(
+    deployment: &Deployment,
+    batch: &ofscil_data::Batch,
+    reply: &Reply,
+    sink: Option<&mpsc::Sender<LearnCommit>>,
+) {
+    // The commit (sequence number + post-commit prototypes) is assembled
+    // while the model lock is still held, so replication sees mutations in
+    // exactly the order they happened, with the exact stored bit patterns.
     let outcome = {
         let mut model = deployment.model.lock().expect("model lock poisoned");
         model
@@ -474,13 +571,39 @@ fn run_learn(deployment: &Deployment, batch: &ofscil_data::Batch, reply: &Reply)
                 let mut classes = batch.labels.clone();
                 classes.sort_unstable();
                 classes.dedup();
-                (classes, model.em().num_classes())
+                let total_classes = model.em().num_classes();
+                let seq = {
+                    let mut seq = deployment.repl_seq.lock().expect("repl seq lock poisoned");
+                    *seq += 1;
+                    *seq
+                };
+                let commit = sink.is_some().then(|| LearnCommit {
+                    deployment: deployment.name.clone(),
+                    seq,
+                    updates: classes
+                        .iter()
+                        .map(|&class| {
+                            let prototype = model
+                                .em()
+                                .prototype(class)
+                                .expect("class was just learned")
+                                .to_vec();
+                            (class, prototype)
+                        })
+                        .collect(),
+                    total_classes,
+                });
+                (classes, total_classes, commit)
             })
             .map_err(|e| e.to_string())
     };
     match outcome {
-        Ok((classes, total_classes)) => {
+        Ok((classes, total_classes, commit)) => {
             deployment.stats.lock().expect("stats lock poisoned").learn_requests += 1;
+            if let (Some(sink), Some(commit)) = (sink, commit) {
+                // A sink that hung up just stops replicating; serving goes on.
+                let _ = sink.send(commit);
+            }
             let _ = reply.send(Ok(ServeResponse::Learned { classes, total_classes }));
         }
         Err(message) => {
@@ -744,6 +867,113 @@ mod tests {
         let stats = registry.stats("t").unwrap();
         assert_eq!(stats.energy_budget_mj, Some(1e6));
         assert!(stats.energy_spent_mj > 0.0);
+    }
+
+    #[test]
+    fn read_only_runtime_rejects_writes_but_serves_reads() {
+        let registry = registry_with(&["t"]);
+        registry
+            .with_model("t", |model| {
+                model.em_mut().set_prototype(0, &[1.0; 16]).unwrap();
+            })
+            .unwrap();
+        let config = ServeConfig::default().read_only();
+        ServeRuntime::run(&registry, &config, |client| {
+            let err = client
+                .call(ServeRequest::LearnOnline {
+                    deployment: "t".into(),
+                    batch: support_batch(&[1], 2),
+                })
+                .unwrap_err();
+            assert!(matches!(err, ServeError::ReadOnlyReplica { ref deployment } if deployment == "t"));
+            let err = client
+                .call(ServeRequest::TopUpBudget { deployment: "t".into(), energy_mj: 1.0 })
+                .unwrap_err();
+            assert!(matches!(err, ServeError::ReadOnlyReplica { .. }));
+            // Reads still flow.
+            client
+                .call(ServeRequest::Infer { deployment: "t".into(), image: class_image(0, 0.0) })
+                .unwrap();
+            client.call(ServeRequest::Stats { deployment: "t".into() }).unwrap();
+            client.call(ServeRequest::Snapshot { deployment: "t".into() }).unwrap();
+        })
+        .unwrap();
+        // The replica's memory was never touched by the rejected write.
+        assert_eq!(registry.with_model("t", |m| m.em().classes()).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_load_with_queue_full() {
+        // No dispatcher behind the channel: submissions stay queued, so the
+        // depth limit trips deterministically.
+        let (tx, _rx) = mpsc::channel();
+        let client = ServeClient {
+            tx,
+            gauge: Arc::new(DepthGauge { queued: AtomicUsize::new(0), limit: 2 }),
+        };
+        let first = client.submit(ServeRequest::Stats { deployment: "t".into() });
+        let second = client.submit(ServeRequest::Stats { deployment: "t".into() });
+        let shed = client.submit(ServeRequest::Stats { deployment: "t".into() });
+        assert!(matches!(shed.wait(), Err(ServeError::QueueFull { depth: 2 })));
+        // The first two were accepted (their replies are still pending).
+        drop(_rx);
+        assert!(matches!(first.wait(), Err(ServeError::ShuttingDown)));
+        assert!(matches!(second.wait(), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn bounded_queue_recovers_once_the_dispatcher_catches_up() {
+        let registry = registry_with(&["t"]);
+        let config = ServeConfig::default().with_queue_depth(64);
+        ServeRuntime::run(&registry, &config, |client| {
+            for _ in 0..4 {
+                client.call(ServeRequest::Stats { deployment: "t".into() }).unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn replicated_run_streams_sequence_numbered_commits() {
+        let registry = registry_with(&["t"]);
+        let (sink, commits) = mpsc::channel();
+        ServeRuntime::run_replicated(&registry, &ServeConfig::default(), Some(sink), |client| {
+            client
+                .call(ServeRequest::LearnOnline {
+                    deployment: "t".into(),
+                    batch: support_batch(&[0, 1], 2),
+                })
+                .unwrap();
+            client
+                .call(ServeRequest::LearnOnline {
+                    deployment: "t".into(),
+                    batch: support_batch(&[2], 2),
+                })
+                .unwrap();
+        })
+        .unwrap();
+        let commits: Vec<LearnCommit> = commits.try_iter().collect();
+        assert_eq!(commits.len(), 2);
+        assert_eq!(commits[0].seq, 1);
+        assert_eq!(commits[1].seq, 2);
+        assert_eq!(
+            commits[0].updates.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(commits[1].updates[0].0, 2);
+        assert_eq!(commits[1].total_classes, 3);
+        // The streamed prototypes are the exact stored bit patterns.
+        for commit in &commits {
+            for (class, streamed) in &commit.updates {
+                let stored = registry
+                    .with_model("t", |m| m.em().prototype(*class).unwrap().to_vec())
+                    .unwrap();
+                assert!(streamed.iter().zip(&stored).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        }
+        // The snapshot anchor reports the last committed sequence number.
+        let (seq, _) = registry.snapshot_with_seq("t").unwrap();
+        assert_eq!(seq, 2);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! The socket client: the cross-process counterpart of
+//! [`ServeClient`](ofscil_serve::ServeClient).
+
+use crate::codec::{decode_response, encode_request, ReplEvent, WireRequest, WireResponse};
+use crate::error::WireError;
+use crate::frame::{read_frame, ReadEvent, DEFAULT_MAX_PAYLOAD};
+use crate::net::{BoundAddr, WireStream};
+use ofscil_serve::{ServeRequest, ServeResponse};
+use std::io::Write;
+use std::net::ToSocketAddrs;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+/// A blocking connection to a [`WireServer`](crate::WireServer).
+///
+/// Mirrors the in-process [`ServeClient`](ofscil_serve::ServeClient) API:
+/// [`WireClient::call`] takes the same [`ServeRequest`] and returns the same
+/// [`ServeResponse`] / [`ServeError`](ofscil_serve::ServeError) pair, with
+/// the serve error arriving typed through
+/// [`WireError::Remote`]. One connection carries one request at a time
+/// (strict request/response alternation); open one connection per client
+/// thread, exactly as you would clone a `ServeClient`.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: WireStream,
+    max_payload: usize,
+}
+
+impl WireClient {
+    /// Connects to a server's bound address (either socket family).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] when the connection cannot be established.
+    pub fn connect(addr: &BoundAddr) -> Result<Self, WireError> {
+        Ok(WireClient {
+            stream: WireStream::connect(addr)?,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Connects to a TCP address, e.g. `"127.0.0.1:4100"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] when the connection cannot be established.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        Ok(WireClient {
+            stream: WireStream::connect_tcp(addr)?,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Connects to a Unix-domain socket path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] when the connection cannot be established.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<std::path::Path>) -> Result<Self, WireError> {
+        Ok(WireClient {
+            stream: WireStream::connect(&BoundAddr::Unix(path.as_ref().to_path_buf()))?,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Overrides the maximum accepted response payload (builder style).
+    #[must_use]
+    pub fn with_max_payload(mut self, max_payload: usize) -> Self {
+        self.max_payload = max_payload;
+        self
+    }
+
+    /// Applies a socket read timeout. With a timeout set, a replication
+    /// stream obtained from [`WireClient::subscribe`] polls its stop flag
+    /// between timeout windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] when the socket rejects the option.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), WireError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Submits one request and blocks for the response — the wire mirror of
+    /// [`ServeClient::call`](ofscil_serve::ServeClient::call).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Remote`] carrying the server-side
+    /// [`ServeError`](ofscil_serve::ServeError) when the request was
+    /// rejected or failed, and a transport/codec error when the connection
+    /// itself broke.
+    pub fn call(&mut self, request: ServeRequest) -> Result<ServeResponse, WireError> {
+        self.stream.write_all(&encode_request(&WireRequest::Serve(request)))?;
+        self.stream.flush()?;
+        match self.read_response(None)? {
+            Some(WireResponse::Serve(response)) => Ok(response),
+            Some(WireResponse::Error(error)) => Err(WireError::Remote(error)),
+            Some(WireResponse::Repl(_)) => Err(WireError::Protocol(
+                "server sent a replication event outside a subscription".into(),
+            )),
+            None => Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+        }
+    }
+
+    /// Switches the connection into replication streaming for one
+    /// deployment. The server answers with a full-snapshot anchor followed
+    /// by sequence-numbered deltas; iterate them with
+    /// [`ReplicationStream::next_event`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] when the subscription cannot be written.
+    pub fn subscribe(mut self, deployment: &str) -> Result<ReplicationStream, WireError> {
+        self.stream.write_all(&encode_request(&WireRequest::Subscribe {
+            deployment: deployment.to_string(),
+        }))?;
+        self.stream.flush()?;
+        Ok(ReplicationStream { stream: self.stream, max_payload: self.max_payload })
+    }
+
+    fn read_response(
+        &mut self,
+        stop: Option<&AtomicBool>,
+    ) -> Result<Option<WireResponse>, WireError> {
+        match read_frame(&mut self.stream, self.max_payload, stop)? {
+            ReadEvent::Frame(kind, payload) => {
+                Ok(Some(decode_response(kind, &payload)?))
+            }
+            ReadEvent::Eof | ReadEvent::Shutdown => Ok(None),
+        }
+    }
+}
+
+/// The receive side of a replication subscription.
+#[derive(Debug)]
+pub struct ReplicationStream {
+    stream: WireStream,
+    max_payload: usize,
+}
+
+impl ReplicationStream {
+    /// Blocks for the next replication event. Returns `Ok(None)` when the
+    /// server closed the stream, or — if the underlying socket carries a
+    /// read timeout (see [`WireClient::set_read_timeout`]) — when `stop` was
+    /// raised while waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Remote`] when the server answered the
+    /// subscription with an error (e.g. an unknown deployment), and a
+    /// transport/codec error when the connection broke.
+    pub fn next_event(
+        &mut self,
+        stop: Option<&AtomicBool>,
+    ) -> Result<Option<ReplEvent>, WireError> {
+        match read_frame(&mut self.stream, self.max_payload, stop)? {
+            ReadEvent::Eof | ReadEvent::Shutdown => Ok(None),
+            ReadEvent::Frame(kind, payload) => match decode_response(kind, &payload)? {
+                WireResponse::Repl(event) => Ok(Some(event)),
+                WireResponse::Error(error) => Err(WireError::Remote(error)),
+                WireResponse::Serve(_) => Err(WireError::Protocol(
+                    "server sent a request response on a replication stream".into(),
+                )),
+            },
+        }
+    }
+}

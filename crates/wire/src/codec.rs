@@ -1,0 +1,781 @@
+//! Message bodies: the typed serve API and the replication stream on bytes.
+//!
+//! One frame carries one message; the frame's kind byte selects the decoder.
+//! Scalars are little-endian, floats travel as their exact IEEE-754 bit
+//! patterns (the same bit-exactness contract as the snapshot codec — a
+//! prototype that crosses the wire classifies identically on both sides),
+//! strings are length-prefixed UTF-8, and every variable-length field checks
+//! its declared count against the remaining payload *before* allocating.
+//!
+//! ```text
+//! kind   message
+//! 0x01   Request  Infer        deployment, image tensor
+//! 0x02   Request  LearnOnline  deployment, support batch
+//! 0x03   Request  Snapshot     deployment
+//! 0x04   Request  Stats        deployment
+//! 0x05   Request  TopUpBudget  deployment, f64 mJ
+//! 0x06   Request  Subscribe    deployment          (switches to streaming)
+//! 0x41   Response Prediction   class, similarity, batched_with
+//! 0x42   Response Learned      classes, total
+//! 0x43   Response Snapshot     opaque snapshot-codec bytes
+//! 0x44   Response Stats        full DeploymentStats
+//! 0x45   Response Budget       spent, remaining
+//! 0x46   Response Error        typed ServeError
+//! 0x61   Repl     Full         seq, snapshot bytes
+//! 0x62   Repl     Delta        seq, total classes, (class, prototype) pairs
+//! ```
+
+use crate::error::PayloadError;
+use crate::frame::frame_bytes;
+use ofscil_data::Batch;
+use ofscil_serve::{DeploymentStats, ServeError, ServeRequest, ServeResponse};
+use ofscil_tensor::Tensor;
+
+// Message kind bytes. Requests live below 0x40, responses in 0x41..0x60,
+// replication stream events in 0x61+.
+const KIND_REQ_INFER: u8 = 0x01;
+const KIND_REQ_LEARN: u8 = 0x02;
+const KIND_REQ_SNAPSHOT: u8 = 0x03;
+const KIND_REQ_STATS: u8 = 0x04;
+const KIND_REQ_TOP_UP: u8 = 0x05;
+const KIND_REQ_SUBSCRIBE: u8 = 0x06;
+const KIND_RESP_PREDICTION: u8 = 0x41;
+const KIND_RESP_LEARNED: u8 = 0x42;
+const KIND_RESP_SNAPSHOT: u8 = 0x43;
+const KIND_RESP_STATS: u8 = 0x44;
+const KIND_RESP_BUDGET: u8 = 0x45;
+const KIND_RESP_ERROR: u8 = 0x46;
+const KIND_REPL_FULL: u8 = 0x61;
+const KIND_REPL_DELTA: u8 = 0x62;
+
+/// A request as it travels over a wire connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// A serve-API request, dispatched into the remote runtime.
+    Serve(ServeRequest),
+    /// Subscribe to a deployment's replication stream. The server answers
+    /// with one [`ReplEvent::Full`] and then streams [`ReplEvent::Delta`]s
+    /// until the connection closes; no further requests are accepted on the
+    /// connection.
+    Subscribe {
+        /// Deployment whose snapshot stream to tail.
+        deployment: String,
+    },
+}
+
+/// A response as it travels over a wire connection.
+#[derive(Debug)]
+pub enum WireResponse {
+    /// A successful serve-API response.
+    Serve(ServeResponse),
+    /// The serve-side error of a failed request, typed end to end.
+    Error(ServeError),
+    /// One event of a replication stream.
+    Repl(ReplEvent),
+}
+
+/// One event on a deployment's snapshot-replication stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplEvent {
+    /// The stream anchor: a full explicit-memory snapshot (snapshot-codec
+    /// bytes) that already contains every commit with sequence number
+    /// `<= seq`.
+    Full {
+        /// Replication sequence number the snapshot was taken at.
+        seq: u64,
+        /// `ofscil_serve::snapshot` codec bytes.
+        snapshot: Vec<u8>,
+    },
+    /// One committed `LearnOnline`: the post-commit prototypes of the classes
+    /// the batch touched, to be stored verbatim via `restore_prototype`.
+    Delta {
+        /// Commit sequence number (consecutive per deployment).
+        seq: u64,
+        /// Total classes stored after the commit.
+        total_classes: u64,
+        /// `(class, stored prototype)` pairs, ascending by class.
+        updates: Vec<(u64, Vec<f32>)>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn put_tensor(out: &mut Vec<u8>, tensor: &Tensor) {
+    let dims = tensor.dims();
+    out.push(dims.len() as u8);
+    for &d in dims {
+        put_u32(out, d as u32);
+    }
+    for &v in tensor.as_slice() {
+        put_f32(out, v);
+    }
+}
+
+fn put_option_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_f64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive reader
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over one message payload. Every accessor returns
+/// a typed [`PayloadError`]; nothing indexes past the end.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, offset: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.offset
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PayloadError> {
+        if self.remaining() < n {
+            return Err(PayloadError::Truncated {
+                offset: self.offset,
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.offset..self.offset + n];
+        self.offset += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, PayloadError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PayloadError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    fn u64(&mut self) -> Result<u64, PayloadError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+
+    fn f32(&mut self) -> Result<f32, PayloadError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, PayloadError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize_field(&mut self, field: &'static str) -> Result<usize, PayloadError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| PayloadError::ValueOverflow { field, value: v })
+    }
+
+    /// Reads a declared element count and proves `count * element_size`
+    /// bytes are actually present before the caller allocates.
+    fn checked_count(
+        &mut self,
+        field: &'static str,
+        element_size: usize,
+    ) -> Result<usize, PayloadError> {
+        let declared = u64::from(self.u32()?);
+        let need = declared.saturating_mul(element_size as u64);
+        if need > self.remaining() as u64 {
+            return Err(PayloadError::LengthOverflow { field, declared });
+        }
+        Ok(declared as usize)
+    }
+
+    fn string(&mut self) -> Result<String, PayloadError> {
+        let len = self.checked_count("string", 1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| PayloadError::BadUtf8)
+    }
+
+    fn bytes_field(&mut self, field: &'static str) -> Result<Vec<u8>, PayloadError> {
+        let len = self.checked_count(field, 1)?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, PayloadError> {
+        let rank = usize::from(self.u8()?);
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(self.u32()? as usize);
+        }
+        // Element count in u64 so corrupt dimensions cannot overflow; the
+        // per-element size check below bounds the allocation to the payload.
+        let len = dims
+            .iter()
+            .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
+            .filter(|&v| v <= u64::from(u32::MAX));
+        let Some(len) = len else {
+            return Err(PayloadError::LengthOverflow { field: "tensor", declared: u64::MAX });
+        };
+        let need = len.saturating_mul(4);
+        if need > self.remaining() as u64 {
+            return Err(PayloadError::LengthOverflow { field: "tensor", declared: len });
+        }
+        let mut data = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            data.push(self.f32()?);
+        }
+        Tensor::from_vec(data, &dims).map_err(|e| PayloadError::BadTensor(e.to_string()))
+    }
+
+    fn option_f64(&mut self) -> Result<Option<f64>, PayloadError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            tag => Err(PayloadError::BadTag { field: "option<f64>", tag }),
+        }
+    }
+
+    /// Asserts the payload is fully consumed.
+    fn finish(self) -> Result<(), PayloadError> {
+        if self.remaining() > 0 {
+            return Err(PayloadError::TrailingBytes { remaining: self.remaining() });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Encodes a request into one complete frame.
+pub fn encode_request(request: &WireRequest) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let kind = match request {
+        WireRequest::Serve(ServeRequest::Infer { deployment, image }) => {
+            put_string(&mut payload, deployment);
+            put_tensor(&mut payload, image);
+            KIND_REQ_INFER
+        }
+        WireRequest::Serve(ServeRequest::LearnOnline { deployment, batch }) => {
+            put_string(&mut payload, deployment);
+            put_tensor(&mut payload, &batch.images);
+            put_u32(&mut payload, batch.labels.len() as u32);
+            for &label in &batch.labels {
+                put_u64(&mut payload, label as u64);
+            }
+            KIND_REQ_LEARN
+        }
+        WireRequest::Serve(ServeRequest::Snapshot { deployment }) => {
+            put_string(&mut payload, deployment);
+            KIND_REQ_SNAPSHOT
+        }
+        WireRequest::Serve(ServeRequest::Stats { deployment }) => {
+            put_string(&mut payload, deployment);
+            KIND_REQ_STATS
+        }
+        WireRequest::Serve(ServeRequest::TopUpBudget { deployment, energy_mj }) => {
+            put_string(&mut payload, deployment);
+            put_f64(&mut payload, *energy_mj);
+            KIND_REQ_TOP_UP
+        }
+        WireRequest::Subscribe { deployment } => {
+            put_string(&mut payload, deployment);
+            KIND_REQ_SUBSCRIBE
+        }
+    };
+    frame_bytes(kind, &payload)
+}
+
+/// Decodes a request message from a frame's kind byte and payload.
+///
+/// # Errors
+///
+/// Returns a typed [`PayloadError`] for unknown kinds and malformed bodies;
+/// never panics.
+pub fn decode_request(kind: u8, payload: &[u8]) -> Result<WireRequest, PayloadError> {
+    let mut r = Reader::new(payload);
+    let request = match kind {
+        KIND_REQ_INFER => WireRequest::Serve(ServeRequest::Infer {
+            deployment: r.string()?,
+            image: r.tensor()?,
+        }),
+        KIND_REQ_LEARN => {
+            let deployment = r.string()?;
+            let images = r.tensor()?;
+            let count = r.checked_count("labels", 8)?;
+            let mut labels = Vec::with_capacity(count);
+            for _ in 0..count {
+                labels.push(r.usize_field("label")?);
+            }
+            WireRequest::Serve(ServeRequest::LearnOnline {
+                deployment,
+                batch: Batch { images, labels },
+            })
+        }
+        KIND_REQ_SNAPSHOT => {
+            WireRequest::Serve(ServeRequest::Snapshot { deployment: r.string()? })
+        }
+        KIND_REQ_STATS => WireRequest::Serve(ServeRequest::Stats { deployment: r.string()? }),
+        KIND_REQ_TOP_UP => WireRequest::Serve(ServeRequest::TopUpBudget {
+            deployment: r.string()?,
+            energy_mj: r.f64()?,
+        }),
+        KIND_REQ_SUBSCRIBE => WireRequest::Subscribe { deployment: r.string()? },
+        other => return Err(PayloadError::UnknownKind(other)),
+    };
+    r.finish()?;
+    Ok(request)
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+// ServeError wire tags. Wrapped library errors (snapshot codec, model, device
+// pricing, tensor) are folded into `Execution` with their display string —
+// the variants a client acts on programmatically survive structurally.
+const ERR_UNKNOWN_DEPLOYMENT: u8 = 0;
+const ERR_DUPLICATE_DEPLOYMENT: u8 = 1;
+const ERR_BUDGET_EXHAUSTED: u8 = 2;
+const ERR_INVALID_REQUEST: u8 = 3;
+const ERR_INVALID_CONFIG: u8 = 4;
+const ERR_EXECUTION: u8 = 5;
+const ERR_SHUTTING_DOWN: u8 = 6;
+const ERR_QUEUE_FULL: u8 = 7;
+const ERR_READ_ONLY_REPLICA: u8 = 8;
+
+fn put_serve_error(out: &mut Vec<u8>, error: &ServeError) {
+    match error {
+        ServeError::UnknownDeployment(name) => {
+            out.push(ERR_UNKNOWN_DEPLOYMENT);
+            put_string(out, name);
+        }
+        ServeError::DuplicateDeployment(name) => {
+            out.push(ERR_DUPLICATE_DEPLOYMENT);
+            put_string(out, name);
+        }
+        ServeError::BudgetExhausted { deployment, required_mj, remaining_mj } => {
+            out.push(ERR_BUDGET_EXHAUSTED);
+            put_string(out, deployment);
+            put_f64(out, *required_mj);
+            put_f64(out, *remaining_mj);
+        }
+        ServeError::InvalidRequest(msg) => {
+            out.push(ERR_INVALID_REQUEST);
+            put_string(out, msg);
+        }
+        ServeError::InvalidConfig(msg) => {
+            out.push(ERR_INVALID_CONFIG);
+            put_string(out, msg);
+        }
+        ServeError::Execution(msg) => {
+            out.push(ERR_EXECUTION);
+            put_string(out, msg);
+        }
+        ServeError::ShuttingDown => out.push(ERR_SHUTTING_DOWN),
+        ServeError::QueueFull { depth } => {
+            out.push(ERR_QUEUE_FULL);
+            put_u64(out, *depth as u64);
+        }
+        ServeError::ReadOnlyReplica { deployment } => {
+            out.push(ERR_READ_ONLY_REPLICA);
+            put_string(out, deployment);
+        }
+        // Library-wrapped errors cross the wire as their display form.
+        other => {
+            out.push(ERR_EXECUTION);
+            put_string(out, &other.to_string());
+        }
+    }
+}
+
+fn read_serve_error(r: &mut Reader<'_>) -> Result<ServeError, PayloadError> {
+    Ok(match r.u8()? {
+        ERR_UNKNOWN_DEPLOYMENT => ServeError::UnknownDeployment(r.string()?),
+        ERR_DUPLICATE_DEPLOYMENT => ServeError::DuplicateDeployment(r.string()?),
+        ERR_BUDGET_EXHAUSTED => ServeError::BudgetExhausted {
+            deployment: r.string()?,
+            required_mj: r.f64()?,
+            remaining_mj: r.f64()?,
+        },
+        ERR_INVALID_REQUEST => ServeError::InvalidRequest(r.string()?),
+        ERR_INVALID_CONFIG => ServeError::InvalidConfig(r.string()?),
+        ERR_EXECUTION => ServeError::Execution(r.string()?),
+        ERR_SHUTTING_DOWN => ServeError::ShuttingDown,
+        ERR_QUEUE_FULL => ServeError::QueueFull { depth: r.usize_field("depth")? },
+        ERR_READ_ONLY_REPLICA => ServeError::ReadOnlyReplica { deployment: r.string()? },
+        tag => return Err(PayloadError::BadTag { field: "serve error", tag }),
+    })
+}
+
+fn put_stats(out: &mut Vec<u8>, stats: &DeploymentStats) {
+    put_string(out, &stats.name);
+    put_u64(out, stats.classes as u64);
+    put_u64(out, stats.infer_requests);
+    put_u64(out, stats.infer_batches);
+    put_u64(out, stats.largest_batch as u64);
+    put_u64(out, stats.learn_requests);
+    put_u64(out, stats.snapshots);
+    put_u64(out, stats.rejected);
+    put_u64(out, stats.deferred);
+    put_f64(out, stats.energy_spent_mj);
+    put_option_f64(out, stats.energy_budget_mj);
+}
+
+fn read_stats(r: &mut Reader<'_>) -> Result<DeploymentStats, PayloadError> {
+    Ok(DeploymentStats {
+        name: r.string()?,
+        classes: r.usize_field("classes")?,
+        infer_requests: r.u64()?,
+        infer_batches: r.u64()?,
+        largest_batch: r.usize_field("largest_batch")?,
+        learn_requests: r.u64()?,
+        snapshots: r.u64()?,
+        rejected: r.u64()?,
+        deferred: r.u64()?,
+        energy_spent_mj: r.f64()?,
+        energy_budget_mj: r.option_f64()?,
+    })
+}
+
+/// Encodes a response into one complete frame.
+pub fn encode_response(response: &WireResponse) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let kind = match response {
+        WireResponse::Serve(ServeResponse::Prediction { class, similarity, batched_with }) => {
+            put_u64(&mut payload, *class as u64);
+            put_f32(&mut payload, *similarity);
+            put_u64(&mut payload, *batched_with as u64);
+            KIND_RESP_PREDICTION
+        }
+        WireResponse::Serve(ServeResponse::Learned { classes, total_classes }) => {
+            put_u32(&mut payload, classes.len() as u32);
+            for &class in classes {
+                put_u64(&mut payload, class as u64);
+            }
+            put_u64(&mut payload, *total_classes as u64);
+            KIND_RESP_LEARNED
+        }
+        WireResponse::Serve(ServeResponse::Snapshot { bytes }) => {
+            put_bytes(&mut payload, bytes);
+            KIND_RESP_SNAPSHOT
+        }
+        WireResponse::Serve(ServeResponse::Stats(stats)) => {
+            put_stats(&mut payload, stats);
+            KIND_RESP_STATS
+        }
+        WireResponse::Serve(ServeResponse::Budget { spent_mj, remaining_mj }) => {
+            put_f64(&mut payload, *spent_mj);
+            put_option_f64(&mut payload, *remaining_mj);
+            KIND_RESP_BUDGET
+        }
+        WireResponse::Error(error) => {
+            put_serve_error(&mut payload, error);
+            KIND_RESP_ERROR
+        }
+        WireResponse::Repl(ReplEvent::Full { seq, snapshot }) => {
+            put_u64(&mut payload, *seq);
+            put_bytes(&mut payload, snapshot);
+            KIND_REPL_FULL
+        }
+        WireResponse::Repl(ReplEvent::Delta { seq, total_classes, updates }) => {
+            put_u64(&mut payload, *seq);
+            put_u64(&mut payload, *total_classes);
+            put_u32(&mut payload, updates.len() as u32);
+            for (class, prototype) in updates {
+                put_u64(&mut payload, *class);
+                put_u32(&mut payload, prototype.len() as u32);
+                for &v in prototype {
+                    put_f32(&mut payload, v);
+                }
+            }
+            KIND_REPL_DELTA
+        }
+    };
+    frame_bytes(kind, &payload)
+}
+
+/// Decodes a response message from a frame's kind byte and payload.
+///
+/// # Errors
+///
+/// Returns a typed [`PayloadError`] for unknown kinds and malformed bodies;
+/// never panics.
+pub fn decode_response(kind: u8, payload: &[u8]) -> Result<WireResponse, PayloadError> {
+    let mut r = Reader::new(payload);
+    let response = match kind {
+        KIND_RESP_PREDICTION => WireResponse::Serve(ServeResponse::Prediction {
+            class: r.usize_field("class")?,
+            similarity: r.f32()?,
+            batched_with: r.usize_field("batched_with")?,
+        }),
+        KIND_RESP_LEARNED => {
+            let count = r.checked_count("classes", 8)?;
+            let mut classes = Vec::with_capacity(count);
+            for _ in 0..count {
+                classes.push(r.usize_field("class")?);
+            }
+            WireResponse::Serve(ServeResponse::Learned {
+                classes,
+                total_classes: r.usize_field("total_classes")?,
+            })
+        }
+        KIND_RESP_SNAPSHOT => WireResponse::Serve(ServeResponse::Snapshot {
+            bytes: r.bytes_field("snapshot")?,
+        }),
+        KIND_RESP_STATS => WireResponse::Serve(ServeResponse::Stats(read_stats(&mut r)?)),
+        KIND_RESP_BUDGET => WireResponse::Serve(ServeResponse::Budget {
+            spent_mj: r.f64()?,
+            remaining_mj: r.option_f64()?,
+        }),
+        KIND_RESP_ERROR => WireResponse::Error(read_serve_error(&mut r)?),
+        KIND_REPL_FULL => WireResponse::Repl(ReplEvent::Full {
+            seq: r.u64()?,
+            snapshot: r.bytes_field("snapshot")?,
+        }),
+        KIND_REPL_DELTA => {
+            let seq = r.u64()?;
+            let total_classes = r.u64()?;
+            let count = r.checked_count("updates", 12)?;
+            let mut updates = Vec::with_capacity(count);
+            for _ in 0..count {
+                let class = r.u64()?;
+                let dim = r.checked_count("prototype", 4)?;
+                let mut prototype = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    prototype.push(r.f32()?);
+                }
+                updates.push((class, prototype));
+            }
+            WireResponse::Repl(ReplEvent::Delta { seq, total_classes, updates })
+        }
+        other => return Err(PayloadError::UnknownKind(other)),
+    };
+    r.finish()?;
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{parse_frame, DEFAULT_MAX_PAYLOAD};
+
+    fn roundtrip_request(request: WireRequest) {
+        let frame = encode_request(&request);
+        let (kind, payload) = parse_frame(&frame, DEFAULT_MAX_PAYLOAD).unwrap();
+        let back = decode_request(kind, payload).unwrap();
+        assert_eq!(back, request);
+    }
+
+    fn roundtrip_response(response: &WireResponse) -> WireResponse {
+        let frame = encode_response(response);
+        let (kind, payload) = parse_frame(&frame, DEFAULT_MAX_PAYLOAD).unwrap();
+        decode_response(kind, payload).unwrap()
+    }
+
+    #[test]
+    fn every_request_variant_roundtrips() {
+        roundtrip_request(WireRequest::Serve(ServeRequest::Infer {
+            deployment: "tenant-α".into(),
+            image: Tensor::from_vec(vec![0.25, -1.5, f32::MIN_POSITIVE, 3.0e7], &[1, 2, 2])
+                .unwrap(),
+        }));
+        roundtrip_request(WireRequest::Serve(ServeRequest::LearnOnline {
+            deployment: "t".into(),
+            batch: Batch {
+                images: Tensor::from_vec((0..24).map(|i| i as f32 * 0.5).collect(), &[2, 3, 2, 2])
+                    .unwrap(),
+                labels: vec![7, 3],
+            },
+        }));
+        roundtrip_request(WireRequest::Serve(ServeRequest::Snapshot { deployment: "s".into() }));
+        roundtrip_request(WireRequest::Serve(ServeRequest::Stats { deployment: "".into() }));
+        roundtrip_request(WireRequest::Serve(ServeRequest::TopUpBudget {
+            deployment: "t".into(),
+            energy_mj: 12.75,
+        }));
+        roundtrip_request(WireRequest::Subscribe { deployment: "repl".into() });
+    }
+
+    #[test]
+    fn every_response_variant_roundtrips() {
+        for response in [
+            WireResponse::Serve(ServeResponse::Prediction {
+                class: 42,
+                similarity: 0.875,
+                batched_with: 8,
+            }),
+            WireResponse::Serve(ServeResponse::Learned {
+                classes: vec![0, 5, 9],
+                total_classes: 12,
+            }),
+            WireResponse::Serve(ServeResponse::Snapshot { bytes: vec![1, 2, 3, 255] }),
+            WireResponse::Serve(ServeResponse::Budget { spent_mj: 3.5, remaining_mj: None }),
+            WireResponse::Serve(ServeResponse::Budget {
+                spent_mj: 0.0,
+                remaining_mj: Some(9.25),
+            }),
+            WireResponse::Repl(ReplEvent::Full { seq: 7, snapshot: vec![9; 20] }),
+            WireResponse::Repl(ReplEvent::Delta {
+                seq: 8,
+                total_classes: 3,
+                updates: vec![(0, vec![1.0, -2.0]), (2, vec![0.5, 0.25])],
+            }),
+        ] {
+            let back = roundtrip_response(&response);
+            assert_eq!(format!("{back:?}"), format!("{response:?}"));
+        }
+
+        let stats = DeploymentStats {
+            name: "tenant".into(),
+            classes: 4,
+            infer_requests: 100,
+            infer_batches: 25,
+            largest_batch: 8,
+            learn_requests: 3,
+            snapshots: 1,
+            rejected: 2,
+            deferred: 0,
+            energy_spent_mj: 5.125,
+            energy_budget_mj: Some(12.0),
+        };
+        match roundtrip_response(&WireResponse::Serve(ServeResponse::Stats(stats.clone()))) {
+            WireResponse::Serve(ServeResponse::Stats(back)) => assert_eq!(back, stats),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_errors_survive_the_wire() {
+        for error in [
+            ServeError::UnknownDeployment("ghost".into()),
+            ServeError::DuplicateDeployment("twin".into()),
+            ServeError::BudgetExhausted {
+                deployment: "t".into(),
+                required_mj: 12.0,
+                remaining_mj: 0.5,
+            },
+            ServeError::InvalidRequest("bad shape".into()),
+            ServeError::InvalidConfig("zero workers".into()),
+            ServeError::Execution("matmul failed".into()),
+            ServeError::ShuttingDown,
+            ServeError::QueueFull { depth: 64 },
+            ServeError::ReadOnlyReplica { deployment: "r".into() },
+        ] {
+            let expect = format!("{error:?}");
+            match roundtrip_response(&WireResponse::Error(error)) {
+                WireResponse::Error(back) => assert_eq!(format!("{back:?}"), expect),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrapped_library_errors_fold_to_execution() {
+        let error = ServeError::Core(ofscil_core::CoreError::UnknownClass(3));
+        let display = error.to_string();
+        match roundtrip_response(&WireResponse::Error(error)) {
+            WireResponse::Error(ServeError::Execution(msg)) => assert_eq!(msg, display),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_and_infinity_cross_bit_exactly() {
+        let request = WireRequest::Serve(ServeRequest::TopUpBudget {
+            deployment: "t".into(),
+            energy_mj: f64::NAN,
+        });
+        let frame = encode_request(&request);
+        let (kind, payload) = parse_frame(&frame, DEFAULT_MAX_PAYLOAD).unwrap();
+        match decode_request(kind, payload).unwrap() {
+            WireRequest::Serve(ServeRequest::TopUpBudget { energy_mj, .. }) => {
+                assert_eq!(energy_mj.to_bits(), f64::NAN.to_bits());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let image =
+            Tensor::from_vec(vec![f32::INFINITY, f32::NEG_INFINITY, -0.0, f32::NAN], &[4])
+                .unwrap();
+        let request = WireRequest::Serve(ServeRequest::Infer {
+            deployment: "t".into(),
+            image: image.clone(),
+        });
+        let frame = encode_request(&request);
+        let (kind, payload) = parse_frame(&frame, DEFAULT_MAX_PAYLOAD).unwrap();
+        match decode_request(kind, payload).unwrap() {
+            WireRequest::Serve(ServeRequest::Infer { image: back, .. }) => {
+                for (a, b) in image.as_slice().iter().zip(back.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decoders_reject_cross_kind_and_hostile_counts() {
+        // A response frame fed to the request decoder is an UnknownKind.
+        let frame = encode_response(&WireResponse::Serve(ServeResponse::Snapshot {
+            bytes: vec![],
+        }));
+        let (kind, payload) = parse_frame(&frame, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert!(matches!(
+            decode_request(kind, payload),
+            Err(PayloadError::UnknownKind(_))
+        ));
+
+        // A declared element count beyond the payload is refused before
+        // allocation.
+        let mut payload = Vec::new();
+        put_string(&mut payload, "t");
+        payload.push(1); // rank 1
+        put_u32(&mut payload, u32::MAX); // 4 billion elements, 0 bytes follow
+        assert!(matches!(
+            decode_request(KIND_REQ_INFER, &payload),
+            Err(PayloadError::LengthOverflow { .. })
+        ));
+
+        // Trailing bytes after a well-formed message are an error.
+        let mut payload = Vec::new();
+        put_string(&mut payload, "t");
+        payload.push(0xab);
+        assert!(matches!(
+            decode_request(KIND_REQ_STATS, &payload),
+            Err(PayloadError::TrailingBytes { remaining: 1 })
+        ));
+    }
+}

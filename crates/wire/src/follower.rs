@@ -1,0 +1,310 @@
+//! Follower mode: a replica process that tails a primary's snapshot stream
+//! and serves read-only traffic.
+//!
+//! A follower owns a local [`LearnerRegistry`] with the same deployments as
+//! its primary (same backbone/FCR weights — typically both sides loaded the
+//! same pretrained model). [`Follower::run`] then
+//!
+//! 1. starts a local [`WireServer`] with
+//!    [`read_only`](ofscil_serve::ServeConfig::read_only) forced on, so the
+//!    replica answers `Infer`/`Stats`/`Snapshot` over its own socket while
+//!    rejecting writes with a typed
+//!    [`ReadOnlyReplica`](ofscil_serve::ServeError::ReadOnlyReplica) error,
+//! 2. opens one upstream connection per tailed deployment, subscribes, and
+//!    applies the stream: the full-snapshot anchor through
+//!    [`LearnerRegistry::restore`], every sequence-numbered delta through
+//!    [`LearnerRegistry::apply_prototype_updates`] — both bypass the storage
+//!    quantizer, so the replica's explicit memory is **bit-exact**: its
+//!    snapshot bytes hash identically to the primary's and its predictions
+//!    are bit-identical.
+//!
+//! Deltas carry consecutive sequence numbers; a delta at or below the
+//! snapshot anchor is already contained and skipped, a skipped number is a
+//! [`WireError::ReplicationGap`] that halts the tail (the replica can no
+//! longer be proven exact and must resync).
+
+use crate::client::WireClient;
+use crate::codec::ReplEvent;
+use crate::error::{PayloadError, WireError};
+use crate::net::BoundAddr;
+use crate::server::{WireConfig, WireHandle, WireServer};
+use ofscil_serve::LearnerRegistry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often tail threads wake to poll their stop flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Configuration of a [`Follower`].
+#[derive(Debug, Clone)]
+pub struct FollowerConfig {
+    /// Address of the primary's wire server.
+    pub upstream: BoundAddr,
+    /// Deployments to tail. Each must exist on the primary and be registered
+    /// locally with a matching projection dimensionality.
+    pub deployments: Vec<String>,
+    /// The follower's own wire server configuration.
+    /// [`ServeConfig::read_only`](ofscil_serve::ServeConfig::read_only) is
+    /// forced on regardless of what it says.
+    pub wire: WireConfig,
+}
+
+impl FollowerConfig {
+    /// Tails `deployments` from `upstream`, serving locally on an ephemeral
+    /// loopback TCP port.
+    pub fn new(upstream: BoundAddr, deployments: &[&str]) -> Self {
+        FollowerConfig {
+            upstream,
+            deployments: deployments.iter().map(|d| d.to_string()).collect(),
+            wire: WireConfig::tcp_loopback(),
+        }
+    }
+}
+
+/// Per-deployment replication progress, shared between tail threads and the
+/// handle.
+#[derive(Debug, Default)]
+struct ProgressState {
+    /// Highest applied sequence number per deployment (absent before the
+    /// full-snapshot anchor arrived).
+    applied: HashMap<String, u64>,
+    /// First error of each failed tail, by deployment.
+    errors: HashMap<String, String>,
+}
+
+#[derive(Debug, Default)]
+struct Progress {
+    state: Mutex<ProgressState>,
+    changed: Condvar,
+}
+
+impl Progress {
+    fn record_applied(&self, deployment: &str, seq: u64) {
+        let mut state = self.state.lock().expect("progress lock poisoned");
+        state.applied.insert(deployment.to_string(), seq);
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    fn record_error(&self, deployment: &str, error: &WireError) {
+        let mut state = self.state.lock().expect("progress lock poisoned");
+        state.errors.entry(deployment.to_string()).or_insert_with(|| error.to_string());
+        drop(state);
+        self.changed.notify_all();
+    }
+}
+
+/// Handle the body of [`Follower::run`] receives.
+#[derive(Debug)]
+pub struct FollowerHandle<'a> {
+    server: &'a WireHandle,
+    progress: &'a Progress,
+}
+
+impl FollowerHandle<'_> {
+    /// The follower's own bound address — connect a
+    /// [`WireClient`](crate::WireClient) here for read-only traffic.
+    pub fn addr(&self) -> &BoundAddr {
+        self.server.addr()
+    }
+
+    /// The highest replication sequence number applied for a deployment
+    /// (`None` before the full snapshot landed).
+    pub fn applied_seq(&self, deployment: &str) -> Option<u64> {
+        self.progress
+            .state
+            .lock()
+            .expect("progress lock poisoned")
+            .applied
+            .get(deployment)
+            .copied()
+    }
+
+    /// The first replication error of a deployment's tail, if it failed.
+    pub fn replication_error(&self, deployment: &str) -> Option<String> {
+        self.progress
+            .state
+            .lock()
+            .expect("progress lock poisoned")
+            .errors
+            .get(deployment)
+            .cloned()
+    }
+
+    /// Blocks until the deployment has applied at least sequence number
+    /// `seq` — the synchronization point "every commit the primary
+    /// acknowledged up to here is now visible on the replica".
+    ///
+    /// # Errors
+    ///
+    /// Returns the tail's replication error if it failed, or a
+    /// [`WireError::Protocol`] on timeout.
+    pub fn wait_for_seq(
+        &self,
+        deployment: &str,
+        seq: u64,
+        timeout: Duration,
+    ) -> Result<u64, WireError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.progress.state.lock().expect("progress lock poisoned");
+        loop {
+            if let Some(&applied) = state.applied.get(deployment) {
+                if applied >= seq {
+                    return Ok(applied);
+                }
+            }
+            if let Some(error) = state.errors.get(deployment) {
+                return Err(WireError::Protocol(format!(
+                    "replication tail for {deployment:?} failed: {error}"
+                )));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(WireError::Protocol(format!(
+                    "timed out waiting for {deployment:?} to reach seq {seq}"
+                )));
+            }
+            let (next, _) = self
+                .progress
+                .changed
+                .wait_timeout(state, deadline - now)
+                .expect("progress lock poisoned");
+            state = next;
+        }
+    }
+}
+
+/// A snapshot-replicated read replica: local read-only wire server plus one
+/// stream-tailing thread per deployment.
+#[derive(Debug)]
+pub struct Follower;
+
+impl Follower {
+    /// Runs a follower session: the local read-only server and the tail
+    /// threads live for exactly the duration of `body`.
+    ///
+    /// Tail failures (an unreachable primary, a replication gap) do not tear
+    /// the session down — the replica keeps serving whatever state it has —
+    /// but they are surfaced through
+    /// [`FollowerHandle::replication_error`] and fail any
+    /// [`FollowerHandle::wait_for_seq`] on the affected deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] when the local server cannot bind and
+    /// [`WireError::Runtime`] when the serve configuration is invalid.
+    pub fn run<T, F>(
+        registry: &LearnerRegistry,
+        config: &FollowerConfig,
+        body: F,
+    ) -> Result<T, WireError>
+    where
+        F: FnOnce(&FollowerHandle<'_>) -> T,
+    {
+        let mut wire = config.wire.clone();
+        wire.serve.read_only = true;
+        let progress = Progress::default();
+        let stop = AtomicBool::new(false);
+
+        WireServer::run(registry, &wire, |server| {
+            std::thread::scope(|scope| {
+                for deployment in &config.deployments {
+                    let progress = &progress;
+                    let stop = &stop;
+                    let upstream = &config.upstream;
+                    scope.spawn(move || {
+                        tail_deployment(registry, upstream, deployment, progress, stop);
+                    });
+                }
+                let handle = FollowerHandle { server, progress: &progress };
+                let value = body(&handle);
+                stop.store(true, Ordering::Release);
+                value
+            })
+        })
+    }
+}
+
+/// Tails one deployment's snapshot stream until stopped or broken.
+fn tail_deployment(
+    registry: &LearnerRegistry,
+    upstream: &BoundAddr,
+    deployment: &str,
+    progress: &Progress,
+    stop: &AtomicBool,
+) {
+    if let Err(error) = tail_inner(registry, upstream, deployment, progress, stop) {
+        progress.record_error(deployment, &error);
+    }
+}
+
+fn tail_inner(
+    registry: &LearnerRegistry,
+    upstream: &BoundAddr,
+    deployment: &str,
+    progress: &Progress,
+    stop: &AtomicBool,
+) -> Result<(), WireError> {
+    let client = WireClient::connect(upstream)?;
+    client.set_read_timeout(Some(POLL))?;
+    let mut stream = client.subscribe(deployment)?;
+    let mut anchor: Option<u64> = None;
+    while let Some(event) = stream.next_event(Some(stop))? {
+        match event {
+            ReplEvent::Full { seq, snapshot } => {
+                registry.restore(deployment, &snapshot).map_err(WireError::Runtime)?;
+                anchor = Some(seq);
+                progress.record_applied(deployment, seq);
+            }
+            ReplEvent::Delta { seq, total_classes, updates } => {
+                let Some(applied) = anchor else {
+                    return Err(WireError::Protocol(
+                        "replication delta arrived before the full-snapshot anchor".into(),
+                    ));
+                };
+                if seq <= applied {
+                    // Already contained in the snapshot anchor.
+                    continue;
+                }
+                if seq != applied + 1 {
+                    return Err(WireError::ReplicationGap {
+                        deployment: deployment.to_string(),
+                        expected: applied + 1,
+                        got: seq,
+                    });
+                }
+                let updates = decode_updates(&updates)?;
+                let total = registry
+                    .apply_prototype_updates(deployment, &updates)
+                    .map_err(WireError::Runtime)?;
+                if total as u64 != total_classes {
+                    return Err(WireError::Protocol(format!(
+                        "replica diverged: {total} classes after seq {seq}, primary has \
+                         {total_classes}"
+                    )));
+                }
+                anchor = Some(seq);
+                progress.record_applied(deployment, seq);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode_updates(updates: &[(u64, Vec<f32>)]) -> Result<Vec<(usize, Vec<f32>)>, WireError> {
+    updates
+        .iter()
+        .map(|(class, prototype)| {
+            usize::try_from(*class)
+                .map(|class| (class, prototype.clone()))
+                .map_err(|_| {
+                    WireError::Payload(PayloadError::ValueOverflow {
+                        field: "class",
+                        value: *class,
+                    })
+                })
+        })
+        .collect()
+}

@@ -1,0 +1,315 @@
+//! The outer frame envelope: length-prefixed, checksummed, versioned.
+//!
+//! Every message on a wire connection travels in exactly one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"OFWR"
+//! 4       2     wire format version, little-endian u16 (currently 1)
+//! 6       1     message kind (see `codec`)
+//! 7       1     reserved (zero)
+//! 8       4     payload length, little-endian u32
+//! 12      …     payload (message body, encoded by `codec`)
+//! end-4   4     FNV-1a checksum of every preceding byte, little-endian u32
+//! ```
+//!
+//! The same deliberately tiny style as the snapshot codec in
+//! `ofscil_serve::snapshot`: self-describing, no serde, corruption detected
+//! by checksum, hostile lengths rejected before allocation.
+
+use crate::error::{FrameError, WireError};
+use std::io::{ErrorKind, Read};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Magic bytes identifying a wire frame.
+pub const WIRE_MAGIC: [u8; 4] = *b"OFWR";
+
+/// Current wire format version.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Fixed frame header length in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Trailing checksum length in bytes.
+pub const CHECKSUM_LEN: usize = 4;
+
+/// Default maximum payload size a peer will accept (16 MiB) — far above any
+/// legitimate O-FSCIL message, far below anything that could hurt.
+pub const DEFAULT_MAX_PAYLOAD: usize = 16 << 20;
+
+/// FNV-1a 32-bit hash — the same dependency-free corruption check the
+/// snapshot codec uses. Not a cryptographic integrity check.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Serializes one frame.
+pub fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    bytes.extend_from_slice(&WIRE_MAGIC);
+    bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    bytes.push(kind);
+    bytes.push(0u8);
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    let checksum = fnv1a(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Validates a frame header (first [`HEADER_LEN`] bytes, length checked by
+/// the caller) and returns `(kind, payload_len)`.
+fn parse_header(header: &[u8], max_payload: usize) -> Result<(u8, usize), FrameError> {
+    let magic: [u8; 4] = header[0..4].try_into().expect("length checked");
+    if magic != WIRE_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("length checked"));
+    if version != WIRE_VERSION {
+        return Err(FrameError::UnsupportedVersion(version));
+    }
+    let kind = header[6];
+    if header[7] != 0 {
+        return Err(FrameError::BadReserved(header[7]));
+    }
+    let declared = u32::from_le_bytes(header[8..12].try_into().expect("length checked")) as usize;
+    if declared > max_payload {
+        return Err(FrameError::Oversize { declared, max: max_payload });
+    }
+    Ok((kind, declared))
+}
+
+/// Parses exactly one frame out of an in-memory buffer, returning the kind
+/// byte and the payload slice.
+///
+/// # Errors
+///
+/// Returns a typed [`FrameError`] for every way the bytes can be wrong:
+/// truncation, bad magic, unknown version, hostile length, checksum damage,
+/// trailing garbage. Never panics.
+pub fn parse_frame(bytes: &[u8], max_payload: usize) -> Result<(u8, &[u8]), FrameError> {
+    let min = HEADER_LEN + CHECKSUM_LEN;
+    if bytes.len() < min {
+        return Err(FrameError::Truncated { needed: min, actual: bytes.len() });
+    }
+    let (kind, payload_len) = parse_header(&bytes[..HEADER_LEN], max_payload)?;
+    let total = HEADER_LEN + payload_len + CHECKSUM_LEN;
+    if bytes.len() < total {
+        return Err(FrameError::Truncated { needed: total, actual: bytes.len() });
+    }
+    if bytes.len() > total {
+        return Err(FrameError::TrailingBytes { remaining: bytes.len() - total });
+    }
+    let body_end = HEADER_LEN + payload_len;
+    let stored = u32::from_le_bytes(bytes[body_end..total].try_into().expect("length checked"));
+    let computed = fnv1a(&bytes[..body_end]);
+    if stored != computed {
+        return Err(FrameError::ChecksumMismatch { stored, computed });
+    }
+    Ok((kind, &bytes[HEADER_LEN..body_end]))
+}
+
+/// What a blocking frame read produced.
+pub(crate) enum ReadEvent {
+    /// One complete, checksum-verified frame: `(kind, payload)`.
+    Frame(u8, Vec<u8>),
+    /// The peer closed the connection cleanly (EOF on a frame boundary).
+    Eof,
+    /// The shutdown flag was raised while waiting for bytes.
+    Shutdown,
+}
+
+/// Outcome of filling a fixed-size buffer from the stream.
+enum Fill {
+    /// The buffer is complete.
+    Done,
+    /// Clean EOF before the first byte (only reported when `eof_ok`).
+    Eof,
+    /// The shutdown flag was raised while waiting.
+    Shutdown,
+}
+
+/// Fills `buf` completely from the stream, tolerating read timeouts.
+///
+/// Timeouts (`WouldBlock`/`TimedOut`, produced when the socket has a read
+/// timeout configured) poll the optional shutdown flag and otherwise retry,
+/// so a frame that arrives in pieces across timeout windows is still
+/// assembled correctly. EOF mid-buffer is an `UnexpectedEof` error.
+fn read_exact_interruptible(
+    stream: &mut impl Read,
+    buf: &mut [u8],
+    shutdown: Option<&AtomicBool>,
+    eof_ok: bool,
+) -> Result<Fill, WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        if let Some(flag) = shutdown {
+            if flag.load(Ordering::Acquire) {
+                return Ok(Fill::Shutdown);
+            }
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && eof_ok {
+                    return Ok(Fill::Eof);
+                }
+                return Err(WireError::Io(ErrorKind::UnexpectedEof.into()));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+/// Reads one frame from a stream, blocking until it is complete.
+///
+/// When the socket carries a read timeout, every timeout window polls
+/// `shutdown`; a raised flag yields [`ReadEvent::Shutdown`] so server
+/// connection threads terminate promptly without abandoning a half-read
+/// frame by accident.
+pub(crate) fn read_frame(
+    stream: &mut impl Read,
+    max_payload: usize,
+    shutdown: Option<&AtomicBool>,
+) -> Result<ReadEvent, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_exact_interruptible(stream, &mut header, shutdown, true)? {
+        Fill::Eof => return Ok(ReadEvent::Eof),
+        Fill::Shutdown => return Ok(ReadEvent::Shutdown),
+        Fill::Done => {}
+    }
+    let (kind, payload_len) = parse_header(&header, max_payload)?;
+    let mut rest = vec![0u8; payload_len + CHECKSUM_LEN];
+    match read_exact_interruptible(stream, &mut rest, shutdown, false)? {
+        Fill::Shutdown => return Ok(ReadEvent::Shutdown),
+        Fill::Eof | Fill::Done => {}
+    }
+    let stored = u32::from_le_bytes(rest[payload_len..].try_into().expect("length checked"));
+    let mut checked = header.to_vec();
+    checked.extend_from_slice(&rest[..payload_len]);
+    let computed = fnv1a(&checked);
+    if stored != computed {
+        return Err(FrameError::ChecksumMismatch { stored, computed }.into());
+    }
+    rest.truncate(payload_len);
+    Ok(ReadEvent::Frame(kind, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_bytes_and_stream() {
+        let frame = frame_bytes(0x41, b"hello wire");
+        let (kind, payload) = parse_frame(&frame, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(kind, 0x41);
+        assert_eq!(payload, b"hello wire");
+
+        let mut cursor = std::io::Cursor::new(frame);
+        match read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD, None).unwrap() {
+            ReadEvent::Frame(kind, payload) => {
+                assert_eq!(kind, 0x41);
+                assert_eq!(payload, b"hello wire");
+            }
+            _ => panic!("expected a frame"),
+        }
+        // The stream is now at EOF.
+        match read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD, None).unwrap() {
+            ReadEvent::Eof => {}
+            _ => panic!("expected EOF"),
+        }
+    }
+
+    #[test]
+    fn empty_payload_frames_are_legal() {
+        let frame = frame_bytes(0x03, b"");
+        let (kind, payload) = parse_frame(&frame, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(kind, 0x03);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_typed_never_a_panic() {
+        let frame = frame_bytes(0x01, b"payload");
+
+        let mut bad = frame.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            parse_frame(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        let mut bad = frame.clone();
+        bad[4] = 0x7f;
+        assert!(matches!(
+            parse_frame(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::UnsupportedVersion(_))
+        ));
+
+        let mut bad = frame.clone();
+        bad[7] = 1;
+        assert!(matches!(
+            parse_frame(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::BadReserved(1))
+        ));
+
+        let mut bad = frame.clone();
+        bad[HEADER_LEN] ^= 0x10;
+        assert!(matches!(
+            parse_frame(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+
+        assert!(matches!(
+            parse_frame(&frame[..frame.len() - 1], DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_frame(&frame[..3], DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::Truncated { .. })
+        ));
+
+        let mut extended = frame.clone();
+        extended.push(0);
+        assert!(matches!(
+            parse_frame(&extended, DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::TrailingBytes { remaining: 1 })
+        ));
+
+        // A hostile declared length is refused before allocation.
+        assert!(matches!(
+            parse_frame(&frame, 3),
+            Err(FrameError::Oversize { declared: 7, max: 3 })
+        ));
+    }
+
+    #[test]
+    fn stream_reader_rejects_hostile_lengths_without_allocating() {
+        let mut frame = frame_bytes(0x01, b"x");
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD, None),
+            Err(WireError::Frame(FrameError::Oversize { .. }))
+        ));
+    }
+
+    #[test]
+    fn stream_reader_flags_mid_frame_eof() {
+        let frame = frame_bytes(0x01, b"payload");
+        let mut cursor = std::io::Cursor::new(frame[..frame.len() - 2].to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD, None),
+            Err(WireError::Io(_))
+        ));
+    }
+}

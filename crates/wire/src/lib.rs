@@ -1,0 +1,71 @@
+//! `ofscil_wire` — cross-process serving for O-FSCIL learners.
+//!
+//! The serving runtime in `ofscil_serve` is reachable only through an
+//! in-process [`ServeClient`](ofscil_serve::ServeClient). This crate puts
+//! the same typed request/response API on a socket, so tenants can live in
+//! other processes and read replicas can scale inference horizontally:
+//!
+//! * [`frame`] — the outer envelope: length-prefixed, checksummed,
+//!   versioned binary frames in the same dependency-free style as the
+//!   snapshot codec (magic/version/FNV-1a, raw IEEE-754 bits, no serde),
+//! * [`codec`] — message bodies: every
+//!   [`ServeRequest`](ofscil_serve::ServeRequest) /
+//!   [`ServeResponse`](ofscil_serve::ServeResponse) variant, typed
+//!   [`ServeError`](ofscil_serve::ServeError)s, and the replication stream
+//!   events,
+//! * [`WireServer`] — a blocking TCP / Unix-socket frontend that dispatches
+//!   decoded frames into the existing `ServeRuntime` worker pool,
+//! * [`WireClient`] — mirrors the in-process client API over a connection,
+//! * [`Follower`] — a replica that tails a primary's snapshot stream (full
+//!   snapshot + sequence-numbered deltas per committed `LearnOnline`),
+//!   restores prototypes **bit-exactly**, and serves read-only traffic on
+//!   its own socket while rejecting writes with a typed `ReadOnlyReplica`
+//!   error.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ofscil_core::OFscilModel;
+//! use ofscil_nn::models::BackboneKind;
+//! use ofscil_serve::{DeploymentSpec, LearnerRegistry, ServeRequest};
+//! use ofscil_tensor::{SeedRng, Tensor};
+//! use ofscil_wire::{WireClient, WireConfig, WireServer};
+//!
+//! let mut rng = SeedRng::new(42);
+//! let registry = LearnerRegistry::new();
+//! registry
+//!     .register(
+//!         DeploymentSpec::new("tenant-a", (32, 32)),
+//!         OFscilModel::new(BackboneKind::Micro, 32, &mut rng),
+//!     )
+//!     .unwrap();
+//! WireServer::run(&registry, &WireConfig::tcp_loopback(), |server| {
+//!     // Any process that can reach `server.addr()` is now a tenant.
+//!     let mut client = WireClient::connect(server.addr()).unwrap();
+//!     let response = client.call(ServeRequest::Infer {
+//!         deployment: "tenant-a".into(),
+//!         image: Tensor::zeros(&[3, 32, 32]),
+//!     });
+//!     println!("{response:?}");
+//! })
+//! .unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod client;
+mod error;
+pub mod frame;
+mod follower;
+mod net;
+mod server;
+
+pub use client::{ReplicationStream, WireClient};
+pub use codec::{ReplEvent, WireRequest, WireResponse};
+pub use error::{FrameError, PayloadError, WireError};
+pub use follower::{Follower, FollowerConfig, FollowerHandle};
+pub use frame::{DEFAULT_MAX_PAYLOAD, WIRE_MAGIC, WIRE_VERSION};
+pub use net::{BoundAddr, WireBind};
+pub use server::{WireConfig, WireHandle, WireServer};

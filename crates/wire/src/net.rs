@@ -1,0 +1,180 @@
+//! Socket abstraction: one listener/stream pair that is a TCP socket on
+//! every platform and additionally a Unix-domain socket where those exist.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+
+/// Where a [`WireServer`](crate::WireServer) should listen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireBind {
+    /// A TCP address, e.g. `"127.0.0.1:0"` (port 0 picks an ephemeral port;
+    /// the bound address is reported back through the server handle).
+    Tcp(String),
+    /// A Unix-domain socket path. A stale socket file at the path is
+    /// removed before binding.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// The address a server actually bound — connectable via
+/// [`WireClient::connect`](crate::WireClient::connect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundAddr {
+    /// A bound TCP socket address.
+    Tcp(SocketAddr),
+    /// A bound Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for BoundAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundAddr::Tcp(addr) => write!(f, "tcp://{addr}"),
+            #[cfg(unix)]
+            BoundAddr::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+/// A bound listening socket.
+pub(crate) enum WireListener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl WireListener {
+    /// Binds per the configuration and reports the concrete bound address.
+    pub fn bind(bind: &WireBind) -> io::Result<(WireListener, BoundAddr)> {
+        match bind {
+            WireBind::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                let local = listener.local_addr()?;
+                Ok((WireListener::Tcp(listener), BoundAddr::Tcp(local)))
+            }
+            #[cfg(unix)]
+            WireBind::Unix(path) => {
+                // A previous server that was killed leaves its socket file
+                // behind; rebinding over it is the expected operation.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                Ok((WireListener::Unix(listener), BoundAddr::Unix(path.clone())))
+            }
+        }
+    }
+
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            WireListener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            WireListener::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Accepts one connection (honouring the listener's blocking mode).
+    pub fn accept(&self) -> io::Result<WireStream> {
+        match self {
+            WireListener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(WireStream::Tcp(stream))
+            }
+            #[cfg(unix)]
+            WireListener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(WireStream::Unix(stream))
+            }
+        }
+    }
+}
+
+/// One connected socket, either family.
+#[derive(Debug)]
+pub(crate) enum WireStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl WireStream {
+    /// Connects to a server's bound address.
+    pub fn connect(addr: &BoundAddr) -> io::Result<WireStream> {
+        match addr {
+            BoundAddr::Tcp(addr) => WireStream::connect_tcp(addr),
+            #[cfg(unix)]
+            BoundAddr::Unix(path) => Ok(WireStream::Unix(UnixStream::connect(path)?)),
+        }
+    }
+
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<WireStream> {
+        let stream = TcpStream::connect(addr)?;
+        // Frames are small request/response units; Nagle batching would put
+        // a delayed-ACK round trip into every call.
+        stream.set_nodelay(true)?;
+        Ok(WireStream::Tcp(stream))
+    }
+
+    /// Applies connection-level tuning a server wants on accepted sockets:
+    /// no Nagle batching, a short read timeout so connection threads can
+    /// poll their shutdown flag between bytes, and a bounded write timeout
+    /// so a peer that stops reading (full TCP window) cannot pin a
+    /// connection thread — and with it the server's teardown — forever; the
+    /// blocked write errors out and the connection is dropped instead.
+    pub fn configure_for_server(&self, read_timeout: Duration) -> io::Result<()> {
+        if let WireStream::Tcp(stream) = self {
+            stream.set_nodelay(true)?;
+        }
+        self.set_read_timeout(Some(read_timeout))?;
+        self.set_write_timeout(Some(Duration::from_secs(5)))
+    }
+
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            WireStream::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            WireStream::Tcp(s) => s.set_write_timeout(timeout),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.set_write_timeout(timeout),
+        }
+    }
+}
+
+impl Read for WireStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for WireStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            WireStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.flush(),
+        }
+    }
+}

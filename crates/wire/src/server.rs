@@ -1,0 +1,354 @@
+//! The blocking socket frontend of a serving runtime.
+//!
+//! ```text
+//!  sockets ──frames──▶ connection threads ──ServeClient──▶ ServeRuntime
+//!                          │ decode request, call, encode response
+//!                          │
+//!                          └─ Subscribe: register with the replication hub,
+//!                             send one full snapshot, then stream deltas
+//!
+//!  ServeRuntime ──LearnCommit sink──▶ hub thread ──fan-out──▶ subscribers
+//! ```
+//!
+//! Everything is `std` and blocking: one thread per connection inside a
+//! `thread::scope`, a nonblocking accept loop that polls a shutdown flag,
+//! and read timeouts on accepted sockets so connection threads notice
+//! shutdown between frames. The serving runtime's own backpressure
+//! ([`ServeConfig::queue_depth`](ofscil_serve::ServeConfig)) is what keeps
+//! slow sockets from buffering unbounded work behind the dispatcher.
+
+use crate::codec::{decode_request, encode_response, ReplEvent, WireRequest, WireResponse};
+use crate::error::WireError;
+use crate::frame::{read_frame, ReadEvent, DEFAULT_MAX_PAYLOAD};
+use crate::net::{BoundAddr, WireBind, WireListener, WireStream};
+use ofscil_serve::{LearnCommit, LearnerRegistry, ServeClient, ServeConfig, ServeError, ServeRuntime};
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// How often blocked server loops wake to poll the shutdown flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Configuration of a [`WireServer`] (and, via
+/// [`FollowerConfig`](crate::FollowerConfig), of a follower's local server).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireConfig {
+    /// Where to listen.
+    pub bind: WireBind,
+    /// Configuration of the serving runtime behind the socket. Set
+    /// `queue_depth` here to shed load from slow peers instead of buffering
+    /// without bound.
+    pub serve: ServeConfig,
+    /// Maximum accepted frame payload in bytes (default 16 MiB).
+    pub max_payload: usize,
+}
+
+impl WireConfig {
+    /// TCP on an ephemeral loopback port with default serve settings — the
+    /// configuration examples and tests want. The actually bound port is
+    /// reported through [`WireHandle::addr`].
+    pub fn tcp_loopback() -> Self {
+        WireConfig {
+            bind: WireBind::Tcp("127.0.0.1:0".into()),
+            serve: ServeConfig::default(),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+
+    /// Sets the serve-runtime configuration (builder style).
+    #[must_use]
+    pub fn with_serve(mut self, serve: ServeConfig) -> Self {
+        self.serve = serve;
+        self
+    }
+
+    /// Sets the bind target (builder style).
+    #[must_use]
+    pub fn with_bind(mut self, bind: WireBind) -> Self {
+        self.bind = bind;
+        self
+    }
+}
+
+/// Handle the body of [`WireServer::run`] receives.
+#[derive(Debug)]
+pub struct WireHandle {
+    addr: BoundAddr,
+}
+
+impl WireHandle {
+    /// The concrete address the server bound (resolves ephemeral ports).
+    pub fn addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+}
+
+/// Commits a subscriber may fall behind by before it is disconnected. The
+/// queue is bounded so a follower whose socket stalls cannot make the
+/// primary buffer commits without limit — the lagging subscriber is dropped
+/// (with a typed error frame) and must resubscribe for a fresh anchor.
+const REPL_QUEUE_DEPTH: usize = 1024;
+
+/// Fan-out point between the runtime's commit sink and the per-subscriber
+/// replication streams.
+pub(crate) struct ReplHub {
+    subscribers: Mutex<HashMap<String, Vec<mpsc::SyncSender<Arc<LearnCommit>>>>>,
+}
+
+impl ReplHub {
+    pub fn new() -> Self {
+        ReplHub { subscribers: Mutex::new(HashMap::new()) }
+    }
+
+    /// Registers a subscriber for one deployment's commits. Registration
+    /// happens *before* the subscriber takes its full snapshot, so a commit
+    /// landing in between is delivered as a delta the follower recognises as
+    /// already-contained (its seq is at or below the snapshot's).
+    pub fn register(&self, deployment: &str) -> mpsc::Receiver<Arc<LearnCommit>> {
+        let (tx, rx) = mpsc::sync_channel(REPL_QUEUE_DEPTH);
+        self.subscribers
+            .lock()
+            .expect("hub lock poisoned")
+            .entry(deployment.to_string())
+            .or_default()
+            .push(tx);
+        rx
+    }
+
+    /// Forwards one commit to every live subscriber of its deployment,
+    /// dropping subscribers whose connection ended or whose bounded queue is
+    /// full (a stalled socket must not grow the primary's memory).
+    pub fn forward(&self, commit: LearnCommit) {
+        let mut subscribers = self.subscribers.lock().expect("hub lock poisoned");
+        let Some(list) = subscribers.get_mut(&commit.deployment) else { return };
+        let commit = Arc::new(commit);
+        list.retain(|tx| tx.try_send(Arc::clone(&commit)).is_ok());
+        if list.is_empty() {
+            subscribers.remove(&commit.deployment);
+        }
+    }
+}
+
+fn hub_loop(hub: &ReplHub, commits: mpsc::Receiver<LearnCommit>, shutdown: &AtomicBool) {
+    loop {
+        match commits.recv_timeout(POLL) {
+            Ok(commit) => hub.forward(commit),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// The socket frontend: binds a listener, serves connections for exactly
+/// the duration of the body, then tears everything down deterministically.
+#[derive(Debug)]
+pub struct WireServer;
+
+impl WireServer {
+    /// Runs a wire-serving session. The listener, the serving runtime, the
+    /// replication hub and every connection thread live for exactly the
+    /// duration of `body`, which receives the handle carrying the bound
+    /// address. Clients in other processes connect with
+    /// [`WireClient`](crate::WireClient).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] when binding fails and
+    /// [`WireError::Runtime`] when the serve configuration is invalid.
+    pub fn run<T, F>(
+        registry: &LearnerRegistry,
+        config: &WireConfig,
+        body: F,
+    ) -> Result<T, WireError>
+    where
+        F: FnOnce(&WireHandle) -> T,
+    {
+        let (listener, addr) = WireListener::bind(&config.bind)?;
+        listener.set_nonblocking(true)?;
+        let (sink, commits) = mpsc::channel::<LearnCommit>();
+        let shutdown = AtomicBool::new(false);
+        let hub = ReplHub::new();
+
+        let value = ServeRuntime::run_replicated(registry, &config.serve, Some(sink), |client| {
+            std::thread::scope(|scope| {
+                let hub = &hub;
+                let shutdown = &shutdown;
+                let max_payload = config.max_payload;
+                scope.spawn(move || hub_loop(hub, commits, shutdown));
+                let accept_client = client.clone();
+                scope.spawn(move || {
+                    accept_loop(
+                        scope,
+                        &listener,
+                        accept_client,
+                        registry,
+                        hub,
+                        shutdown,
+                        max_payload,
+                    );
+                });
+
+                let handle = WireHandle { addr: addr.clone() };
+                let value = body(&handle);
+                shutdown.store(true, Ordering::Release);
+                value
+                // The scope joins the accept loop, the hub and every
+                // connection thread; all poll the flag within `POLL`.
+            })
+        })
+        .map_err(WireError::Runtime)?;
+
+        #[cfg(unix)]
+        if let BoundAddr::Unix(path) = &addr {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(value)
+    }
+}
+
+/// Accepts connections until shutdown, spawning one scoped thread each.
+fn accept_loop<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    listener: &WireListener,
+    client: ServeClient,
+    registry: &'env LearnerRegistry,
+    hub: &'scope ReplHub,
+    shutdown: &'scope AtomicBool,
+    max_payload: usize,
+) {
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok(stream) => {
+                if stream.configure_for_server(POLL).is_err() {
+                    continue;
+                }
+                let client = client.clone();
+                scope.spawn(move || {
+                    serve_connection(stream, &client, registry, hub, shutdown, max_payload);
+                });
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // Per-connection failures (a peer that reset before accept
+            // completed, transient fd exhaustion, EINTR) must not kill the
+            // listener: back off briefly and keep accepting. A genuinely
+            // broken listener shows up as this loop erroring until shutdown,
+            // which costs nothing.
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Serves one connection: a request/response loop that hands off to
+/// replication streaming on `Subscribe`.
+fn serve_connection(
+    mut stream: WireStream,
+    client: &ServeClient,
+    registry: &LearnerRegistry,
+    hub: &ReplHub,
+    shutdown: &AtomicBool,
+    max_payload: usize,
+) {
+    loop {
+        let (kind, payload) = match read_frame(&mut stream, max_payload, Some(shutdown)) {
+            Ok(ReadEvent::Frame(kind, payload)) => (kind, payload),
+            // Clean EOF, shutdown, or a frame-level error (the byte stream
+            // can no longer be trusted): close the connection.
+            Ok(ReadEvent::Eof | ReadEvent::Shutdown) | Err(_) => return,
+        };
+        let response = match decode_request(kind, &payload) {
+            // The frame envelope was intact, so the stream is still
+            // synchronized: answer with a typed error and keep serving.
+            Err(e) => WireResponse::Error(ServeError::InvalidRequest(format!(
+                "undecodable request: {e}"
+            ))),
+            Ok(WireRequest::Serve(request)) => match client.call(request) {
+                Ok(response) => WireResponse::Serve(response),
+                Err(error) => WireResponse::Error(error),
+            },
+            Ok(WireRequest::Subscribe { deployment }) => {
+                stream_replication(stream, &deployment, registry, hub, shutdown);
+                return;
+            }
+        };
+        if stream.write_all(&encode_response(&response)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Streams a deployment's snapshot stream to one subscriber: registration
+/// first, then the full-snapshot anchor, then deltas until the connection or
+/// the server ends.
+fn stream_replication(
+    mut stream: WireStream,
+    deployment: &str,
+    registry: &LearnerRegistry,
+    hub: &ReplHub,
+    shutdown: &AtomicBool,
+) {
+    let deltas = hub.register(deployment);
+    // Snapshot *after* registering: a commit racing this snapshot either
+    // made it in (its delta arrives with seq <= anchor and is skipped) or
+    // not (its delta arrives with the next seq and is applied). No gap is
+    // possible.
+    let (seq, snapshot) = match registry.snapshot_with_seq(deployment) {
+        Ok(anchor) => anchor,
+        Err(error) => {
+            let _ = stream.write_all(&encode_response(&WireResponse::Error(error)));
+            return;
+        }
+    };
+    let full = WireResponse::Repl(ReplEvent::Full { seq, snapshot });
+    if stream.write_all(&encode_response(&full)).is_err() {
+        return;
+    }
+    loop {
+        match deltas.recv_timeout(POLL) {
+            Ok(commit) => {
+                let event = WireResponse::Repl(ReplEvent::Delta {
+                    seq: commit.seq,
+                    total_classes: commit.total_classes as u64,
+                    updates: commit
+                        .updates
+                        .iter()
+                        .map(|(class, prototype)| (*class as u64, prototype.clone()))
+                        .collect(),
+                });
+                if stream.write_all(&encode_response(&event)).is_err() {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            // Outside shutdown, a disconnected queue means the hub dropped
+            // this subscriber for lagging past the bounded queue depth. Say
+            // so in a typed frame before closing, so the follower records a
+            // replication error instead of a silent end of stream.
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                if !shutdown.load(Ordering::Acquire) {
+                    let lagged = WireResponse::Error(ServeError::Execution(format!(
+                        "replication subscriber for {deployment:?} lagged more than \
+                         {REPL_QUEUE_DEPTH} commits behind and was dropped; resubscribe \
+                         for a fresh snapshot anchor"
+                    )));
+                    let _ = stream.write_all(&encode_response(&lagged));
+                }
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-process serving walkthrough: a primary wire server takes online
+//! learning over a TCP socket while a snapshot-replicated follower tails its
+//! commit stream and serves bit-identical read-only inference on a second
+//! socket.
+//!
+//! Everything here crosses real sockets (loopback TCP with ephemeral
+//! ports) — the same code works with the primary and follower in different
+//! processes or on different machines.
+//!
+//! ```text
+//! cargo run --release -p ofscil --example replicated_serving
+//! ```
+
+use ofscil::prelude::*;
+use ofscil::serve::traffic;
+use std::error::Error;
+use std::time::Duration;
+
+const IMAGE: usize = 8;
+
+/// Primary and replica load the same pretrained weights (same seed here);
+/// replication then only has to move the explicit memory.
+fn pretrained() -> OFscilModel {
+    let mut rng = SeedRng::new(42);
+    OFscilModel::new(BackboneKind::Micro, 16, &mut rng)
+}
+
+fn registry() -> Result<LearnerRegistry, ServeError> {
+    let registry = LearnerRegistry::new();
+    registry.register(DeploymentSpec::new("wildlife-cam", (IMAGE, IMAGE)), pretrained())?;
+    Ok(registry)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let primary = registry()?;
+    let replica = registry()?;
+
+    WireServer::run(&primary, &WireConfig::tcp_loopback(), |primary_server| {
+        println!("primary serving on {}", primary_server.addr());
+        let mut writer = WireClient::connect(primary_server.addr())?;
+
+        // One learning session lands before the follower connects: it will
+        // arrive through the follower's full-snapshot anchor.
+        writer.call(ServeRequest::LearnOnline {
+            deployment: "wildlife-cam".into(),
+            batch: traffic::support_batch(IMAGE, &[0, 1], 5),
+        })?;
+
+        let config = FollowerConfig::new(primary_server.addr().clone(), &["wildlife-cam"]);
+        Follower::run(&replica, &config, |follower| -> Result<(), Box<dyn Error>> {
+            println!("follower serving read-only on {}", follower.addr());
+            follower.wait_for_seq("wildlife-cam", 1, Duration::from_secs(30))?;
+
+            // Two more sessions stream to the follower as sequence-numbered
+            // deltas while it keeps serving.
+            for (seq, classes) in [(2u64, vec![2usize, 3]), (3, vec![4])] {
+                writer.call(ServeRequest::LearnOnline {
+                    deployment: "wildlife-cam".into(),
+                    batch: traffic::support_batch(IMAGE, &classes, 5),
+                })?;
+                let applied =
+                    follower.wait_for_seq("wildlife-cam", seq, Duration::from_secs(30))?;
+                println!("follower caught up to commit seq {applied}");
+            }
+
+            // Read path: the follower answers over its own socket,
+            // bit-identically to the primary.
+            let mut reader = WireClient::connect(follower.addr())?;
+            let mut identical = 0usize;
+            for class in 0..5 {
+                let image = traffic::class_image(IMAGE, class, 0.01);
+                let from_primary = writer.call(ServeRequest::Infer {
+                    deployment: "wildlife-cam".into(),
+                    image: image.clone(),
+                })?;
+                let from_follower = reader.call(ServeRequest::Infer {
+                    deployment: "wildlife-cam".into(),
+                    image,
+                })?;
+                if let (
+                    ServeResponse::Prediction { class: p, similarity: ps, .. },
+                    ServeResponse::Prediction { class: f, similarity: fs, .. },
+                ) = (from_primary, from_follower)
+                {
+                    identical += usize::from(p == f && ps.to_bits() == fs.to_bits());
+                }
+            }
+            println!("predictions bit-identical on both sockets: {identical}/5");
+            assert_eq!(identical, 5, "replica diverged from primary");
+
+            // Replicas are diffable by hash: snapshot bytes are equal.
+            let p_snap = match writer
+                .call(ServeRequest::Snapshot { deployment: "wildlife-cam".into() })?
+            {
+                ServeResponse::Snapshot { bytes } => bytes,
+                other => return Err(format!("unexpected response {other:?}").into()),
+            };
+            let f_snap = match reader
+                .call(ServeRequest::Snapshot { deployment: "wildlife-cam".into() })?
+            {
+                ServeResponse::Snapshot { bytes } => bytes,
+                other => return Err(format!("unexpected response {other:?}").into()),
+            };
+            println!(
+                "snapshots: primary {} bytes, follower {} bytes, identical: {}",
+                p_snap.len(),
+                f_snap.len(),
+                p_snap == f_snap
+            );
+            assert_eq!(p_snap, f_snap, "snapshot bytes diverged");
+
+            // The follower is read-only: writes come back typed.
+            match reader.call(ServeRequest::LearnOnline {
+                deployment: "wildlife-cam".into(),
+                batch: traffic::support_batch(IMAGE, &[9], 5),
+            }) {
+                Err(WireError::Remote(ServeError::ReadOnlyReplica { deployment })) => {
+                    println!("write to follower rejected: ReadOnlyReplica({deployment:?})")
+                }
+                other => return Err(format!("expected ReadOnlyReplica, got {other:?}").into()),
+            }
+            Ok(())
+        })??;
+        Ok::<(), Box<dyn Error>>(())
+    })??;
+
+    println!("done: primary and follower tore down cleanly");
+    Ok(())
+}

@@ -107,6 +107,18 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     })??;
 
+    // -- Int8 conversion re-prices admission -------------------------------
+    // Registration priced the fp32 model at fp32 byte traffic; converting
+    // the deployment to int8 re-derives the price list, so the budget meter
+    // charges the cheaper quantized rate from here on (the gap widens with
+    // how DMA-bound the backbone is — 4x the bytes, same MACs).
+    let fp32 = registry.pricing("wildlife-cam")?;
+    let int8 = registry.convert_to_int8("wildlife-cam")?;
+    println!(
+        "int8 conversion re-priced inference: {:.4} -> {:.4} mJ per request",
+        fp32.infer_mj, int8.infer_mj
+    );
+
     // -- Warm restart: a brand-new model picks up the snapshot -------------
     println!("snapshot: {} bytes", snapshot.len());
     let mut rng = SeedRng::new(7);
