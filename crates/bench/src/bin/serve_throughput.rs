@@ -1,8 +1,8 @@
 //! Serving-runtime throughput: coalesced batching vs request-at-a-time vs
-//! the socket frontend.
+//! the socket frontend — plus a sharded-cluster mode.
 //!
-//! Drives one deployment of the serving runtime with the same inference
-//! traffic three times:
+//! By default, drives one deployment of the serving runtime with the same
+//! inference traffic three times:
 //!
 //! * **sequential** — `ServeConfig::sequential()` (one worker, batch cap
 //!   of one) with a blocking round trip per request: the classic
@@ -15,19 +15,28 @@
 //!   codec + socket hop cost on top of the in-process runtime (coalescing
 //!   still applies across connections).
 //!
+//! With `--shards N`, instead drives a **sharded cluster**: N backend
+//! serving processes behind the consistent-hash `ofscil_router`, several
+//! tenants spread across the ring, concurrent wire clients hammering the
+//! router, and one **live migration** mid-burst (asserted bit-exact via
+//! snapshot equality). Emits a `shard_rps` JSON line.
+//!
 //! Prints a human-readable table plus one machine-readable JSON line
 //! (`{"bench":"serve_throughput",...}`) so successive runs can chart the
 //! perf trajectory. `OFSCIL_SEED` overrides the seed; `OFSCIL_PROFILE=full`
 //! scales the traffic up.
 
 use ofscil::prelude::*;
+use ofscil::router::harness::ShardProcess;
 use ofscil::serve::traffic;
 use ofscil_bench::{full_profile_requested, rule, seed_from_env};
+use std::sync::Arc;
 use std::time::Instant;
 
 const IMAGE: usize = 8;
 const MAX_BATCH: usize = 32;
 const WIRE_CLIENTS: usize = 4;
+const SHARDED_TENANTS: usize = 6;
 
 fn class_image(class: usize, jitter: f32) -> Tensor {
     traffic::class_image(IMAGE, class, jitter)
@@ -123,9 +132,167 @@ fn run_wire(registry: &LearnerRegistry, requests: &[Tensor]) -> f64 {
     .expect("wire server")
 }
 
+/// Parses `--shards N` (or `--shards=N`) from the command line.
+fn shards_from_args() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            return Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--shards needs a positive integer");
+                std::process::exit(2);
+            }));
+        }
+        if let Some(value) = arg.strip_prefix("--shards=") {
+            return value.parse().ok().or_else(|| {
+                eprintln!("--shards needs a positive integer, got {value:?}");
+                std::process::exit(2);
+            });
+        }
+    }
+    None
+}
+
+/// A shard's registry: every tenant registered with per-tenant seeds, so all
+/// shards share weights per tenant and the explicit memory is the only
+/// serving state — the thing migration moves.
+fn sharded_registry(seed: u64) -> Arc<LearnerRegistry> {
+    let registry = LearnerRegistry::new();
+    for tenant in 0..SHARDED_TENANTS {
+        let mut rng = SeedRng::new(seed + tenant as u64);
+        registry
+            .register(
+                DeploymentSpec::new(&format!("tenant-{tenant}"), (IMAGE, IMAGE)),
+                OFscilModel::new(BackboneKind::Micro, 32, &mut rng),
+            )
+            .expect("registration");
+    }
+    Arc::new(registry)
+}
+
+fn router_snapshot(client: &mut WireClient, deployment: &str) -> Vec<u8> {
+    match client
+        .call(ServeRequest::Snapshot { deployment: deployment.into() })
+        .expect("snapshot via router")
+    {
+        ServeResponse::Snapshot { bytes } => bytes,
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+/// The sharded-cluster benchmark: N backends behind the router, a
+/// concurrent burst, one live migration mid-burst.
+fn run_sharded(seed: u64, shard_count: usize, requests_total: usize) {
+    println!(
+        "serve_throughput --shards {shard_count}: {requests_total} inference requests, \
+         {SHARDED_TENANTS} tenants behind the consistent-hash router, micro backbone \
+         (seed {seed})"
+    );
+    rule(78);
+
+    let shards: Vec<ShardProcess> = (0..shard_count)
+        .map(|_| {
+            ShardProcess::spawn(sharded_registry(seed), WireConfig::tcp_loopback())
+                .expect("shard boot")
+        })
+        .collect();
+    let tenant_names: Vec<String> =
+        (0..SHARDED_TENANTS).map(|t| format!("tenant-{t}")).collect();
+    let tenant_refs: Vec<&str> = tenant_names.iter().map(String::as_str).collect();
+    let config =
+        RouterConfig::tcp_loopback(shards.iter().map(|s| s.addr().clone()).collect())
+            .with_deployments(&tenant_refs);
+
+    RouterServer::run(&config, |router| {
+        let mut admin = WireClient::connect(router.addr()).expect("connect");
+        for tenant in &tenant_names {
+            admin
+                .call(ServeRequest::LearnOnline {
+                    deployment: tenant.clone(),
+                    batch: traffic::support_batch(IMAGE, &[0, 1, 2], 5),
+                })
+                .expect("online learning via router");
+        }
+        // The migration witness: tenant-0's snapshot must be bit-identical
+        // after moving shards mid-burst.
+        let mover = &tenant_names[0];
+        let before = router_snapshot(&mut admin, mover);
+        let source = router.shard_for(mover).expect("placement");
+        let target = (source + 1) % shard_count;
+
+        let start = Instant::now();
+        let migrated = std::thread::scope(|scope| {
+            for worker in 0..WIRE_CLIENTS {
+                let addr = router.addr().clone();
+                let tenants = &tenant_names;
+                let share = requests_total / WIRE_CLIENTS
+                    + usize::from(worker < requests_total % WIRE_CLIENTS);
+                scope.spawn(move || {
+                    let mut client = WireClient::connect(&addr).expect("connect");
+                    for i in 0..share {
+                        let tenant = &tenants[(worker + i) % tenants.len()];
+                        client
+                            .call(ServeRequest::Infer {
+                                deployment: tenant.clone(),
+                                image: traffic::class_image(IMAGE, i % 3, 0.01),
+                            })
+                            .expect("sharded inference");
+                    }
+                });
+            }
+            // Mid-burst, live-migrate tenant-0 while the clients hammer the
+            // router; routing remaps atomically under the placement lock.
+            router.migrate(mover, target).expect("live migration")
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+
+        assert_eq!(migrated.from, source);
+        assert_eq!(migrated.to, target);
+        let after = router_snapshot(&mut admin, mover);
+        assert_eq!(before, after, "migration must preserve snapshot bytes bit-exactly");
+
+        let shard_rps = requests_total as f64 / elapsed;
+        let slices = router.cluster_stats();
+        let shard_requests: Vec<u64> = slices
+            .iter()
+            .map(|slice| slice.deployments.iter().map(|d| d.infer_requests).sum())
+            .collect();
+
+        println!("{:<26} {:>12} {:>14}", "mode", "time [ms]", "throughput [req/s]");
+        println!(
+            "{:<26} {:>12.1} {:>14.0}",
+            format!("sharded ({shard_count} shards)"),
+            1e3 * elapsed,
+            shard_rps
+        );
+        rule(78);
+        println!(
+            "tenant {mover} migrated shard {source} -> {target} mid-burst \
+             (seq {}, {} classes), snapshots bit-identical; per-shard requests {:?}",
+            migrated.seq, migrated.classes, shard_requests
+        );
+        println!(
+            "{{\"bench\":\"serve_throughput\",\"mode\":\"sharded\",\"seed\":{seed},\
+             \"requests\":{requests_total},\"shards\":{shard_count},\
+             \"tenants\":{SHARDED_TENANTS},\"wire_clients\":{WIRE_CLIENTS},\
+             \"shard_rps\":{shard_rps:.1},\"migrations\":1,\
+             \"shard_requests\":{shard_requests:?}}}"
+        );
+    })
+    .expect("router");
+
+    for shard in shards {
+        shard.stop();
+    }
+}
+
 fn main() {
     let seed = seed_from_env();
     let requests_total = if full_profile_requested() { 4096 } else { 512 };
+    if let Some(shard_count) = shards_from_args() {
+        assert!(shard_count > 0, "--shards must be at least 1");
+        run_sharded(seed, shard_count, requests_total);
+        return;
+    }
     println!(
         "serve_throughput: {requests_total} inference requests, one tenant, \
          micro backbone, max_batch {MAX_BATCH} (seed {seed})"

@@ -19,7 +19,12 @@
 //!   deployments,
 //! * [`wire`] — cross-process serving: the checksummed binary wire protocol,
 //!   the blocking TCP / Unix-socket server and client, and the
-//!   snapshot-replicated read-only follower mode.
+//!   snapshot-replicated read-only follower mode,
+//! * [`router`] — consistent-hash sharding for multi-process deployments:
+//!   one client-facing wire address in front of N backend serving
+//!   processes, with pooled connections, shard health probing,
+//!   scatter-gather cluster statistics and live explicit-memory migration
+//!   between shards.
 //!
 //! # Quickstart
 //!
@@ -47,6 +52,7 @@ pub use ofscil_data as data;
 pub use ofscil_gap9 as gap9;
 pub use ofscil_nn as nn;
 pub use ofscil_quant as quant;
+pub use ofscil_router as router;
 pub use ofscil_serve as serve;
 pub use ofscil_tensor as tensor;
 pub use ofscil_wire as wire;
@@ -74,10 +80,14 @@ pub mod prelude {
     pub use ofscil_nn::profile::{profile_backbone, profile_with_fcr};
     pub use ofscil_nn::{Layer, Mode};
     pub use ofscil_quant::{ExplicitMemoryFootprint, FakeQuant, PrototypePrecision, QuantTensor};
+    pub use ofscil_router::{
+        HashRing, MigrationReport, PoolConfig, RouterConfig, RouterError, RouterHandle,
+        RouterServer, ShardHealth, ShardStats,
+    };
     pub use ofscil_serve::{
-        decode_explicit_memory, encode_explicit_memory, BudgetPolicy, DeploymentSpec,
-        DeploymentStats, LearnCommit, LearnerRegistry, PendingResponse, ServeClient, ServeConfig,
-        ServeError, ServeRequest, ServeResponse, ServeRuntime,
+        decode_explicit_memory, encode_explicit_memory, BudgetPolicy, DeploymentExport,
+        DeploymentSpec, DeploymentStats, LearnCommit, LearnerRegistry, PendingResponse,
+        ServeClient, ServeConfig, ServeError, ServeRequest, ServeResponse, ServeRuntime,
     };
     pub use ofscil_tensor::{SeedRng, Tensor};
     pub use ofscil_wire::{

@@ -1,0 +1,116 @@
+//! Backend-shard harness: run a [`WireServer`] on its own thread with a
+//! stop switch.
+//!
+//! The wire and router layers are process-agnostic — everything crosses real
+//! sockets — so tests, benches and examples stand a "backend process" up as
+//! a dedicated thread owning its own [`LearnerRegistry`] and socket. The
+//! same topology runs with actual OS processes by starting one
+//! `WireServer` per process; this harness exists so a single binary can
+//! spin a whole sharded cluster up and tear members down (including
+//! mid-run, to exercise failover).
+
+use ofscil_serve::LearnerRegistry;
+use ofscil_wire::{BoundAddr, WireConfig, WireError, WireServer};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// One backend shard: a [`WireServer`] over its own registry, running on a
+/// dedicated thread until stopped (or dropped).
+#[derive(Debug)]
+pub struct ShardProcess {
+    addr: BoundAddr,
+    stop: Option<mpsc::Sender<()>>,
+    join: Option<JoinHandle<Result<(), WireError>>>,
+}
+
+impl ShardProcess {
+    /// Boots a shard: binds the server, reports readiness, and keeps serving
+    /// until [`ShardProcess::stop`] (or drop). The registry is shared —
+    /// callers keep their own `Arc` clone to inspect or pre-load state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's bind error when the shard never came up.
+    pub fn spawn(
+        registry: Arc<LearnerRegistry>,
+        config: WireConfig,
+    ) -> Result<Self, WireError> {
+        let (addr_tx, addr_rx) = mpsc::channel();
+        let (stop_tx, stop_rx) = mpsc::channel::<()>();
+        let join = std::thread::spawn(move || {
+            WireServer::run(&registry, &config, |handle| {
+                let _ = addr_tx.send(handle.addr().clone());
+                // Blocks until `stop` fires or the ShardProcess is dropped
+                // (sender gone ⇒ recv errors ⇒ the server tears down).
+                let _ = stop_rx.recv();
+            })
+        });
+        match addr_rx.recv() {
+            Ok(addr) => Ok(ShardProcess { addr, stop: Some(stop_tx), join: Some(join) }),
+            // The server never reached its body; join it for the bind error.
+            Err(_) => match join.join() {
+                Ok(Err(error)) => Err(error),
+                Ok(Ok(())) => Err(WireError::Protocol(
+                    "shard server exited before reporting its address".into(),
+                )),
+                Err(_) => Err(WireError::Protocol("shard server thread panicked".into())),
+            },
+        }
+    }
+
+    /// The shard's bound wire address.
+    pub fn addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+
+    /// Shuts the shard down and waits for its server to finish draining.
+    /// After this returns, the address refuses connections — the way a test
+    /// "kills" a shard to exercise `ShardUnavailable` failover.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        // Either the explicit signal or dropping the sender unblocks the
+        // server body.
+        if let Some(stop) = self.stop.take() {
+            let _ = stop.send(());
+            drop(stop);
+        }
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ShardProcess {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofscil_wire::WireClient;
+
+    #[test]
+    fn shard_boots_serves_and_stops() {
+        let registry = Arc::new(LearnerRegistry::new());
+        let shard =
+            ShardProcess::spawn(Arc::clone(&registry), WireConfig::tcp_loopback()).unwrap();
+        let addr = shard.addr().clone();
+        // Reachable while up...
+        let mut client = WireClient::connect(&addr).unwrap();
+        let err = client
+            .call(ofscil_serve::ServeRequest::Stats { deployment: "ghost".into() })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::Remote(ofscil_serve::ServeError::UnknownDeployment(_))
+        ));
+        shard.stop();
+        // ...and refusing connections after stop.
+        assert!(WireClient::connect(&addr).is_err());
+    }
+}

@@ -1,0 +1,587 @@
+//! The client-facing router frontend and its admin handle.
+//!
+//! ```text
+//!  clients ──wire frames──▶ RouterServer ──peek deployment──▶ hash ring
+//!                               │                                │
+//!                               │   forward frame verbatim       ▼
+//!                               └──────▶ ShardPool ───▶ owning WireServer
+//!
+//!  RouterHandle: cluster_stats (scatter-gather), migrate / add_shard /
+//!  drain_shard (live explicit-memory migration + atomic ring remap), probe
+//! ```
+//!
+//! The router speaks the existing wire frame protocol on its own address, so
+//! every [`WireClient`] works against it unchanged. Requests are **peeked**,
+//! not decoded: the leading deployment string selects the owning shard and
+//! the frame bytes are forwarded untouched, which keeps the routing hop free
+//! of tensor deserialization and makes bit-exactness across the hop trivial.
+//!
+//! Placement = the consistent-hash ring plus a per-deployment location map.
+//! The map starts as the pure ring assignment and is updated by migrations;
+//! a migration exports the deployment's explicit memory from the source
+//! shard (the PR 2 snapshot codec, bit-exact), imports it on the target, and
+//! remaps the deployment — all under the placement write lock, so no request
+//! can route against a half-moved deployment.
+
+use crate::error::RouterError;
+use crate::pool::{PoolConfig, ShardHealth, ShardPool};
+use crate::ring::HashRing;
+use ofscil_serve::{DeploymentStats, ServeError, ServeRequest, ServeResponse};
+use ofscil_wire::codec::encode_response;
+use ofscil_wire::{
+    peek_request, read_frame_verbatim, BoundAddr, ShutdownOnDrop, VerbatimEvent, VerbatimFrame,
+    WireBind, WireListener, WireResponse, WireStream, DEFAULT_MAX_PAYLOAD,
+};
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::RwLock;
+use std::time::Duration;
+
+/// How often blocked router loops wake to poll the shutdown flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Configuration of a [`RouterServer`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Where the router listens for clients.
+    pub bind: WireBind,
+    /// Backend shard addresses; index = shard id on the ring.
+    pub shards: Vec<BoundAddr>,
+    /// Deployments the router places and manages. Routing itself hashes any
+    /// name, but migration, rebalancing and cluster statistics operate on
+    /// this known set.
+    pub deployments: Vec<String>,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Maximum accepted frame payload in bytes.
+    pub max_payload: usize,
+    /// Connection-pool knobs (retries, backoff, cooldown).
+    pub pool: PoolConfig,
+}
+
+impl RouterConfig {
+    /// A router on an ephemeral loopback TCP port in front of `shards`.
+    pub fn tcp_loopback(shards: Vec<BoundAddr>) -> Self {
+        RouterConfig {
+            bind: WireBind::Tcp("127.0.0.1:0".into()),
+            shards,
+            deployments: Vec::new(),
+            vnodes: 64,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            pool: PoolConfig::default(),
+        }
+    }
+
+    /// Sets the managed deployment set (builder style).
+    #[must_use]
+    pub fn with_deployments(mut self, deployments: &[&str]) -> Self {
+        self.deployments = deployments.iter().map(|d| d.to_string()).collect();
+        self
+    }
+
+    /// Sets the virtual-node count per shard (builder style).
+    #[must_use]
+    pub fn with_vnodes(mut self, vnodes: usize) -> Self {
+        self.vnodes = vnodes;
+        self
+    }
+
+    /// Sets the pool configuration (builder style).
+    #[must_use]
+    pub fn with_pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::InvalidConfig`] when no shards are given or a
+    /// knob is zero.
+    pub fn validate(&self) -> Result<(), RouterError> {
+        if self.shards.is_empty() {
+            return Err(RouterError::InvalidConfig(
+                "a router needs at least one backend shard".into(),
+            ));
+        }
+        if self.vnodes == 0 {
+            return Err(RouterError::InvalidConfig("vnodes must be at least 1".into()));
+        }
+        if self.max_payload == 0 {
+            return Err(RouterError::InvalidConfig("max_payload must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Where every deployment currently lives: the pure ring assignment,
+/// overridden by migrations.
+#[derive(Debug)]
+struct Placement {
+    ring: HashRing,
+    /// Current shard of every *known* deployment. Starts as the ring
+    /// assignment; migrations update it. Names outside the map fall back to
+    /// the ring hash.
+    location: HashMap<String, usize>,
+}
+
+impl Placement {
+    fn shard_for(&self, deployment: &str) -> Result<usize, RouterError> {
+        if let Some(&shard) = self.location.get(deployment) {
+            return Ok(shard);
+        }
+        self.ring.shard_for(deployment).ok_or(RouterError::EmptyRing)
+    }
+}
+
+/// State shared between the accept loop and the admin handle.
+struct Shared {
+    pool: ShardPool,
+    placement: RwLock<Placement>,
+}
+
+/// One shard's slice of a scatter-gathered cluster statistics read.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard id.
+    pub shard: usize,
+    /// The shard's wire address.
+    pub addr: BoundAddr,
+    /// Statistics of every managed deployment this shard currently owns.
+    pub deployments: Vec<DeploymentStats>,
+    /// Set when the shard could not be queried; `deployments` is then
+    /// whatever was gathered before the failure.
+    pub error: Option<String>,
+}
+
+/// What one live migration did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// The migrated deployment.
+    pub deployment: String,
+    /// Shard the state was exported from.
+    pub from: usize,
+    /// Shard the state now lives on.
+    pub to: usize,
+    /// Replication sequence number the moved snapshot was taken at.
+    pub seq: u64,
+    /// Classes restored on the target.
+    pub classes: u64,
+}
+
+/// Handle the body of [`RouterServer::run`] receives: the bound address plus
+/// the cluster-admin operations (probing, scatter-gather statistics, live
+/// migration, ring membership).
+pub struct RouterHandle<'a> {
+    addr: BoundAddr,
+    shared: &'a Shared,
+}
+
+impl RouterHandle<'_> {
+    /// The router's client-facing address — point any
+    /// [`WireClient`](ofscil_wire::WireClient) here.
+    pub fn addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+
+    /// The shard currently serving `deployment`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::EmptyRing`] when every shard was drained.
+    pub fn shard_for(&self, deployment: &str) -> Result<usize, RouterError> {
+        self.shared
+            .placement
+            .read()
+            .expect("placement lock poisoned")
+            .shard_for(deployment)
+    }
+
+    /// Actively probes every shard (one fresh connection each). A healthy
+    /// probe clears a shard's failure cooldown early.
+    pub fn probe(&self) -> Vec<ShardHealth> {
+        self.shared.pool.probe_all()
+    }
+
+    /// Scatter-gather statistics: every shard is queried concurrently for
+    /// the managed deployments it currently owns, and the per-shard slices
+    /// are gathered in shard order. An unreachable shard yields its error in
+    /// [`ShardStats::error`] instead of failing the whole read.
+    pub fn cluster_stats(&self) -> Vec<ShardStats> {
+        // Snapshot the placement, then release the lock before any network
+        // work: the scatter must not block routing.
+        let mut by_shard: HashMap<usize, Vec<String>> = HashMap::new();
+        let shard_ids = {
+            let placement = self.shared.placement.read().expect("placement lock poisoned");
+            for name in placement.location.keys() {
+                if let Ok(shard) = placement.shard_for(name) {
+                    by_shard.entry(shard).or_default().push(name.clone());
+                }
+            }
+            placement.ring.shard_ids()
+        };
+        let pool = &self.shared.pool;
+        let mut slices: Vec<ShardStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_ids
+                .iter()
+                .map(|&shard| {
+                    let mut names = by_shard.remove(&shard).unwrap_or_default();
+                    names.sort_unstable();
+                    scope.spawn(move || gather_shard_stats(pool, shard, &names))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("stats gather thread panicked"))
+                .collect()
+        });
+        slices.sort_by_key(|slice| slice.shard);
+        slices
+    }
+
+    /// Live-migrates one deployment to `target`: exports the explicit memory
+    /// from the current owner (bit-exact snapshot codec), imports it on the
+    /// target, and atomically remaps the deployment — all under the
+    /// placement write lock, so no request routes against a half-moved
+    /// deployment.
+    ///
+    /// Holding the lock across the export/import round trips deliberately
+    /// pauses **all** routing for the duration of the move (normally
+    /// single-digit milliseconds — the explicit memory is kilobytes). This
+    /// is what shrinks the lost-write window to requests already in flight
+    /// when the export snapshot is cut; a hung target can stretch the pause,
+    /// so migrate onto shards a [`probe`](RouterHandle::probe) reports
+    /// healthy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::UnknownShard`] for bad targets,
+    /// [`RouterError::InvalidConfig`] when the deployment already lives on
+    /// `target`, [`RouterError::ShardUnavailable`] when either side cannot
+    /// be reached, and [`RouterError::Remote`] when a shard refused (e.g.
+    /// the deployment is not registered on the target).
+    pub fn migrate(
+        &self,
+        deployment: &str,
+        target: usize,
+    ) -> Result<MigrationReport, RouterError> {
+        let mut placement =
+            self.shared.placement.write().expect("placement lock poisoned");
+        if target >= self.shared.pool.len() {
+            return Err(RouterError::UnknownShard(target));
+        }
+        let from = placement.shard_for(deployment)?;
+        if from == target {
+            return Err(RouterError::InvalidConfig(format!(
+                "deployment {deployment:?} already lives on shard {target}"
+            )));
+        }
+        let report = migrate_locked(&self.shared.pool, &mut placement, deployment, from, target)?;
+        Ok(report)
+    }
+
+    /// Adds a backend shard and rebalances: every managed deployment whose
+    /// ring assignment moved onto the new shard is live-migrated there.
+    /// Returns the new shard id and the migrations performed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a pool or shard error when a migration fails; deployments
+    /// already moved stay moved (placement remains consistent), the rest
+    /// keep their old shard.
+    pub fn add_shard(
+        &self,
+        addr: BoundAddr,
+    ) -> Result<(usize, Vec<MigrationReport>), RouterError> {
+        let mut placement =
+            self.shared.placement.write().expect("placement lock poisoned");
+        let pool_id = self.shared.pool.add_shard(addr);
+        let ring_id = placement.ring.add_shard();
+        debug_assert_eq!(pool_id, ring_id, "pool and ring ids must stay aligned");
+        let moves = rebalance_locked(&self.shared.pool, &mut placement)?;
+        Ok((ring_id, moves))
+    }
+
+    /// Drains a shard: removes it from the ring and live-migrates every
+    /// managed deployment it owned to the deployment's new ring assignment.
+    /// The drained shard keeps its id (never recycled) but receives no
+    /// further traffic. Returns the migrations performed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::UnknownShard`] when the id is neither on the
+    /// ring nor hosting stranded deployments, [`RouterError::InvalidConfig`]
+    /// when it is the last ring shard, and a pool or shard error when a
+    /// migration fails. A partial failure leaves the ring removal standing
+    /// and the unmigrated deployments routing to the drained shard;
+    /// **retrying** `drain_shard` on the same id resumes moving whatever is
+    /// still stranded.
+    pub fn drain_shard(&self, shard: usize) -> Result<Vec<MigrationReport>, RouterError> {
+        let mut placement =
+            self.shared.placement.write().expect("placement lock poisoned");
+        if placement.ring.contains(shard) {
+            if placement.ring.len() <= 1 {
+                return Err(RouterError::InvalidConfig(
+                    "cannot drain the last shard on the ring".into(),
+                ));
+            }
+            placement.ring.remove_shard(shard);
+        } else if !placement.location.values().any(|&s| s == shard) {
+            return Err(RouterError::UnknownShard(shard));
+        }
+        // A re-drain after a partially-failed attempt lands here with the
+        // ring already updated; the rebalance moves what is still stranded.
+        rebalance_locked(&self.shared.pool, &mut placement)
+    }
+}
+
+/// Queries one shard for the statistics of the given deployments.
+fn gather_shard_stats(pool: &ShardPool, shard: usize, names: &[String]) -> ShardStats {
+    let addr = pool.addr(shard).expect("shard id from the ring");
+    let mut stats = ShardStats { shard, addr, deployments: Vec::new(), error: None };
+    for name in names {
+        let result = pool.with_conn(shard, true, |conn| {
+            conn.call(ServeRequest::Stats { deployment: name.clone() })
+        });
+        match result {
+            Ok(ServeResponse::Stats(s)) => stats.deployments.push(s),
+            Ok(other) => {
+                stats.error = Some(format!("unexpected stats response: {other:?}"));
+                break;
+            }
+            Err(e) => {
+                stats.error = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    stats
+}
+
+/// Export → import → remap, with the placement write lock already held.
+fn migrate_locked(
+    pool: &ShardPool,
+    placement: &mut Placement,
+    deployment: &str,
+    from: usize,
+    to: usize,
+) -> Result<MigrationReport, RouterError> {
+    let export = pool.with_conn(from, true, |conn| conn.export(deployment))?;
+    // Import mutates the target: never replayed on an ambiguous failure.
+    let classes = pool.with_conn(to, false, |conn| conn.import(&export))?;
+    placement.location.insert(deployment.to_string(), to);
+    Ok(MigrationReport {
+        deployment: deployment.to_string(),
+        from,
+        to,
+        seq: export.seq,
+        classes,
+    })
+}
+
+/// Moves every managed deployment whose current location disagrees with its
+/// ring assignment. Used by both shard addition (keys move *onto* the new
+/// shard) and draining (keys move *off* the removed shard).
+fn rebalance_locked(
+    pool: &ShardPool,
+    placement: &mut Placement,
+) -> Result<Vec<MigrationReport>, RouterError> {
+    let mut names: Vec<String> = placement.location.keys().cloned().collect();
+    names.sort_unstable();
+    let mut moves = Vec::new();
+    for name in names {
+        let current = placement.location[&name];
+        let target = placement.ring.shard_for(&name).ok_or(RouterError::EmptyRing)?;
+        if target != current {
+            moves.push(migrate_locked(pool, placement, &name, current, target)?);
+        }
+    }
+    Ok(moves)
+}
+
+/// The client-facing sharding router: binds a wire-frame listener, routes
+/// for exactly the duration of the body, then tears down deterministically.
+#[derive(Debug)]
+pub struct RouterServer;
+
+impl RouterServer {
+    /// Runs a routing session. The listener, the shard pools and every
+    /// connection thread live for exactly the duration of `body`, which
+    /// receives the [`RouterHandle`] carrying the bound address and the
+    /// admin operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::InvalidConfig`] for bad configurations and a
+    /// wire error when binding fails.
+    pub fn run<T, F>(config: &RouterConfig, body: F) -> Result<T, RouterError>
+    where
+        F: for<'a> FnOnce(&RouterHandle<'a>) -> T,
+    {
+        config.validate()?;
+        let ring = HashRing::new(config.shards.len(), config.vnodes);
+        let location = config
+            .deployments
+            .iter()
+            .map(|name| {
+                let shard = ring.shard_for(name).expect("validated non-empty ring");
+                (name.clone(), shard)
+            })
+            .collect();
+        let shared = Shared {
+            pool: ShardPool::new(config.shards.clone(), config.pool.clone()),
+            placement: RwLock::new(Placement { ring, location }),
+        };
+
+        let (listener, addr) = WireListener::bind(&config.bind)?;
+        listener.set_nonblocking(true)?;
+        let shutdown = AtomicBool::new(false);
+
+        let value = std::thread::scope(|scope| {
+            let shared = &shared;
+            let shutdown = &shutdown;
+            let max_payload = config.max_payload;
+            scope.spawn(move || {
+                accept_loop(scope, &listener, shared, shutdown, max_payload);
+            });
+
+            let handle = RouterHandle { addr: addr.clone(), shared };
+            let _shutdown_on_exit = ShutdownOnDrop::new(shutdown);
+            body(&handle)
+            // The guard raises the flag on return *and* on panic; the scope
+            // then joins the accept loop and every connection thread, all of
+            // which poll the flag within `POLL`.
+        });
+
+        #[cfg(unix)]
+        if let BoundAddr::Unix(path) = &addr {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(value)
+    }
+}
+
+/// Accepts client connections until shutdown, one scoped thread each.
+fn accept_loop<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    listener: &WireListener,
+    shared: &'scope Shared,
+    shutdown: &'scope AtomicBool,
+    max_payload: usize,
+) {
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok(stream) => {
+                if stream.configure_for_server(POLL).is_err() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    serve_connection(stream, shared, shutdown, max_payload);
+                });
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // Transient accept failures must not kill the listener.
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Serves one client connection: read a frame, pick the shard, forward the
+/// frame verbatim, relay the answer.
+fn serve_connection(
+    mut stream: WireStream,
+    shared: &Shared,
+    shutdown: &AtomicBool,
+    max_payload: usize,
+) {
+    loop {
+        let frame = match read_frame_verbatim(&mut stream, max_payload, Some(shutdown)) {
+            Ok(VerbatimEvent::Frame(frame)) => frame,
+            Ok(VerbatimEvent::Eof | VerbatimEvent::Shutdown) | Err(_) => return,
+        };
+        let reply = route_one(shared, &frame);
+        if stream.write_all(&reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Routes a single request frame and returns the reply frame bytes. Both
+/// directions relay the already-validated frame bytes untouched — no
+/// payload copy, no checksum recomputation on the hot path.
+fn route_one(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
+    let peek = match peek_request(frame.kind, frame.payload()) {
+        Ok(peek) => peek,
+        Err(e) => {
+            return encode_response(&WireResponse::Error(ServeError::InvalidRequest(
+                format!("unroutable request: {e}"),
+            )));
+        }
+    };
+    let shard = {
+        let placement = shared.placement.read().expect("placement lock poisoned");
+        match placement.shard_for(&peek.deployment) {
+            Ok(shard) => shard,
+            Err(e) => return encode_response(&WireResponse::Error(e.to_serve_error())),
+        }
+    };
+    if peek.streaming {
+        // A subscription turns the connection into an open-ended stream; the
+        // router's pooled request/response connections cannot carry that.
+        // Point the subscriber at the owning shard instead.
+        let addr = shared
+            .pool
+            .addr(shard)
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        return encode_response(&WireResponse::Error(ServeError::InvalidRequest(format!(
+            "replication subscriptions are not proxied; subscribe to the owning shard \
+             {shard} directly at {addr}"
+        ))));
+    }
+    // Reads may retry once on a fresh connection when a pooled one went
+    // stale; writes must not be replayed (the shard may have applied them).
+    match shared.pool.with_conn(shard, !peek.write, |conn| conn.forward_frame(&frame.bytes)) {
+        Ok(reply) => reply,
+        Err(e) => encode_response(&WireResponse::Error(e.to_serve_error())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_catches_zero_knobs() {
+        assert!(matches!(
+            RouterConfig::tcp_loopback(vec![]).validate().unwrap_err(),
+            RouterError::InvalidConfig(_)
+        ));
+        let addr = BoundAddr::Tcp("127.0.0.1:1".parse().unwrap());
+        let config = RouterConfig::tcp_loopback(vec![addr.clone()]).with_vnodes(0);
+        assert!(config.validate().is_err());
+        let mut config = RouterConfig::tcp_loopback(vec![addr]);
+        config.max_payload = 0;
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn placement_prefers_migrated_locations_over_the_ring() {
+        let ring = HashRing::new(3, 64);
+        let home = ring.shard_for("tenant-a").unwrap();
+        let elsewhere = (home + 1) % 3;
+        let mut placement = Placement { ring, location: HashMap::new() };
+        assert_eq!(placement.shard_for("tenant-a").unwrap(), home);
+        placement.location.insert("tenant-a".into(), elsewhere);
+        assert_eq!(placement.shard_for("tenant-a").unwrap(), elsewhere);
+        // Unknown names still hash onto the ring.
+        assert!(placement.shard_for("never-registered").is_ok());
+    }
+}

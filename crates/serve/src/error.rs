@@ -42,6 +42,24 @@ pub enum ServeError {
         /// Deployment the write was addressed to.
         deployment: String,
     },
+    /// A replication subscriber fell behind the primary's bounded commit
+    /// queue and was dropped. Typed so a follower can tell this recoverable
+    /// condition (resubscribe for a fresh full-snapshot anchor) apart from a
+    /// genuine execution failure.
+    ReplicationLagged {
+        /// Deployment whose subscription was dropped.
+        deployment: String,
+    },
+    /// The backend shard that owns the deployment cannot be reached. Emitted
+    /// by a routing layer (`ofscil_router`) sitting in front of several
+    /// serving processes — it travels the wire typed so clients can
+    /// distinguish "the shard is down" from a request-level failure.
+    ShardUnavailable {
+        /// Human-readable shard identity (index and address).
+        shard: String,
+        /// What failed when the shard was contacted.
+        detail: String,
+    },
     /// The runtime configuration is inconsistent.
     InvalidConfig(String),
     /// Executing a request against the model failed. Carries the formatted
@@ -85,6 +103,15 @@ impl fmt::Display for ServeError {
                 "deployment {deployment:?} is served by a read-only replica; \
                  writes must go to the primary"
             ),
+            ServeError::ReplicationLagged { deployment } => write!(
+                f,
+                "replication subscriber for {deployment:?} lagged behind the primary's \
+                 bounded commit queue and was dropped; resubscribe for a fresh snapshot \
+                 anchor"
+            ),
+            ServeError::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} is unavailable: {detail}")
+            }
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve configuration: {msg}"),
             ServeError::Execution(msg) => write!(f, "request execution failed: {msg}"),
             ServeError::ShuttingDown => write!(f, "the serving runtime is shutting down"),
@@ -152,5 +179,13 @@ mod tests {
         let e: ServeError =
             Gap9Error::InvalidCoreCount { requested: 16, available: 8 }.into();
         assert!(e.to_string().contains("16"));
+        let e = ServeError::ShardUnavailable {
+            shard: "2 (tcp://127.0.0.1:4102)".into(),
+            detail: "connection refused".into(),
+        };
+        assert!(e.to_string().contains("unavailable"));
+        assert!(e.source().is_none());
+        let e = ServeError::ReplicationLagged { deployment: "t".into() };
+        assert!(e.to_string().contains("resubscribe"));
     }
 }

@@ -21,7 +21,10 @@
 //! * energy-budget admission — every request is priced in millijoules on the
 //!   GAP9 cost model ([`RequestPricing`]); once a deployment's budget is
 //!   spent, work is rejected or deferred per [`BudgetPolicy`], turning the
-//!   paper's 12 mJ/class headline into a runtime policy,
+//!   paper's 12 mJ/class headline into a runtime policy. Coalesced batches
+//!   are settled at their **amortized** energy after running: the batch
+//!   streams the weights once, so the meter refunds the difference to `n`
+//!   independent passes,
 //! * [`snapshot`] — an in-tree binary codec that round-trips the explicit
 //!   memory bit-exactly for warm restart and replication (the workspace's
 //!   `serde` stand-in is marker-only, so the wire format lives here),
@@ -76,7 +79,8 @@ pub mod traffic;
 pub use config::ServeConfig;
 pub use error::ServeError;
 pub use registry::{
-    BudgetPolicy, DeploymentSpec, DeploymentStats, LearnerRegistry, RequestPricing,
+    BudgetPolicy, DeploymentExport, DeploymentSpec, DeploymentStats, LearnerRegistry,
+    RequestPricing,
 };
 pub use request::{PendingResponse, ServeRequest, ServeResponse};
 pub use runtime::{LearnCommit, ServeClient, ServeRuntime};

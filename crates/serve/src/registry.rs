@@ -124,6 +124,22 @@ fn workload_energy_mj(workload: &NetworkWorkload, basis: &PricingBasis) -> Resul
     Ok(PowerModel::new(basis.gap9.clone()).energy_mj(&estimate))
 }
 
+/// Scales a single-sample workload to a coalesced batch of `batch` samples:
+/// MACs, activation traffic and parallel work all grow with the batch, while
+/// the weight traffic is paid **once** — the weights stream through the DMA a
+/// single time and every sample in the batch reuses them. That one-time
+/// weight cost is where batched inference undercuts `batch` independent
+/// passes.
+fn scale_workload_to_batch(workload: &mut NetworkWorkload, batch: usize) {
+    let batch = batch as u64;
+    for layer in &mut workload.layers {
+        layer.macs *= batch;
+        layer.input_bytes *= batch;
+        layer.output_bytes *= batch;
+        layer.parallel_units *= batch;
+    }
+}
+
 /// Derives the price list for the model at its *current* execution precision:
 /// an fp32 model pays fp32 byte traffic; once converted to int8 the same
 /// deployment is re-priced at the cheaper quantized rate.
@@ -137,6 +153,39 @@ fn derive_pricing(model: &OFscilModel, basis: &PricingBasis) -> Result<RequestPr
     }
     let per_pass_mj = workload_energy_mj(&backbone, basis)? + workload_energy_mj(&fcr, basis)?;
     Ok(RequestPricing { infer_mj: per_pass_mj, learn_sample_mj: per_pass_mj })
+}
+
+/// Device-model energy of one coalesced inference batch of `batch` samples at
+/// the model's current execution precision, in millijoules.
+fn derive_batched_infer_mj(
+    model: &OFscilModel,
+    basis: &PricingBasis,
+    batch: usize,
+) -> Result<f64> {
+    let (height, width) = basis.image_hw;
+    let mut backbone = deploy_backbone(model.backbone(), height, width);
+    let mut fcr = deploy_fcr(model.backbone().feature_dim, model.projection_dim());
+    if !model.is_int8() {
+        scale_workload_to_fp32(&mut backbone);
+        scale_workload_to_fp32(&mut fcr);
+    }
+    scale_workload_to_batch(&mut backbone, batch);
+    scale_workload_to_batch(&mut fcr, batch);
+    Ok(workload_energy_mj(&backbone, basis)? + workload_energy_mj(&fcr, basis)?)
+}
+
+/// A deployment's migratable serving state, as produced by
+/// [`LearnerRegistry::export_deployment`] and consumed by
+/// [`LearnerRegistry::import_deployment`]: the bit-exact explicit-memory
+/// snapshot and the replication sequence number it was taken at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeploymentExport {
+    /// Deployment name (must be registered on the importing side).
+    pub name: String,
+    /// Replication sequence number the snapshot was taken at.
+    pub seq: u64,
+    /// `ofscil_serve::snapshot` codec bytes.
+    pub snapshot: Vec<u8>,
 }
 
 /// Point-in-time statistics of one deployment.
@@ -221,6 +270,19 @@ impl EnergyMeter {
         }
     }
 
+    /// Returns `mj` to the meter: the spend drops (never below zero), the
+    /// budget itself is untouched. This is how amortized batch pricing is
+    /// settled — admission conservatively charges the single-sample rate per
+    /// request, and once a coalesced batch has actually run, the difference
+    /// to the batch's cheaper amortized cost is handed back.
+    pub fn refund(&self, mj: f64) {
+        if !mj.is_finite() || mj <= 0.0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("meter lock poisoned");
+        inner.spent_mj = (inner.spent_mj - mj).max(0.0);
+    }
+
     /// Raises the budget by `mj` (a no-op for unlimited deployments).
     pub fn top_up(&self, mj: f64) {
         let mut inner = self.inner.lock().expect("meter lock poisoned");
@@ -259,6 +321,9 @@ pub(crate) struct Deployment {
     /// `LearnOnline`, read/written only while the model lock is held so the
     /// sequence order matches the order of memory mutations exactly.
     pub repl_seq: Mutex<u64>,
+    /// Memoized coalesced-batch energies by batch size; cleared whenever the
+    /// deployment is re-priced (int8 conversion).
+    batched_mj: Mutex<HashMap<usize, f64>>,
     /// Inputs for re-deriving the price list on precision changes.
     basis: PricingBasis,
 }
@@ -277,6 +342,40 @@ impl Deployment {
     /// The current request price list.
     pub fn pricing(&self) -> RequestPricing {
         *self.pricing.lock().expect("pricing lock poisoned")
+    }
+
+    /// Device-model energy of one coalesced inference batch of `n` samples,
+    /// in millijoules. Activations and MACs scale with the batch while the
+    /// weight traffic is paid once, so this undercuts `n` single passes —
+    /// the amortization the budget meter settles after the batch runs.
+    /// Clamped to at most `n` single passes (refunds can never go negative)
+    /// and memoized per batch size.
+    pub fn batched_infer_mj(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return self.pricing().infer_mj;
+        }
+        if let Some(&mj) = self.batched_mj.lock().expect("batch cache poisoned").get(&n) {
+            return mj;
+        }
+        // Derive and memoize while holding the model lock: int8 conversion
+        // re-prices and clears this cache under the same lock, so a stale
+        // fp32-derived value can never be inserted after the clear.
+        let model = self.model.lock().expect("model lock poisoned");
+        let single = self.pricing().infer_mj;
+        let derived = derive_batched_infer_mj(&model, &self.basis, n);
+        let mj = derived.unwrap_or(single * n as f64).min(single * n as f64);
+        self.batched_mj.lock().expect("batch cache poisoned").insert(n, mj);
+        mj
+    }
+
+    /// Energy to hand back once a coalesced batch of `n` inferences has run:
+    /// admission charged `n` single-sample passes, the batch actually cost
+    /// [`Deployment::batched_infer_mj`]. Zero for unbatched requests.
+    pub fn infer_batch_refund_mj(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        (self.pricing().infer_mj * n as f64 - self.batched_infer_mj(n)).max(0.0)
     }
 
     pub fn stats_snapshot(&self) -> DeploymentStats {
@@ -371,6 +470,7 @@ impl LearnerRegistry {
             policy: spec.budget_policy,
             image_dims,
             repl_seq: Mutex::new(0),
+            batched_mj: Mutex::new(HashMap::new()),
             basis,
         });
 
@@ -469,6 +569,56 @@ impl LearnerRegistry {
         Ok((seq, encode_explicit_memory(model.em())))
     }
 
+    /// Exports a deployment's migratable serving state: the explicit-memory
+    /// snapshot plus the replication sequence number it was taken at, read
+    /// atomically under the model lock. Backbone and FCR weights are
+    /// load-time artifacts every process shares; the explicit memory is the
+    /// online-learned state, and it is tiny — which is exactly what makes
+    /// live migration between serving processes cheap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names.
+    pub fn export_deployment(&self, name: &str) -> Result<DeploymentExport> {
+        let (seq, snapshot) = self.snapshot_with_seq(name)?;
+        Ok(DeploymentExport { name: name.to_string(), seq, snapshot })
+    }
+
+    /// Installs an exported deployment state: the snapshot is restored
+    /// **bit-exactly** and the export's replication sequence number is
+    /// adopted, so the imported deployment's own snapshot anchors keep their
+    /// "seq `s` contains every mutation `<= s`" meaning. The sequence never
+    /// moves backwards — when this deployment's local history already ran
+    /// past the export's number, the import advances it by one instead
+    /// (like [`LearnerRegistry::restore`]). Either way a subscriber that
+    /// was already tailing this deployment observes a forward sequence jump
+    /// on the next commit and resyncs from a fresh anchor instead of
+    /// silently skipping deltas. Returns the number of restored classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names, a codec
+    /// error for malformed snapshot bytes, and
+    /// [`ServeError::InvalidRequest`] on a projection-dimension mismatch.
+    pub fn import_deployment(&self, export: &DeploymentExport) -> Result<usize> {
+        let em = decode_explicit_memory(&export.snapshot)?;
+        let deployment = self.resolve(&export.name)?;
+        let mut model = deployment.model.lock().expect("model lock poisoned");
+        if em.dim() != model.projection_dim() {
+            return Err(ServeError::InvalidRequest(format!(
+                "exported snapshot dimension {} does not match deployment projection \
+                 dimension {}",
+                em.dim(),
+                model.projection_dim()
+            )));
+        }
+        let classes = em.num_classes();
+        *model.em_mut() = em;
+        let mut seq = deployment.repl_seq.lock().expect("repl seq lock poisoned");
+        *seq = export.seq.max(*seq + 1);
+        Ok(classes)
+    }
+
     /// Applies a replication delta: stores each `(class, prototype)` pair
     /// bit-exactly via [`ExplicitMemory::restore_prototype`], bypassing the
     /// storage quantizer (the values were quantized on the primary). Returns
@@ -525,6 +675,8 @@ impl LearnerRegistry {
         }
         let pricing = derive_pricing(&model, &deployment.basis)?;
         *deployment.pricing.lock().expect("pricing lock poisoned") = pricing;
+        // The memoized batch energies were derived at the old precision.
+        deployment.batched_mj.lock().expect("batch cache poisoned").clear();
         Ok(pricing)
     }
 
@@ -702,6 +854,107 @@ mod tests {
         assert!(matches!(
             registry.snapshot_with_seq("ghost").unwrap_err(),
             ServeError::UnknownDeployment(_)
+        ));
+    }
+
+    #[test]
+    fn batched_inference_is_cheaper_than_independent_passes() {
+        let registry = LearnerRegistry::new();
+        registry
+            .register(DeploymentSpec::new("t", (8, 8)), micro_model(0))
+            .unwrap();
+        let deployment = registry.resolve("t").unwrap();
+        let single = deployment.pricing().infer_mj;
+        // n == 1 is exactly the single-sample price, refund zero.
+        assert!((deployment.batched_infer_mj(1) - single).abs() < 1e-12);
+        assert_eq!(deployment.infer_batch_refund_mj(1), 0.0);
+        // A real batch amortizes the weight traffic: strictly cheaper than n
+        // independent passes, and the per-sample price keeps falling with n.
+        let batch8 = deployment.batched_infer_mj(8);
+        assert!(batch8 < 8.0 * single, "batch of 8 ({batch8}) must undercut {}", 8.0 * single);
+        assert!(batch8 / 8.0 < deployment.batched_infer_mj(2) / 2.0);
+        let refund = deployment.infer_batch_refund_mj(8);
+        assert!((refund - (8.0 * single - batch8)).abs() < 1e-9);
+        // Memoized: the second call returns the identical value.
+        assert_eq!(deployment.batched_infer_mj(8), batch8);
+        // Int8 conversion re-derives the cache at the quantized rate.
+        registry.convert_to_int8("t").unwrap();
+        let int8_batch8 = deployment.batched_infer_mj(8);
+        assert!(int8_batch8 < batch8, "int8 batch must be cheaper than fp32 batch");
+        assert!(int8_batch8 < 8.0 * deployment.pricing().infer_mj);
+    }
+
+    #[test]
+    fn meter_refund_settles_amortized_spend() {
+        let meter = EnergyMeter::new(Some(100.0));
+        meter.try_spend(40.0).unwrap();
+        meter.refund(15.0);
+        let (spent, remaining) = meter.state();
+        assert!((spent - 25.0).abs() < 1e-12);
+        assert!((remaining.unwrap() - 75.0).abs() < 1e-12);
+        // Refunds clamp at zero and ignore junk amounts.
+        meter.refund(1e9);
+        assert_eq!(meter.state().0, 0.0);
+        meter.refund(f64::NAN);
+        meter.refund(-3.0);
+        assert_eq!(meter.state().0, 0.0);
+    }
+
+    #[test]
+    fn export_import_moves_state_bit_exactly_and_adopts_seq() {
+        let registry = LearnerRegistry::new();
+        registry
+            .register(DeploymentSpec::new("a", (8, 8)), micro_model(0))
+            .unwrap();
+        registry
+            .register(DeploymentSpec::new("b", (8, 8)), micro_model(1))
+            .unwrap();
+        let proto: Vec<f32> = (0..16).map(|i| i as f32 / 8.0 - 1.0).collect();
+        registry.apply_prototype_updates("a", &[(2, proto.clone())]).unwrap();
+        registry.apply_prototype_updates("a", &[(5, proto.clone())]).unwrap();
+
+        let export = registry.export_deployment("a").unwrap();
+        assert_eq!(export.name, "a");
+        assert_eq!(export.seq, 2);
+        let classes = registry
+            .import_deployment(&DeploymentExport { name: "b".into(), ..export.clone() })
+            .unwrap();
+        assert_eq!(classes, 2);
+        // The imported side answers with identical snapshot bytes and carries
+        // the exported sequence number forward.
+        assert_eq!(registry.snapshot("a").unwrap(), registry.snapshot("b").unwrap());
+        let (seq, _) = registry.snapshot_with_seq("b").unwrap();
+        assert_eq!(seq, 2);
+
+        // An import can never move a deployment's sequence backwards: when
+        // the local history already ran past the export's number, the seq
+        // advances by one instead, so a tailing subscriber sees a forward
+        // jump (gap → resync), never a silent skip.
+        for _ in 0..3 {
+            registry.apply_prototype_updates("b", &[(9, proto.clone())]).unwrap();
+        }
+        assert_eq!(registry.snapshot_with_seq("b").unwrap().0, 5);
+        registry
+            .import_deployment(&DeploymentExport { name: "b".into(), ..export.clone() })
+            .unwrap();
+        assert_eq!(registry.snapshot_with_seq("b").unwrap().0, 6);
+
+        // Unknown target and dimension mismatches are typed errors.
+        assert!(matches!(
+            registry
+                .import_deployment(&DeploymentExport { name: "ghost".into(), ..export.clone() })
+                .unwrap_err(),
+            ServeError::UnknownDeployment(_)
+        ));
+        let foreign = ofscil_core::ExplicitMemory::new(99);
+        let bad = DeploymentExport {
+            name: "b".into(),
+            seq: 9,
+            snapshot: encode_explicit_memory(&foreign),
+        };
+        assert!(matches!(
+            registry.import_deployment(&bad).unwrap_err(),
+            ServeError::InvalidRequest(_)
         ));
     }
 

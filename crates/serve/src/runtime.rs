@@ -534,6 +534,18 @@ fn run_infer_batch(deployment: &Deployment, items: Vec<InferItem>) {
         });
     match outcome {
         Ok(predictions) => {
+            // Counters and the amortized-price settlement land *before* the
+            // replies: a client that observes its response must also observe
+            // the request in the statistics and the settled energy spend.
+            {
+                let mut stats = deployment.stats.lock().expect("stats lock poisoned");
+                stats.infer_requests += n as u64;
+                stats.infer_batches += 1;
+                stats.largest_batch = stats.largest_batch.max(n);
+            }
+            // Admission charged n single-sample passes before the batch
+            // formed; settle the spend at the batch's amortized cost.
+            deployment.meter.refund(deployment.infer_batch_refund_mj(n));
             for (item, (class, similarity)) in items.into_iter().zip(predictions) {
                 let _ = item.reply.send(Ok(ServeResponse::Prediction {
                     class,
@@ -541,10 +553,6 @@ fn run_infer_batch(deployment: &Deployment, items: Vec<InferItem>) {
                     batched_with: n,
                 }));
             }
-            let mut stats = deployment.stats.lock().expect("stats lock poisoned");
-            stats.infer_requests += n as u64;
-            stats.infer_batches += 1;
-            stats.largest_batch = stats.largest_batch.max(n);
         }
         Err(message) => {
             for item in items {
@@ -974,6 +982,41 @@ mod tests {
         // The snapshot anchor reports the last committed sequence number.
         let (seq, _) = registry.snapshot_with_seq("t").unwrap();
         assert_eq!(seq, 2);
+    }
+
+    #[test]
+    fn coalesced_batches_are_settled_at_the_amortized_price() {
+        let registry = registry_with(&["t"]);
+        registry
+            .with_model("t", |model| {
+                model.learn_classes_online(&support_batch(&[0, 1], 2))
+            })
+            .unwrap()
+            .unwrap();
+        let deployment = registry.resolve("t").unwrap();
+        let single = deployment.pricing().infer_mj;
+        let n = 6;
+
+        // Simulate admission: n requests each charged the single-sample rate.
+        for _ in 0..n {
+            deployment.meter.try_spend(single).unwrap();
+        }
+        let items: Vec<InferItem> = (0..n)
+            .map(|i| {
+                let (reply, _rx) = mpsc::channel();
+                InferItem { image: class_image(i % 2, 0.01), reply }
+            })
+            .collect();
+        run_infer_batch(&deployment, items);
+
+        // The spend settled at the batch's amortized energy, not n passes.
+        let (spent, _) = deployment.meter.state();
+        let amortized = deployment.batched_infer_mj(n);
+        assert!(
+            (spent - amortized).abs() < 1e-9,
+            "spent {spent} mJ, expected amortized {amortized} mJ"
+        );
+        assert!(spent < single * n as f64);
     }
 
     #[test]

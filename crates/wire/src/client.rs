@@ -3,9 +3,11 @@
 
 use crate::codec::{decode_response, encode_request, ReplEvent, WireRequest, WireResponse};
 use crate::error::WireError;
-use crate::frame::{read_frame, ReadEvent, DEFAULT_MAX_PAYLOAD};
+use crate::frame::{
+    read_frame, read_frame_verbatim, ReadEvent, VerbatimEvent, DEFAULT_MAX_PAYLOAD,
+};
 use crate::net::{BoundAddr, WireStream};
-use ofscil_serve::{ServeRequest, ServeResponse};
+use ofscil_serve::{DeploymentExport, ServeRequest, ServeResponse};
 use std::io::Write;
 use std::net::ToSocketAddrs;
 use std::sync::atomic::AtomicBool;
@@ -98,10 +100,75 @@ impl WireClient {
         match self.read_response(None)? {
             Some(WireResponse::Serve(response)) => Ok(response),
             Some(WireResponse::Error(error)) => Err(WireError::Remote(error)),
-            Some(WireResponse::Repl(_)) => Err(WireError::Protocol(
-                "server sent a replication event outside a subscription".into(),
-            )),
+            Some(other) => Err(WireError::Protocol(format!(
+                "server sent an out-of-band response to a serve request: {other:?}"
+            ))),
             None => Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+        }
+    }
+
+    /// Reads a deployment's migratable state off the peer — the source half
+    /// of a live migration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Remote`] for server-side refusals (unknown
+    /// deployment) and a transport/codec error when the connection broke.
+    pub fn export(&mut self, deployment: &str) -> Result<DeploymentExport, WireError> {
+        self.stream.write_all(&encode_request(&WireRequest::Export {
+            deployment: deployment.to_string(),
+        }))?;
+        self.stream.flush()?;
+        match self.read_response(None)? {
+            Some(WireResponse::Export(export)) => Ok(export),
+            Some(WireResponse::Error(error)) => Err(WireError::Remote(error)),
+            Some(other) => Err(WireError::Protocol(format!(
+                "server answered an export with {other:?}"
+            ))),
+            None => Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+        }
+    }
+
+    /// Installs a deployment's exported state on the peer bit-exactly — the
+    /// target half of a live migration. Returns the restored class count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Remote`] for server-side refusals (unknown
+    /// deployment, dimension mismatch, read-only replica) and a
+    /// transport/codec error when the connection broke.
+    pub fn import(&mut self, export: &DeploymentExport) -> Result<u64, WireError> {
+        self.stream.write_all(&encode_request(&WireRequest::Import(export.clone())))?;
+        self.stream.flush()?;
+        match self.read_response(None)? {
+            Some(WireResponse::Imported { classes }) => Ok(classes),
+            Some(WireResponse::Error(error)) => Err(WireError::Remote(error)),
+            Some(other) => Err(WireError::Protocol(format!(
+                "server answered an import with {other:?}"
+            ))),
+            None => Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+        }
+    }
+
+    /// Writes one pre-encoded request frame and reads back the complete raw
+    /// response frame without interpreting or re-encoding either — the
+    /// forwarding hook a routing frontend uses to proxy a client's frame to
+    /// the owning shard and relay the shard's answer byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] when the connection broke and a frame error
+    /// when the response envelope is corrupt. Remote serve errors are *not*
+    /// surfaced here — they stay inside the returned frame for the original
+    /// client to decode.
+    pub fn forward_frame(&mut self, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+        self.stream.write_all(frame)?;
+        self.stream.flush()?;
+        match read_frame_verbatim(&mut self.stream, self.max_payload, None)? {
+            VerbatimEvent::Frame(reply) => Ok(reply.bytes),
+            VerbatimEvent::Eof | VerbatimEvent::Shutdown => {
+                Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into()))
+            }
         }
     }
 
@@ -161,9 +228,9 @@ impl ReplicationStream {
             ReadEvent::Frame(kind, payload) => match decode_response(kind, &payload)? {
                 WireResponse::Repl(event) => Ok(Some(event)),
                 WireResponse::Error(error) => Err(WireError::Remote(error)),
-                WireResponse::Serve(_) => Err(WireError::Protocol(
-                    "server sent a request response on a replication stream".into(),
-                )),
+                other => Err(WireError::Protocol(format!(
+                    "server sent a request response on a replication stream: {other:?}"
+                ))),
             },
         }
     }

@@ -15,20 +15,28 @@
 //! 0x04   Request  Stats        deployment
 //! 0x05   Request  TopUpBudget  deployment, f64 mJ
 //! 0x06   Request  Subscribe    deployment          (switches to streaming)
+//! 0x07   Request  Export       deployment          (migration source)
+//! 0x08   Request  Import       deployment, seq, snapshot (migration target)
 //! 0x41   Response Prediction   class, similarity, batched_with
 //! 0x42   Response Learned      classes, total
 //! 0x43   Response Snapshot     opaque snapshot-codec bytes
 //! 0x44   Response Stats        full DeploymentStats
 //! 0x45   Response Budget       spent, remaining
 //! 0x46   Response Error        typed ServeError
+//! 0x47   Response Export       seq, snapshot bytes
+//! 0x48   Response Imported     restored class count
 //! 0x61   Repl     Full         seq, snapshot bytes
 //! 0x62   Repl     Delta        seq, total classes, (class, prototype) pairs
 //! ```
+//!
+//! Every request payload leads with its deployment name, which is what lets
+//! a router *peek* the routing key ([`peek_request`]) and forward the frame
+//! bytes untouched instead of decoding image tensors it does not need.
 
 use crate::error::PayloadError;
 use crate::frame::frame_bytes;
 use ofscil_data::Batch;
-use ofscil_serve::{DeploymentStats, ServeError, ServeRequest, ServeResponse};
+use ofscil_serve::{DeploymentExport, DeploymentStats, ServeError, ServeRequest, ServeResponse};
 use ofscil_tensor::Tensor;
 
 // Message kind bytes. Requests live below 0x40, responses in 0x41..0x60,
@@ -39,12 +47,16 @@ const KIND_REQ_SNAPSHOT: u8 = 0x03;
 const KIND_REQ_STATS: u8 = 0x04;
 const KIND_REQ_TOP_UP: u8 = 0x05;
 const KIND_REQ_SUBSCRIBE: u8 = 0x06;
+const KIND_REQ_EXPORT: u8 = 0x07;
+const KIND_REQ_IMPORT: u8 = 0x08;
 const KIND_RESP_PREDICTION: u8 = 0x41;
 const KIND_RESP_LEARNED: u8 = 0x42;
 const KIND_RESP_SNAPSHOT: u8 = 0x43;
 const KIND_RESP_STATS: u8 = 0x44;
 const KIND_RESP_BUDGET: u8 = 0x45;
 const KIND_RESP_ERROR: u8 = 0x46;
+const KIND_RESP_EXPORT: u8 = 0x47;
+const KIND_RESP_IMPORTED: u8 = 0x48;
 const KIND_REPL_FULL: u8 = 0x61;
 const KIND_REPL_DELTA: u8 = 0x62;
 
@@ -61,6 +73,18 @@ pub enum WireRequest {
         /// Deployment whose snapshot stream to tail.
         deployment: String,
     },
+    /// Export a deployment's migratable state (snapshot + replication
+    /// sequence number) — what a router reads off the source shard of a live
+    /// migration. Answered with [`WireResponse::Export`].
+    Export {
+        /// Deployment to export.
+        deployment: String,
+    },
+    /// Install an exported deployment state bit-exactly — what a router
+    /// writes to the target shard of a live migration. Rejected with
+    /// [`ServeError::ReadOnlyReplica`] on replicas. Answered with
+    /// [`WireResponse::Imported`].
+    Import(DeploymentExport),
 }
 
 /// A response as it travels over a wire connection.
@@ -72,6 +96,13 @@ pub enum WireResponse {
     Error(ServeError),
     /// One event of a replication stream.
     Repl(ReplEvent),
+    /// Answer to [`WireRequest::Export`]: the deployment's migratable state.
+    Export(DeploymentExport),
+    /// Answer to [`WireRequest::Import`]: number of restored classes.
+    Imported {
+        /// Classes stored after the import.
+        classes: u64,
+    },
 }
 
 /// One event on a deployment's snapshot-replication stream.
@@ -315,8 +346,57 @@ pub fn encode_request(request: &WireRequest) -> Vec<u8> {
             put_string(&mut payload, deployment);
             KIND_REQ_SUBSCRIBE
         }
+        WireRequest::Export { deployment } => {
+            put_string(&mut payload, deployment);
+            KIND_REQ_EXPORT
+        }
+        WireRequest::Import(export) => {
+            put_string(&mut payload, &export.name);
+            put_u64(&mut payload, export.seq);
+            put_bytes(&mut payload, &export.snapshot);
+            KIND_REQ_IMPORT
+        }
     };
     frame_bytes(kind, &payload)
+}
+
+/// What [`peek_request`] saw in a request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestPeek {
+    /// The deployment the request targets — the routing key.
+    pub deployment: String,
+    /// `true` for `Subscribe`: the reply is an open-ended replication stream,
+    /// not a single response frame.
+    pub streaming: bool,
+    /// `true` for state-mutating requests (`LearnOnline`, `TopUpBudget`,
+    /// `Import`). A forwarder must not replay these on a fresh connection
+    /// after an ambiguous failure — the shard may have applied the request
+    /// even though the response never arrived.
+    pub write: bool,
+}
+
+/// Reads a request frame's routing key (the leading deployment string)
+/// without decoding the rest of the payload, so a router can pick the owning
+/// shard and forward the frame bytes verbatim — an `Infer` image tensor is
+/// never deserialized on the routing hop.
+///
+/// # Errors
+///
+/// Returns a typed [`PayloadError`] for unknown request kinds and malformed
+/// deployment strings; never panics.
+pub fn peek_request(kind: u8, payload: &[u8]) -> Result<RequestPeek, PayloadError> {
+    match kind {
+        KIND_REQ_INFER | KIND_REQ_LEARN | KIND_REQ_SNAPSHOT | KIND_REQ_STATS
+        | KIND_REQ_TOP_UP | KIND_REQ_SUBSCRIBE | KIND_REQ_EXPORT | KIND_REQ_IMPORT => {
+            let mut r = Reader::new(payload);
+            Ok(RequestPeek {
+                deployment: r.string()?,
+                streaming: kind == KIND_REQ_SUBSCRIBE,
+                write: matches!(kind, KIND_REQ_LEARN | KIND_REQ_TOP_UP | KIND_REQ_IMPORT),
+            })
+        }
+        other => Err(PayloadError::UnknownKind(other)),
+    }
 }
 
 /// Decodes a request message from a frame's kind byte and payload.
@@ -354,6 +434,12 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<WireRequest, PayloadEr
             energy_mj: r.f64()?,
         }),
         KIND_REQ_SUBSCRIBE => WireRequest::Subscribe { deployment: r.string()? },
+        KIND_REQ_EXPORT => WireRequest::Export { deployment: r.string()? },
+        KIND_REQ_IMPORT => WireRequest::Import(DeploymentExport {
+            name: r.string()?,
+            seq: r.u64()?,
+            snapshot: r.bytes_field("snapshot")?,
+        }),
         other => return Err(PayloadError::UnknownKind(other)),
     };
     r.finish()?;
@@ -376,6 +462,8 @@ const ERR_EXECUTION: u8 = 5;
 const ERR_SHUTTING_DOWN: u8 = 6;
 const ERR_QUEUE_FULL: u8 = 7;
 const ERR_READ_ONLY_REPLICA: u8 = 8;
+const ERR_SHARD_UNAVAILABLE: u8 = 9;
+const ERR_REPLICATION_LAGGED: u8 = 10;
 
 fn put_serve_error(out: &mut Vec<u8>, error: &ServeError) {
     match error {
@@ -414,6 +502,15 @@ fn put_serve_error(out: &mut Vec<u8>, error: &ServeError) {
             out.push(ERR_READ_ONLY_REPLICA);
             put_string(out, deployment);
         }
+        ServeError::ShardUnavailable { shard, detail } => {
+            out.push(ERR_SHARD_UNAVAILABLE);
+            put_string(out, shard);
+            put_string(out, detail);
+        }
+        ServeError::ReplicationLagged { deployment } => {
+            out.push(ERR_REPLICATION_LAGGED);
+            put_string(out, deployment);
+        }
         // Library-wrapped errors cross the wire as their display form.
         other => {
             out.push(ERR_EXECUTION);
@@ -437,6 +534,11 @@ fn read_serve_error(r: &mut Reader<'_>) -> Result<ServeError, PayloadError> {
         ERR_SHUTTING_DOWN => ServeError::ShuttingDown,
         ERR_QUEUE_FULL => ServeError::QueueFull { depth: r.usize_field("depth")? },
         ERR_READ_ONLY_REPLICA => ServeError::ReadOnlyReplica { deployment: r.string()? },
+        ERR_SHARD_UNAVAILABLE => ServeError::ShardUnavailable {
+            shard: r.string()?,
+            detail: r.string()?,
+        },
+        ERR_REPLICATION_LAGGED => ServeError::ReplicationLagged { deployment: r.string()? },
         tag => return Err(PayloadError::BadTag { field: "serve error", tag }),
     })
 }
@@ -524,6 +626,16 @@ pub fn encode_response(response: &WireResponse) -> Vec<u8> {
             }
             KIND_REPL_DELTA
         }
+        WireResponse::Export(export) => {
+            put_string(&mut payload, &export.name);
+            put_u64(&mut payload, export.seq);
+            put_bytes(&mut payload, &export.snapshot);
+            KIND_RESP_EXPORT
+        }
+        WireResponse::Imported { classes } => {
+            put_u64(&mut payload, *classes);
+            KIND_RESP_IMPORTED
+        }
     };
     frame_bytes(kind, &payload)
 }
@@ -582,6 +694,12 @@ pub fn decode_response(kind: u8, payload: &[u8]) -> Result<WireResponse, Payload
             }
             WireResponse::Repl(ReplEvent::Delta { seq, total_classes, updates })
         }
+        KIND_RESP_EXPORT => WireResponse::Export(DeploymentExport {
+            name: r.string()?,
+            seq: r.u64()?,
+            snapshot: r.bytes_field("snapshot")?,
+        }),
+        KIND_RESP_IMPORTED => WireResponse::Imported { classes: r.u64()? },
         other => return Err(PayloadError::UnknownKind(other)),
     };
     r.finish()?;
@@ -628,6 +746,84 @@ mod tests {
             energy_mj: 12.75,
         }));
         roundtrip_request(WireRequest::Subscribe { deployment: "repl".into() });
+        roundtrip_request(WireRequest::Export { deployment: "mover".into() });
+        roundtrip_request(WireRequest::Import(DeploymentExport {
+            name: "mover".into(),
+            seq: 17,
+            snapshot: vec![0xde, 0xad, 0xbe, 0xef],
+        }));
+    }
+
+    #[test]
+    fn peek_reads_the_routing_key_of_every_request_kind() {
+        // (request, streaming, write)
+        let requests = [
+            (
+                WireRequest::Serve(ServeRequest::Infer {
+                    deployment: "tenant-a".into(),
+                    image: Tensor::zeros(&[1, 2, 2]),
+                }),
+                false,
+                false,
+            ),
+            (
+                WireRequest::Serve(ServeRequest::LearnOnline {
+                    deployment: "tenant-a".into(),
+                    batch: Batch { images: Tensor::zeros(&[1, 3, 2, 2]), labels: vec![0] },
+                }),
+                false,
+                true,
+            ),
+            (
+                WireRequest::Serve(ServeRequest::Snapshot { deployment: "tenant-a".into() }),
+                false,
+                false,
+            ),
+            (
+                WireRequest::Serve(ServeRequest::Stats { deployment: "tenant-a".into() }),
+                false,
+                false,
+            ),
+            (
+                WireRequest::Serve(ServeRequest::TopUpBudget {
+                    deployment: "tenant-a".into(),
+                    energy_mj: 1.0,
+                }),
+                false,
+                true,
+            ),
+            (WireRequest::Subscribe { deployment: "tenant-a".into() }, true, false),
+            (WireRequest::Export { deployment: "tenant-a".into() }, false, false),
+            (
+                WireRequest::Import(DeploymentExport {
+                    name: "tenant-a".into(),
+                    seq: 3,
+                    snapshot: vec![1, 2],
+                }),
+                false,
+                true,
+            ),
+        ];
+        for (request, streaming, write) in requests {
+            let frame = encode_request(&request);
+            let (kind, payload) = parse_frame(&frame, DEFAULT_MAX_PAYLOAD).unwrap();
+            let peek = peek_request(kind, payload).unwrap();
+            assert_eq!(peek.deployment, "tenant-a", "for {request:?}");
+            assert_eq!(peek.streaming, streaming, "for {request:?}");
+            assert_eq!(peek.write, write, "for {request:?}");
+        }
+        // A response kind is not peekable, and a truncated deployment string
+        // is a typed error.
+        assert!(matches!(
+            peek_request(KIND_RESP_ERROR, &[]),
+            Err(PayloadError::UnknownKind(_))
+        ));
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 99);
+        assert!(matches!(
+            peek_request(KIND_REQ_STATS, &payload),
+            Err(PayloadError::LengthOverflow { .. })
+        ));
     }
 
     #[test]
@@ -654,6 +850,12 @@ mod tests {
                 total_classes: 3,
                 updates: vec![(0, vec![1.0, -2.0]), (2, vec![0.5, 0.25])],
             }),
+            WireResponse::Export(DeploymentExport {
+                name: "mover".into(),
+                seq: 5,
+                snapshot: vec![7; 12],
+            }),
+            WireResponse::Imported { classes: 4 },
         ] {
             let back = roundtrip_response(&response);
             assert_eq!(format!("{back:?}"), format!("{response:?}"));
@@ -694,6 +896,11 @@ mod tests {
             ServeError::ShuttingDown,
             ServeError::QueueFull { depth: 64 },
             ServeError::ReadOnlyReplica { deployment: "r".into() },
+            ServeError::ShardUnavailable {
+                shard: "1 (tcp://127.0.0.1:9)".into(),
+                detail: "connection refused".into(),
+            },
+            ServeError::ReplicationLagged { deployment: "t".into() },
         ] {
             let expect = format!("{error:?}");
             match roundtrip_response(&WireResponse::Error(error)) {

@@ -20,8 +20,14 @@
 //!
 //! Deltas carry consecutive sequence numbers; a delta at or below the
 //! snapshot anchor is already contained and skipped, a skipped number is a
-//! [`WireError::ReplicationGap`] that halts the tail (the replica can no
-//! longer be proven exact and must resync).
+//! [`WireError::ReplicationGap`]. A gap no longer halts the tail for good:
+//! the follower's state can no longer be proven exact from deltas alone, so
+//! it **resyncs** — it drops the subscription and resubscribes, restoring a
+//! fresh full-snapshot anchor that by construction contains everything up to
+//! its sequence number. The same recovery runs when the primary drops the
+//! subscriber for lagging past the bounded replication queue. Resyncs are
+//! bounded by [`FollowerConfig::resync_limit`]; once exhausted, the error is
+//! surfaced through [`FollowerHandle::replication_error`] as before.
 
 use crate::client::WireClient;
 use crate::codec::ReplEvent;
@@ -49,17 +55,30 @@ pub struct FollowerConfig {
     /// [`ServeConfig::read_only`](ofscil_serve::ServeConfig::read_only) is
     /// forced on regardless of what it says.
     pub wire: WireConfig,
+    /// How many times a deployment's tail may automatically resubscribe from
+    /// a fresh full-snapshot anchor after a replication gap (or after being
+    /// dropped for lagging) before the error is surfaced. Zero restores the
+    /// old halt-on-gap behaviour.
+    pub resync_limit: u64,
 }
 
 impl FollowerConfig {
     /// Tails `deployments` from `upstream`, serving locally on an ephemeral
-    /// loopback TCP port.
+    /// loopback TCP port, with up to 3 automatic resyncs per deployment.
     pub fn new(upstream: BoundAddr, deployments: &[&str]) -> Self {
         FollowerConfig {
             upstream,
             deployments: deployments.iter().map(|d| d.to_string()).collect(),
             wire: WireConfig::tcp_loopback(),
+            resync_limit: 3,
         }
+    }
+
+    /// Sets the automatic-resync bound (builder style).
+    #[must_use]
+    pub fn with_resync_limit(mut self, resync_limit: u64) -> Self {
+        self.resync_limit = resync_limit;
+        self
     }
 }
 
@@ -72,6 +91,8 @@ struct ProgressState {
     applied: HashMap<String, u64>,
     /// First error of each failed tail, by deployment.
     errors: HashMap<String, String>,
+    /// Automatic resubscribes performed per deployment.
+    resyncs: HashMap<String, u64>,
 }
 
 #[derive(Debug, Default)]
@@ -91,6 +112,13 @@ impl Progress {
     fn record_error(&self, deployment: &str, error: &WireError) {
         let mut state = self.state.lock().expect("progress lock poisoned");
         state.errors.entry(deployment.to_string()).or_insert_with(|| error.to_string());
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    fn record_resync(&self, deployment: &str) {
+        let mut state = self.state.lock().expect("progress lock poisoned");
+        *state.resyncs.entry(deployment.to_string()).or_insert(0) += 1;
         drop(state);
         self.changed.notify_all();
     }
@@ -120,6 +148,19 @@ impl FollowerHandle<'_> {
             .applied
             .get(deployment)
             .copied()
+    }
+
+    /// How many times the deployment's tail resubscribed from a fresh
+    /// full-snapshot anchor after a replication gap or a lag drop.
+    pub fn resyncs(&self, deployment: &str) -> u64 {
+        self.progress
+            .state
+            .lock()
+            .expect("progress lock poisoned")
+            .resyncs
+            .get(deployment)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The first replication error of a deployment's tail, if it failed.
@@ -214,29 +255,61 @@ impl Follower {
                     let progress = &progress;
                     let stop = &stop;
                     let upstream = &config.upstream;
+                    let resync_limit = config.resync_limit;
                     scope.spawn(move || {
-                        tail_deployment(registry, upstream, deployment, progress, stop);
+                        tail_deployment(
+                            registry, upstream, deployment, progress, stop, resync_limit,
+                        );
                     });
                 }
                 let handle = FollowerHandle { server, progress: &progress };
-                let value = body(&handle);
-                stop.store(true, Ordering::Release);
-                value
+                let _stop_on_exit = crate::server::ShutdownOnDrop::new(&stop);
+                body(&handle)
             })
         })
     }
 }
 
-/// Tails one deployment's snapshot stream until stopped or broken.
+/// Returns `true` for tail failures a fresh full-snapshot anchor repairs: a
+/// sequence gap (the primary's memory mutated outside the commit stream —
+/// a restore, an imported migration) and the typed lag drop the primary
+/// sends before disconnecting a subscriber that fell behind its bounded
+/// replication queue.
+fn resyncable(error: &WireError) -> bool {
+    matches!(
+        error,
+        WireError::ReplicationGap { .. }
+            | WireError::Remote(ofscil_serve::ServeError::ReplicationLagged { .. })
+    )
+}
+
+/// Tails one deployment's snapshot stream until stopped or broken,
+/// resubscribing from a fresh anchor up to `resync_limit` times when the
+/// stream gaps or the primary drops the subscription for lagging.
 fn tail_deployment(
     registry: &LearnerRegistry,
     upstream: &BoundAddr,
     deployment: &str,
     progress: &Progress,
     stop: &AtomicBool,
+    resync_limit: u64,
 ) {
-    if let Err(error) = tail_inner(registry, upstream, deployment, progress, stop) {
-        progress.record_error(deployment, &error);
+    let mut resyncs = 0;
+    loop {
+        match tail_inner(registry, upstream, deployment, progress, stop) {
+            Ok(()) => return,
+            Err(error)
+                if resyncable(&error) && resyncs < resync_limit
+                    && !stop.load(Ordering::Acquire) =>
+            {
+                resyncs += 1;
+                progress.record_resync(deployment);
+            }
+            Err(error) => {
+                progress.record_error(deployment, &error);
+                return;
+            }
+        }
     }
 }
 

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"OFWR"
-//! 4       2     wire format version, little-endian u16 (currently 1)
+//! 4       2     wire format version, little-endian u16 (currently 2)
 //! 6       1     message kind (see `codec`)
 //! 7       1     reserved (zero)
 //! 8       4     payload length, little-endian u32
@@ -24,8 +24,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// Magic bytes identifying a wire frame.
 pub const WIRE_MAGIC: [u8; 4] = *b"OFWR";
 
-/// Current wire format version.
-pub const WIRE_VERSION: u16 = 1;
+/// Current wire format version. Bumped whenever the message set changes —
+/// v2 added the migration endpoints (`Export`/`Import`, kinds `0x07`/`0x08`,
+/// responses `0x47`/`0x48`) and the `ShardUnavailable`/`ReplicationLagged`
+/// error tags — so a mismatched peer fails fast with a clean
+/// [`FrameError::UnsupportedVersion`] instead of a confusing `BadTag` deep
+/// inside a payload.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Fixed frame header length in bytes.
 pub const HEADER_LEN: usize = 12;
@@ -115,9 +120,38 @@ pub fn parse_frame(bytes: &[u8], max_payload: usize) -> Result<(u8, &[u8]), Fram
 }
 
 /// What a blocking frame read produced.
-pub(crate) enum ReadEvent {
+#[derive(Debug)]
+pub enum ReadEvent {
     /// One complete, checksum-verified frame: `(kind, payload)`.
     Frame(u8, Vec<u8>),
+    /// The peer closed the connection cleanly (EOF on a frame boundary).
+    Eof,
+    /// The shutdown flag was raised while waiting for bytes.
+    Shutdown,
+}
+
+/// A complete, checksum-verified frame kept as its raw bytes — what a
+/// forwarder relays to the next hop without re-encoding.
+#[derive(Debug)]
+pub struct VerbatimFrame {
+    /// The message kind (header byte 6).
+    pub kind: u8,
+    /// The full frame: header, payload and trailing checksum.
+    pub bytes: Vec<u8>,
+}
+
+impl VerbatimFrame {
+    /// The message payload slice inside [`VerbatimFrame::bytes`].
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes[HEADER_LEN..self.bytes.len() - CHECKSUM_LEN]
+    }
+}
+
+/// What a blocking verbatim frame read produced.
+#[derive(Debug)]
+pub enum VerbatimEvent {
+    /// One complete, checksum-verified frame as raw bytes.
+    Frame(VerbatimFrame),
     /// The peer closed the connection cleanly (EOF on a frame boundary).
     Eof,
     /// The shutdown flag was raised while waiting for bytes.
@@ -175,32 +209,66 @@ fn read_exact_interruptible(
 /// `shutdown`; a raised flag yields [`ReadEvent::Shutdown`] so server
 /// connection threads terminate promptly without abandoning a half-read
 /// frame by accident.
-pub(crate) fn read_frame(
+///
+/// Public so frame-speaking frontends above this crate (the `ofscil_router`
+/// consistent-hash router) can read frames off their own accepted sockets.
+///
+/// # Errors
+///
+/// Returns a typed [`WireError`] for transport failures and for every way
+/// the frame bytes can be wrong; never panics.
+pub fn read_frame(
     stream: &mut impl Read,
     max_payload: usize,
     shutdown: Option<&AtomicBool>,
 ) -> Result<ReadEvent, WireError> {
+    Ok(match read_frame_verbatim(stream, max_payload, shutdown)? {
+        VerbatimEvent::Eof => ReadEvent::Eof,
+        VerbatimEvent::Shutdown => ReadEvent::Shutdown,
+        VerbatimEvent::Frame(frame) => {
+            let mut bytes = frame.bytes;
+            bytes.truncate(bytes.len() - CHECKSUM_LEN);
+            bytes.drain(..HEADER_LEN);
+            ReadEvent::Frame(frame.kind, bytes)
+        }
+    })
+}
+
+/// Like [`read_frame`], but keeps the complete validated frame as raw bytes,
+/// so a forwarder (the `ofscil_router` frontend) can relay it to the next
+/// hop byte-identically — no payload copy, no checksum recomputation.
+///
+/// # Errors
+///
+/// Returns a typed [`WireError`] for transport failures and for every way
+/// the frame bytes can be wrong; never panics.
+pub fn read_frame_verbatim(
+    stream: &mut impl Read,
+    max_payload: usize,
+    shutdown: Option<&AtomicBool>,
+) -> Result<VerbatimEvent, WireError> {
     let mut header = [0u8; HEADER_LEN];
     match read_exact_interruptible(stream, &mut header, shutdown, true)? {
-        Fill::Eof => return Ok(ReadEvent::Eof),
-        Fill::Shutdown => return Ok(ReadEvent::Shutdown),
+        Fill::Eof => return Ok(VerbatimEvent::Eof),
+        Fill::Shutdown => return Ok(VerbatimEvent::Shutdown),
         Fill::Done => {}
     }
     let (kind, payload_len) = parse_header(&header, max_payload)?;
-    let mut rest = vec![0u8; payload_len + CHECKSUM_LEN];
-    match read_exact_interruptible(stream, &mut rest, shutdown, false)? {
-        Fill::Shutdown => return Ok(ReadEvent::Shutdown),
+    let total = HEADER_LEN + payload_len + CHECKSUM_LEN;
+    let mut bytes = vec![0u8; total];
+    bytes[..HEADER_LEN].copy_from_slice(&header);
+    match read_exact_interruptible(stream, &mut bytes[HEADER_LEN..], shutdown, false)? {
+        Fill::Shutdown => return Ok(VerbatimEvent::Shutdown),
         Fill::Eof | Fill::Done => {}
     }
-    let stored = u32::from_le_bytes(rest[payload_len..].try_into().expect("length checked"));
-    let mut checked = header.to_vec();
-    checked.extend_from_slice(&rest[..payload_len]);
-    let computed = fnv1a(&checked);
+    let body_end = total - CHECKSUM_LEN;
+    let stored =
+        u32::from_le_bytes(bytes[body_end..].try_into().expect("length checked"));
+    let computed = fnv1a(&bytes[..body_end]);
     if stored != computed {
         return Err(FrameError::ChecksumMismatch { stored, computed }.into());
     }
-    rest.truncate(payload_len);
-    Ok(ReadEvent::Frame(kind, rest))
+    Ok(VerbatimEvent::Frame(VerbatimFrame { kind, bytes }))
 }
 
 #[cfg(test)]
@@ -227,6 +295,33 @@ mod tests {
             ReadEvent::Eof => {}
             _ => panic!("expected EOF"),
         }
+    }
+
+    #[test]
+    fn verbatim_read_returns_the_exact_frame_bytes() {
+        let frame = frame_bytes(0x01, b"forward me");
+        let mut cursor = std::io::Cursor::new(frame.clone());
+        match read_frame_verbatim(&mut cursor, DEFAULT_MAX_PAYLOAD, None).unwrap() {
+            VerbatimEvent::Frame(verbatim) => {
+                assert_eq!(verbatim.kind, 0x01);
+                assert_eq!(verbatim.bytes, frame, "relay bytes must be byte-identical");
+                assert_eq!(verbatim.payload(), b"forward me");
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        match read_frame_verbatim(&mut cursor, DEFAULT_MAX_PAYLOAD, None).unwrap() {
+            VerbatimEvent::Eof => {}
+            other => panic!("expected EOF, got {other:?}"),
+        }
+        // Corruption is still caught before the bytes are handed over.
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        let mut cursor = std::io::Cursor::new(bad);
+        assert!(matches!(
+            read_frame_verbatim(&mut cursor, DEFAULT_MAX_PAYLOAD, None),
+            Err(WireError::Frame(FrameError::ChecksumMismatch { .. }))
+        ));
     }
 
     #[test]

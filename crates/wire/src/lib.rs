@@ -59,13 +59,16 @@ mod client;
 mod error;
 pub mod frame;
 mod follower;
-mod net;
+pub mod net;
 mod server;
 
 pub use client::{ReplicationStream, WireClient};
-pub use codec::{ReplEvent, WireRequest, WireResponse};
+pub use codec::{peek_request, ReplEvent, RequestPeek, WireRequest, WireResponse};
 pub use error::{FrameError, PayloadError, WireError};
 pub use follower::{Follower, FollowerConfig, FollowerHandle};
-pub use frame::{DEFAULT_MAX_PAYLOAD, WIRE_MAGIC, WIRE_VERSION};
-pub use net::{BoundAddr, WireBind};
-pub use server::{WireConfig, WireHandle, WireServer};
+pub use frame::{
+    read_frame, read_frame_verbatim, ReadEvent, VerbatimEvent, VerbatimFrame,
+    DEFAULT_MAX_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
+};
+pub use net::{BoundAddr, WireBind, WireListener, WireStream};
+pub use server::{ShutdownOnDrop, WireConfig, WireHandle, WireServer};

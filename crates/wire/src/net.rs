@@ -44,8 +44,13 @@ impl std::fmt::Display for BoundAddr {
 }
 
 /// A bound listening socket.
-pub(crate) enum WireListener {
+///
+/// Public so layers above the wire protocol (the `ofscil_router` frontend)
+/// can accept connections and speak frames themselves.
+pub enum WireListener {
+    /// A bound TCP listener.
     Tcp(TcpListener),
+    /// A bound Unix-domain listener.
     #[cfg(unix)]
     Unix(UnixListener),
 }
@@ -70,6 +75,7 @@ impl WireListener {
         }
     }
 
+    /// Switches the listener between blocking and nonblocking accepts.
     pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
         match self {
             WireListener::Tcp(l) => l.set_nonblocking(nonblocking),
@@ -96,8 +102,10 @@ impl WireListener {
 
 /// One connected socket, either family.
 #[derive(Debug)]
-pub(crate) enum WireStream {
+pub enum WireStream {
+    /// A connected TCP stream.
     Tcp(TcpStream),
+    /// A connected Unix-domain stream.
     #[cfg(unix)]
     Unix(UnixStream),
 }
@@ -112,6 +120,7 @@ impl WireStream {
         }
     }
 
+    /// Connects to a TCP address with Nagle batching disabled.
     pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<WireStream> {
         let stream = TcpStream::connect(addr)?;
         // Frames are small request/response units; Nagle batching would put
@@ -134,6 +143,7 @@ impl WireStream {
         self.set_write_timeout(Some(Duration::from_secs(5)))
     }
 
+    /// Applies (or clears) a socket read timeout.
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
         match self {
             WireStream::Tcp(s) => s.set_read_timeout(timeout),
@@ -142,6 +152,7 @@ impl WireStream {
         }
     }
 
+    /// Applies (or clears) a socket write timeout.
     pub fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
         match self {
             WireStream::Tcp(s) => s.set_write_timeout(timeout),

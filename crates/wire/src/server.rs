@@ -31,6 +31,28 @@ use std::time::Duration;
 /// How often blocked server loops wake to poll the shutdown flag.
 const POLL: Duration = Duration::from_millis(20);
 
+/// Raises a shutdown flag when dropped — including during unwinding, so a
+/// panicking server body still releases the accept, hub and connection
+/// threads its scope must join (the panic propagates instead of
+/// deadlocking the teardown). Shared by every scoped server in this crate
+/// and by frame-speaking frontends above it (the `ofscil_router` frontend).
+pub struct ShutdownOnDrop<'a> {
+    flag: &'a AtomicBool,
+}
+
+impl<'a> ShutdownOnDrop<'a> {
+    /// Arms the guard: `flag` is raised when the returned value drops.
+    pub fn new(flag: &'a AtomicBool) -> Self {
+        ShutdownOnDrop { flag }
+    }
+}
+
+impl Drop for ShutdownOnDrop<'_> {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::Release);
+    }
+}
+
 /// Configuration of a [`WireServer`] (and, via
 /// [`FollowerConfig`](crate::FollowerConfig), of a follower's local server).
 #[derive(Debug, Clone, PartialEq)]
@@ -179,27 +201,22 @@ impl WireServer {
             std::thread::scope(|scope| {
                 let hub = &hub;
                 let shutdown = &shutdown;
-                let max_payload = config.max_payload;
+                let options = ConnOptions {
+                    max_payload: config.max_payload,
+                    read_only: config.serve.read_only,
+                };
                 scope.spawn(move || hub_loop(hub, commits, shutdown));
                 let accept_client = client.clone();
                 scope.spawn(move || {
-                    accept_loop(
-                        scope,
-                        &listener,
-                        accept_client,
-                        registry,
-                        hub,
-                        shutdown,
-                        max_payload,
-                    );
+                    accept_loop(scope, &listener, accept_client, registry, hub, shutdown, options);
                 });
 
                 let handle = WireHandle { addr: addr.clone() };
-                let value = body(&handle);
-                shutdown.store(true, Ordering::Release);
-                value
-                // The scope joins the accept loop, the hub and every
-                // connection thread; all poll the flag within `POLL`.
+                let _shutdown_on_exit = ShutdownOnDrop::new(shutdown);
+                body(&handle)
+                // The guard raises the flag on return *and* on panic; the
+                // scope then joins the accept loop, the hub and every
+                // connection thread, all of which poll it within `POLL`.
             })
         })
         .map_err(WireError::Runtime)?;
@@ -212,6 +229,13 @@ impl WireServer {
     }
 }
 
+/// Per-connection serving options the accept loop hands every connection.
+#[derive(Clone, Copy)]
+struct ConnOptions {
+    max_payload: usize,
+    read_only: bool,
+}
+
 /// Accepts connections until shutdown, spawning one scoped thread each.
 fn accept_loop<'scope, 'env>(
     scope: &'scope std::thread::Scope<'scope, 'env>,
@@ -220,7 +244,7 @@ fn accept_loop<'scope, 'env>(
     registry: &'env LearnerRegistry,
     hub: &'scope ReplHub,
     shutdown: &'scope AtomicBool,
-    max_payload: usize,
+    options: ConnOptions,
 ) {
     while !shutdown.load(Ordering::Acquire) {
         match listener.accept() {
@@ -230,7 +254,7 @@ fn accept_loop<'scope, 'env>(
                 }
                 let client = client.clone();
                 scope.spawn(move || {
-                    serve_connection(stream, &client, registry, hub, shutdown, max_payload);
+                    serve_connection(stream, &client, registry, hub, shutdown, options);
                 });
             }
             Err(e)
@@ -257,10 +281,11 @@ fn serve_connection(
     registry: &LearnerRegistry,
     hub: &ReplHub,
     shutdown: &AtomicBool,
-    max_payload: usize,
+    options: ConnOptions,
 ) {
     loop {
-        let (kind, payload) = match read_frame(&mut stream, max_payload, Some(shutdown)) {
+        let (kind, payload) = match read_frame(&mut stream, options.max_payload, Some(shutdown))
+        {
             Ok(ReadEvent::Frame(kind, payload)) => (kind, payload),
             // Clean EOF, shutdown, or a frame-level error (the byte stream
             // can no longer be trusted): close the connection.
@@ -279,6 +304,27 @@ fn serve_connection(
             Ok(WireRequest::Subscribe { deployment }) => {
                 stream_replication(stream, &deployment, registry, hub, shutdown);
                 return;
+            }
+            // Migration endpoints are registry-direct (like Subscribe): they
+            // move explicit-memory state between processes, not through the
+            // request pipeline. Import is a write and respects replica mode.
+            Ok(WireRequest::Export { deployment }) => {
+                match registry.export_deployment(&deployment) {
+                    Ok(export) => WireResponse::Export(export),
+                    Err(error) => WireResponse::Error(error),
+                }
+            }
+            Ok(WireRequest::Import(export)) => {
+                if options.read_only {
+                    WireResponse::Error(ServeError::ReadOnlyReplica {
+                        deployment: export.name,
+                    })
+                } else {
+                    match registry.import_deployment(&export) {
+                        Ok(classes) => WireResponse::Imported { classes: classes as u64 },
+                        Err(error) => WireResponse::Error(error),
+                    }
+                }
             }
         };
         if stream.write_all(&encode_response(&response)).is_err() {
@@ -336,15 +382,14 @@ fn stream_replication(
             }
             // Outside shutdown, a disconnected queue means the hub dropped
             // this subscriber for lagging past the bounded queue depth. Say
-            // so in a typed frame before closing, so the follower records a
-            // replication error instead of a silent end of stream.
+            // so in a typed frame before closing, so the follower can tell
+            // this recoverable condition apart from a real failure and
+            // resubscribe for a fresh anchor.
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 if !shutdown.load(Ordering::Acquire) {
-                    let lagged = WireResponse::Error(ServeError::Execution(format!(
-                        "replication subscriber for {deployment:?} lagged more than \
-                         {REPL_QUEUE_DEPTH} commits behind and was dropped; resubscribe \
-                         for a fresh snapshot anchor"
-                    )));
+                    let lagged = WireResponse::Error(ServeError::ReplicationLagged {
+                        deployment: deployment.to_string(),
+                    });
                     let _ = stream.write_all(&encode_response(&lagged));
                 }
                 return;

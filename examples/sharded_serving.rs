@@ -1,0 +1,158 @@
+//! Sharded-cluster walkthrough: three backend serving processes behind the
+//! consistent-hash router, one client-facing address.
+//!
+//! Shows the full sharded topology the router opens up:
+//!
+//! 1. deployments spread across shards by consistent hashing of their name,
+//! 2. clients speaking the ordinary wire protocol to the router, never
+//!    knowing which shard serves them,
+//! 3. scatter-gather cluster statistics,
+//! 4. a **live migration** moving one deployment's explicit memory between
+//!    shards bit-exactly (snapshot bytes identical across the move),
+//! 5. a killed shard answering with a typed `ShardUnavailable` error while
+//!    the surviving shards keep serving.
+//!
+//! Everything crosses real sockets (loopback TCP with ephemeral ports) —
+//! the same code works with the shards as separate OS processes.
+//!
+//! ```text
+//! cargo run --release -p ofscil --example sharded_serving
+//! ```
+
+use ofscil::prelude::*;
+use ofscil::router::harness::ShardProcess;
+use ofscil::serve::traffic;
+use std::error::Error;
+use std::sync::Arc;
+
+const IMAGE: usize = 8;
+const TENANTS: [&str; 4] = ["wildlife-cam", "doorbell", "warehouse-bot", "greenhouse"];
+
+/// Every shard loads the same pretrained weights per tenant; a deployment's
+/// serving state is its explicit memory, which is what migrates.
+fn shard_registry() -> Result<Arc<LearnerRegistry>, ServeError> {
+    let registry = LearnerRegistry::new();
+    for (i, tenant) in TENANTS.iter().enumerate() {
+        let mut rng = SeedRng::new(100 + i as u64);
+        registry.register(
+            DeploymentSpec::new(tenant, (IMAGE, IMAGE)),
+            OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+        )?;
+    }
+    Ok(Arc::new(registry))
+}
+
+fn infer_bits(client: &mut WireClient, tenant: &str, class: usize) -> (usize, u32) {
+    match client
+        .call(ServeRequest::Infer {
+            deployment: tenant.into(),
+            image: traffic::class_image(IMAGE, class, 0.01),
+        })
+        .expect("inference through the router")
+    {
+        ServeResponse::Prediction { class, similarity, .. } => (class, similarity.to_bits()),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+fn snapshot(client: &mut WireClient, tenant: &str) -> Vec<u8> {
+    match client
+        .call(ServeRequest::Snapshot { deployment: tenant.into() })
+        .expect("snapshot through the router")
+    {
+        ServeResponse::Snapshot { bytes } => bytes,
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Three backend "processes": each a WireServer over its own registry on
+    // its own socket (threads here; identical with real OS processes).
+    let mut shards: Vec<Option<ShardProcess>> = (0..3)
+        .map(|_| Ok(Some(ShardProcess::spawn(shard_registry()?, WireConfig::tcp_loopback())?)))
+        .collect::<Result<_, Box<dyn Error>>>()?;
+    let addrs: Vec<BoundAddr> =
+        shards.iter().map(|s| s.as_ref().unwrap().addr().clone()).collect();
+
+    let config = RouterConfig::tcp_loopback(addrs).with_deployments(&TENANTS);
+    RouterServer::run(&config, move |router| -> Result<(), Box<dyn Error>> {
+        println!("router serving on {}", router.addr());
+        for tenant in TENANTS {
+            println!("  {tenant:<14} -> shard {}", router.shard_for(tenant)?);
+        }
+
+        // Clients speak the ordinary wire protocol to the router.
+        let mut client = WireClient::connect(router.addr())?;
+        for (i, tenant) in TENANTS.iter().enumerate() {
+            client.call(ServeRequest::LearnOnline {
+                deployment: tenant.to_string(),
+                batch: traffic::support_batch(IMAGE, &[i, i + 1], 5),
+            })?;
+            let (class, _) = infer_bits(&mut client, tenant, i);
+            assert_eq!(class, i, "{tenant} must recognise its first class");
+        }
+        println!("learned 2 classes per tenant and verified inference, all via the router");
+
+        // Scatter-gather statistics across the cluster.
+        let slices = router.cluster_stats();
+        for slice in &slices {
+            let served: u64 = slice.deployments.iter().map(|d| d.infer_requests).sum();
+            println!(
+                "  shard {} ({}) owns {} deployment(s), served {} inference(s)",
+                slice.shard,
+                slice.addr,
+                slice.deployments.len(),
+                served
+            );
+        }
+
+        // Live migration: move one tenant's explicit memory to another
+        // shard; routing remaps atomically, results stay bit-exact.
+        let mover = TENANTS[0];
+        let before_snapshot = snapshot(&mut client, mover);
+        let before_bits = infer_bits(&mut client, mover, 0);
+        let source = router.shard_for(mover)?;
+        let target = (source + 1) % 3;
+        let report = router.migrate(mover, target)?;
+        println!(
+            "migrated {mover:?} shard {} -> {} ({} classes at seq {})",
+            report.from, report.to, report.classes, report.seq
+        );
+        assert_eq!(router.shard_for(mover)?, target);
+        assert_eq!(infer_bits(&mut client, mover, 0), before_bits, "prediction bits diverged");
+        assert_eq!(snapshot(&mut client, mover), before_snapshot, "snapshot bytes diverged");
+        println!("post-migration inference and snapshot are bit-identical");
+
+        // Failover: kill the shard now serving the migrated tenant. The
+        // router answers with a typed ShardUnavailable — no hang — while
+        // other tenants keep serving.
+        shards[target].take().unwrap().stop();
+        match client.call(ServeRequest::Infer {
+            deployment: mover.into(),
+            image: traffic::class_image(IMAGE, 0, 0.01),
+        }) {
+            Err(WireError::Remote(ServeError::ShardUnavailable { shard, .. })) => {
+                println!("killed shard {target}: request failed typed (ShardUnavailable on {shard})");
+            }
+            other => return Err(format!("expected ShardUnavailable, got {other:?}").into()),
+        }
+        let survivor = TENANTS
+            .iter()
+            .find(|t| router.shard_for(t).map(|s| s != target).unwrap_or(false))
+            .expect("some tenant lives on a surviving shard");
+        infer_bits(&mut client, survivor, 0);
+        println!("{survivor:?} still serves from its surviving shard");
+
+        for health in router.probe() {
+            println!(
+                "  probe shard {}: {}",
+                health.shard,
+                if health.healthy { "healthy" } else { "down" }
+            );
+        }
+        Ok(())
+    })??;
+
+    println!("done: router and shards tore down cleanly");
+    Ok(())
+}

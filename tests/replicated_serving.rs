@@ -164,6 +164,105 @@ fn follower_serves_bit_identical_reads_and_rejects_writes() {
 }
 
 #[test]
+fn follower_resyncs_from_a_fresh_anchor_after_a_replication_gap() {
+    let primary = registry();
+    let replica = registry();
+
+    WireServer::run(&primary, &WireConfig::tcp_loopback(), |primary_server| {
+        let mut to_primary = WireClient::connect(primary_server.addr()).unwrap();
+        to_primary
+            .call(ServeRequest::LearnOnline {
+                deployment: "tenant".into(),
+                batch: support(&[0, 1]),
+            })
+            .unwrap();
+
+        let config = FollowerConfig::new(primary_server.addr().clone(), &["tenant"]);
+        Follower::run(&replica, &config, |follower| {
+            follower.wait_for_seq("tenant", 1, WAIT).unwrap();
+            assert_eq!(follower.resyncs("tenant"), 0);
+
+            // Mutate the primary's memory outside the commit stream: a
+            // restore bumps the replication sequence without emitting a
+            // delta, so the follower's next delta skips a number.
+            let bytes = primary.snapshot("tenant").unwrap();
+            primary.restore("tenant", &bytes).unwrap();
+            to_primary
+                .call(ServeRequest::LearnOnline {
+                    deployment: "tenant".into(),
+                    batch: support(&[2]),
+                })
+                .unwrap();
+
+            // The gapped tail resubscribes on its own: a fresh full-snapshot
+            // anchor carries the follower past the gap, and the tail keeps
+            // applying deltas afterwards.
+            follower.wait_for_seq("tenant", 3, WAIT).unwrap();
+            assert_eq!(follower.resyncs("tenant"), 1);
+            assert!(follower.replication_error("tenant").is_none());
+
+            to_primary
+                .call(ServeRequest::LearnOnline {
+                    deployment: "tenant".into(),
+                    batch: support(&[3]),
+                })
+                .unwrap();
+            follower.wait_for_seq("tenant", 4, WAIT).unwrap();
+
+            // Bit-exactness survived the resync.
+            let mut to_follower = WireClient::connect(follower.addr()).unwrap();
+            assert_eq!(snapshot(&mut to_primary), snapshot(&mut to_follower));
+            for class in 0..4 {
+                let (p_class, p_sim) = infer(&mut to_primary, class);
+                let (f_class, f_sim) = infer(&mut to_follower, class);
+                assert_eq!(p_class, f_class);
+                assert_eq!(p_sim.to_bits(), f_sim.to_bits());
+            }
+        })
+        .unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn exhausted_resync_budget_surfaces_the_gap_error() {
+    let primary = registry();
+    let replica = registry();
+
+    WireServer::run(&primary, &WireConfig::tcp_loopback(), |primary_server| {
+        let mut to_primary = WireClient::connect(primary_server.addr()).unwrap();
+        to_primary
+            .call(ServeRequest::LearnOnline {
+                deployment: "tenant".into(),
+                batch: support(&[0]),
+            })
+            .unwrap();
+
+        let config = FollowerConfig::new(primary_server.addr().clone(), &["tenant"])
+            .with_resync_limit(0);
+        Follower::run(&replica, &config, |follower| {
+            follower.wait_for_seq("tenant", 1, WAIT).unwrap();
+            let bytes = primary.snapshot("tenant").unwrap();
+            primary.restore("tenant", &bytes).unwrap();
+            to_primary
+                .call(ServeRequest::LearnOnline {
+                    deployment: "tenant".into(),
+                    batch: support(&[1]),
+                })
+                .unwrap();
+            // With no resyncs allowed, the gap halts the tail and the error
+            // is surfaced — the pre-resync behaviour, now opt-in.
+            let err = follower.wait_for_seq("tenant", 3, WAIT).unwrap_err();
+            assert!(err.to_string().contains("gapped"), "unexpected error: {err}");
+            assert!(follower.replication_error("tenant").is_some());
+            assert_eq!(follower.resyncs("tenant"), 0);
+        })
+        .unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
 fn follower_of_unknown_deployment_reports_the_error() {
     let primary = registry();
     let replica = registry();
