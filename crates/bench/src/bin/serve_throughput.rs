@@ -21,6 +21,12 @@
 //! router, and one **live migration** mid-burst (asserted bit-exact via
 //! snapshot equality). Emits a `shard_rps` JSON line.
 //!
+//! With `--durable`, instead drives a **mixed learn + infer burst** twice —
+//! once in-memory, once journaled to an `ofscil_store` WAL — and emits a
+//! `durable_rps` JSON line so the write-ahead log's hot-path cost is tracked
+//! release over release (the recovered state is asserted bit-exact against
+//! the live registry on the way out).
+//!
 //! Prints a human-readable table plus one machine-readable JSON line
 //! (`{"bench":"serve_throughput",...}`) so successive runs can chart the
 //! perf trajectory. `OFSCIL_SEED` overrides the seed; `OFSCIL_PROFILE=full`
@@ -37,6 +43,9 @@ const IMAGE: usize = 8;
 const MAX_BATCH: usize = 32;
 const WIRE_CLIENTS: usize = 4;
 const SHARDED_TENANTS: usize = 6;
+/// In durable mode, one `LearnOnline` commit rides along every this many
+/// inference requests — learns are what hit the write-ahead log.
+const LEARN_EVERY: usize = 16;
 
 fn class_image(class: usize, jitter: f32) -> Tensor {
     traffic::class_image(IMAGE, class, jitter)
@@ -130,6 +139,114 @@ fn run_wire(registry: &LearnerRegistry, requests: &[Tensor]) -> f64 {
         start.elapsed().as_secs_f64()
     })
     .expect("wire server")
+}
+
+/// Submits a mixed burst (every `LEARN_EVERY`-th request is preceded by a
+/// `LearnOnline` commit), optionally journaled; returns elapsed seconds.
+fn run_mixed(
+    registry: &LearnerRegistry,
+    requests: &[Tensor],
+    journal: Option<&dyn CommitJournal>,
+) -> f64 {
+    let config = ServeConfig::default().with_max_batch(MAX_BATCH);
+    ServeRuntime::run_journaled(registry, &config, None, journal, |client| {
+        let start = Instant::now();
+        let pending: Vec<PendingResponse> = requests
+            .iter()
+            .enumerate()
+            .flat_map(|(i, image)| {
+                let mut batch = Vec::with_capacity(2);
+                if i % LEARN_EVERY == 0 {
+                    batch.push(client.submit(ServeRequest::LearnOnline {
+                        deployment: "tenant".into(),
+                        batch: support_batch(&[(i / LEARN_EVERY) % 3], 2),
+                    }));
+                }
+                batch.push(client.submit(ServeRequest::Infer {
+                    deployment: "tenant".into(),
+                    image: image.clone(),
+                }));
+                batch
+            })
+            .collect();
+        for pending in pending {
+            pending.wait().expect("mixed workload");
+        }
+        start.elapsed().as_secs_f64()
+    })
+    .expect("runtime")
+}
+
+/// The durable-serving benchmark: the same mixed burst, in-memory vs
+/// journaled to a WAL + checkpoint store, with recovery asserted bit-exact.
+fn run_durable(seed: u64, requests_total: usize) {
+    let learns = requests_total.div_ceil(LEARN_EVERY);
+    println!(
+        "serve_throughput --durable: {requests_total} inference requests + {learns} \
+         learn commits, one tenant, micro backbone, max_batch {MAX_BATCH} (seed {seed})"
+    );
+    rule(78);
+
+    let mut rng = SeedRng::new(seed);
+    let requests: Vec<Tensor> = (0..requests_total)
+        .map(|i| class_image(i % 3, 0.05 * rng.normal().abs()))
+        .collect();
+    let total = requests_total + learns;
+
+    let plain_registry = registry_with_tenant(seed);
+    run_mixed(&plain_registry, &requests[..requests.len().min(32)], None);
+    let plain_s = run_mixed(&plain_registry, &requests, None);
+
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("ofscil-durable-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable_registry = registry_with_tenant(seed);
+    let store = Store::open(&dir).expect("store open");
+    store.bootstrap(&durable_registry).expect("store bootstrap");
+    // Warm the durable path too (memoized pricing, first-learn work, the
+    // WAL's file handle), so the timed ratio isolates per-record WAL cost.
+    run_mixed(&durable_registry, &requests[..requests.len().min(32)], Some(&store));
+    let durable_s = run_mixed(&durable_registry, &requests, Some(&store));
+
+    // The journal must replay to exactly the live state — a throughput
+    // number for a WAL that loses commits would be meaningless.
+    let state = store.latest_state("tenant").expect("replay");
+    assert_eq!(
+        state.snapshot,
+        durable_registry.snapshot("tenant").expect("snapshot"),
+        "recovered state diverged from the live registry"
+    );
+    assert_eq!(state.seq, durable_registry.snapshot_with_seq("tenant").expect("seq").0);
+
+    let plain_rps = total as f64 / plain_s;
+    let durable_rps = total as f64 / durable_s;
+    // > 1.0 means durability costs wall-clock time; the number to watch.
+    let overhead = durable_s / plain_s;
+    let wal = store.durability_stats("tenant").expect("attached tenant");
+
+    println!("{:<26} {:>12} {:>14}", "mode", "time [ms]", "throughput [req/s]");
+    println!("{:<26} {:>12.1} {:>14.0}", "in-memory (mixed)", 1e3 * plain_s, plain_rps);
+    println!("{:<26} {:>12.1} {:>14.0}", "journaled (mixed)", 1e3 * durable_s, durable_rps);
+    rule(78);
+    println!(
+        "durable burst took {overhead:.2}x the in-memory time; wal_records {}, \
+         wal_bytes {}, last_checkpoint_seq {}; recovery bit-exact",
+        wal.wal_records, wal.wal_bytes, wal.last_checkpoint_seq
+    );
+    println!(
+        "{{\"bench\":\"serve_throughput\",\"mode\":\"durable\",\"seed\":{seed},\
+         \"requests\":{requests_total},\"learns\":{learns},\"max_batch\":{MAX_BATCH},\
+         \"plain_rps\":{plain_rps:.1},\"durable_rps\":{durable_rps:.1},\
+         \"durable_overhead\":{overhead:.3},\"wal_bytes\":{}}}",
+        wal.wal_bytes
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Parses `--durable` from the command line.
+fn durable_from_args() -> bool {
+    std::env::args().skip(1).any(|arg| arg == "--durable")
 }
 
 /// Parses `--shards N` (or `--shards=N`) from the command line.
@@ -288,6 +405,10 @@ fn run_sharded(seed: u64, shard_count: usize, requests_total: usize) {
 fn main() {
     let seed = seed_from_env();
     let requests_total = if full_profile_requested() { 4096 } else { 512 };
+    if durable_from_args() {
+        run_durable(seed, requests_total);
+        return;
+    }
     if let Some(shard_count) = shards_from_args() {
         assert!(shard_count > 0, "--shards must be at least 1");
         run_sharded(seed, shard_count, requests_total);

@@ -17,6 +17,10 @@
 //! * [`serve`] — the multi-tenant serving runtime: request batching,
 //!   energy-budget admission and explicit-memory snapshots for long-lived
 //!   deployments,
+//! * [`store`] — the durable WAL + checkpoint store: per-deployment
+//!   write-ahead logs with delta compaction, full-snapshot checkpoints,
+//!   bit-exact crash recovery and the bootstrap path follower promotion
+//!   rides on,
 //! * [`wire`] — cross-process serving: the checksummed binary wire protocol,
 //!   the blocking TCP / Unix-socket server and client, and the
 //!   snapshot-replicated read-only follower mode,
@@ -54,6 +58,7 @@ pub use ofscil_nn as nn;
 pub use ofscil_quant as quant;
 pub use ofscil_router as router;
 pub use ofscil_serve as serve;
+pub use ofscil_store as store;
 pub use ofscil_tensor as tensor;
 pub use ofscil_wire as wire;
 
@@ -85,10 +90,12 @@ pub mod prelude {
         RouterServer, ShardHealth, ShardStats,
     };
     pub use ofscil_serve::{
-        decode_explicit_memory, encode_explicit_memory, BudgetPolicy, DeploymentExport,
-        DeploymentSpec, DeploymentStats, LearnCommit, LearnerRegistry, PendingResponse,
-        ServeClient, ServeConfig, ServeError, ServeRequest, ServeResponse, ServeRuntime,
+        decode_explicit_memory, encode_explicit_memory, BudgetPolicy, CommitJournal,
+        DeploymentExport, DeploymentSpec, DeploymentStats, DurabilityStats, LearnCommit,
+        LearnerRegistry, PendingResponse, ServeClient, ServeConfig, ServeError, ServeRequest,
+        ServeResponse, ServeRuntime,
     };
+    pub use ofscil_store::{RecoveryReport, Store, StoreConfig, StoreError};
     pub use ofscil_tensor::{SeedRng, Tensor};
     pub use ofscil_wire::{
         BoundAddr, Follower, FollowerConfig, ReplEvent, WireBind, WireClient, WireConfig,

@@ -32,6 +32,10 @@ pub enum RouterError {
     /// A wire-level failure outside the per-shard pool (e.g. binding the
     /// client-facing listener).
     Wire(WireError),
+    /// Reading or appending the persistent placement journal failed. The
+    /// in-memory placement stays consistent; only its durability is at risk
+    /// until the journal recovers.
+    PlacementLog(String),
 }
 
 impl RouterError {
@@ -65,6 +69,9 @@ impl fmt::Display for RouterError {
             }
             RouterError::Remote(e) => write!(f, "shard-side error: {e}"),
             RouterError::Wire(e) => write!(f, "wire error: {e}"),
+            RouterError::PlacementLog(msg) => {
+                write!(f, "placement journal error: {msg}")
+            }
         }
     }
 }

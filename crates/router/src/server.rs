@@ -27,6 +27,7 @@ use crate::error::RouterError;
 use crate::pool::{PoolConfig, ShardHealth, ShardPool};
 use crate::ring::HashRing;
 use ofscil_serve::{DeploymentStats, ServeError, ServeRequest, ServeResponse};
+use ofscil_store::OpLog;
 use ofscil_wire::codec::encode_response;
 use ofscil_wire::{
     peek_request, read_frame_verbatim, BoundAddr, ShutdownOnDrop, VerbatimEvent, VerbatimFrame,
@@ -34,8 +35,9 @@ use ofscil_wire::{
 };
 use std::collections::HashMap;
 use std::io::Write;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 use std::time::Duration;
 
 /// How often blocked router loops wake to poll the shutdown flag.
@@ -58,6 +60,13 @@ pub struct RouterConfig {
     pub max_payload: usize,
     /// Connection-pool knobs (retries, backoff, cooldown).
     pub pool: PoolConfig,
+    /// Path of the persistent placement journal. When set, every migration's
+    /// placement override is appended as a checksummed record (the
+    /// `ofscil_store` record codec), and a restarting router replays the
+    /// journal to recover where migrated deployments live — the ring itself
+    /// is deterministic from `shards`, so overrides are the only placement
+    /// state worth persisting. `None` keeps placement in memory only.
+    pub placement_log: Option<PathBuf>,
 }
 
 impl RouterConfig {
@@ -70,6 +79,7 @@ impl RouterConfig {
             vnodes: 64,
             max_payload: DEFAULT_MAX_PAYLOAD,
             pool: PoolConfig::default(),
+            placement_log: None,
         }
     }
 
@@ -91,6 +101,16 @@ impl RouterConfig {
     #[must_use]
     pub fn with_pool(mut self, pool: PoolConfig) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Persists the placement override map to a journal at `path` (builder
+    /// style): migrations are appended as records, and a restarted router
+    /// replays them so migrated deployments keep routing to their current
+    /// shard.
+    #[must_use]
+    pub fn with_placement_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.placement_log = Some(path.into());
         self
     }
 
@@ -140,6 +160,54 @@ impl Placement {
 struct Shared {
     pool: ShardPool,
     placement: RwLock<Placement>,
+    /// The persistent placement journal, when configured: one override
+    /// record per migration, replayed at startup.
+    placement_log: Option<Mutex<OpLog>>,
+}
+
+/// Record kind of a placement override in the journal.
+const PLACEMENT_KIND_OVERRIDE: u8 = 0x01;
+
+/// Body of an override record: deployment string (u32 LE length + UTF-8
+/// bytes) followed by the owning shard id (u64 LE).
+fn encode_override(deployment: &str, shard: usize) -> Vec<u8> {
+    let mut body = Vec::with_capacity(12 + deployment.len());
+    body.extend_from_slice(&(deployment.len() as u32).to_le_bytes());
+    body.extend_from_slice(deployment.as_bytes());
+    body.extend_from_slice(&(shard as u64).to_le_bytes());
+    body
+}
+
+/// Inverse of [`encode_override`]; `None` for malformed bodies (skipped on
+/// replay — the journal's per-record checksum already filtered corruption,
+/// so this only guards against foreign records).
+fn decode_override(body: &[u8]) -> Option<(String, usize)> {
+    if body.len() < 12 {
+        return None;
+    }
+    let len = u32::from_le_bytes(body[0..4].try_into().ok()?) as usize;
+    if body.len() != 12 + len {
+        return None;
+    }
+    let name = std::str::from_utf8(&body[4..4 + len]).ok()?.to_string();
+    let shard =
+        usize::try_from(u64::from_le_bytes(body[4 + len..].try_into().ok()?)).ok()?;
+    Some((name, shard))
+}
+
+/// Appends one override record to the journal, if one is configured.
+fn journal_override(
+    placement_log: Option<&Mutex<OpLog>>,
+    deployment: &str,
+    shard: usize,
+) -> Result<(), RouterError> {
+    if let Some(log) = placement_log {
+        log.lock()
+            .expect("placement log poisoned")
+            .append(PLACEMENT_KIND_OVERRIDE, &encode_override(deployment, shard))
+            .map_err(|e| RouterError::PlacementLog(e.to_string()))?;
+    }
+    Ok(())
 }
 
 /// One shard's slice of a scatter-gathered cluster statistics read.
@@ -278,7 +346,14 @@ impl RouterHandle<'_> {
                 "deployment {deployment:?} already lives on shard {target}"
             )));
         }
-        let report = migrate_locked(&self.shared.pool, &mut placement, deployment, from, target)?;
+        let report = migrate_locked(
+            &self.shared.pool,
+            &mut placement,
+            self.shared.placement_log.as_ref(),
+            deployment,
+            from,
+            target,
+        )?;
         Ok(report)
     }
 
@@ -300,7 +375,8 @@ impl RouterHandle<'_> {
         let pool_id = self.shared.pool.add_shard(addr);
         let ring_id = placement.ring.add_shard();
         debug_assert_eq!(pool_id, ring_id, "pool and ring ids must stay aligned");
-        let moves = rebalance_locked(&self.shared.pool, &mut placement)?;
+        let moves =
+            rebalance_locked(&self.shared.pool, &mut placement, self.shared.placement_log.as_ref())?;
         Ok((ring_id, moves))
     }
 
@@ -333,7 +409,7 @@ impl RouterHandle<'_> {
         }
         // A re-drain after a partially-failed attempt lands here with the
         // ring already updated; the rebalance moves what is still stranded.
-        rebalance_locked(&self.shared.pool, &mut placement)
+        rebalance_locked(&self.shared.pool, &mut placement, self.shared.placement_log.as_ref())
     }
 }
 
@@ -360,10 +436,14 @@ fn gather_shard_stats(pool: &ShardPool, shard: usize, names: &[String]) -> Shard
     stats
 }
 
-/// Export → import → remap, with the placement write lock already held.
+/// Export → import → remap, with the placement write lock already held. The
+/// remap is journaled before it is applied, so a router restarted after the
+/// append routes the deployment to its new shard (an append that lands
+/// without the in-memory remap is re-applied identically on replay).
 fn migrate_locked(
     pool: &ShardPool,
     placement: &mut Placement,
+    placement_log: Option<&Mutex<OpLog>>,
     deployment: &str,
     from: usize,
     to: usize,
@@ -371,6 +451,7 @@ fn migrate_locked(
     let export = pool.with_conn(from, true, |conn| conn.export(deployment))?;
     // Import mutates the target: never replayed on an ambiguous failure.
     let classes = pool.with_conn(to, false, |conn| conn.import(&export))?;
+    journal_override(placement_log, deployment, to)?;
     placement.location.insert(deployment.to_string(), to);
     Ok(MigrationReport {
         deployment: deployment.to_string(),
@@ -387,6 +468,7 @@ fn migrate_locked(
 fn rebalance_locked(
     pool: &ShardPool,
     placement: &mut Placement,
+    placement_log: Option<&Mutex<OpLog>>,
 ) -> Result<Vec<MigrationReport>, RouterError> {
     let mut names: Vec<String> = placement.location.keys().cloned().collect();
     names.sort_unstable();
@@ -395,7 +477,7 @@ fn rebalance_locked(
         let current = placement.location[&name];
         let target = placement.ring.shard_for(&name).ok_or(RouterError::EmptyRing)?;
         if target != current {
-            moves.push(migrate_locked(pool, placement, &name, current, target)?);
+            moves.push(migrate_locked(pool, placement, placement_log, &name, current, target)?);
         }
     }
     Ok(moves)
@@ -422,7 +504,7 @@ impl RouterServer {
     {
         config.validate()?;
         let ring = HashRing::new(config.shards.len(), config.vnodes);
-        let location = config
+        let mut location: HashMap<String, usize> = config
             .deployments
             .iter()
             .map(|name| {
@@ -430,9 +512,32 @@ impl RouterServer {
                 (name.clone(), shard)
             })
             .collect();
+        // Replay the placement journal over the pure ring assignment: each
+        // surviving override record re-points a migrated deployment at the
+        // shard that actually holds its explicit memory. Overrides naming
+        // shards outside the configured set are stale and skipped.
+        let placement_log = match &config.placement_log {
+            Some(path) => {
+                let (log, records) =
+                    OpLog::open(path).map_err(|e| RouterError::PlacementLog(e.to_string()))?;
+                for (kind, body) in records {
+                    if kind != PLACEMENT_KIND_OVERRIDE {
+                        continue;
+                    }
+                    if let Some((name, shard)) = decode_override(&body) {
+                        if shard < config.shards.len() {
+                            location.insert(name, shard);
+                        }
+                    }
+                }
+                Some(Mutex::new(log))
+            }
+            None => None,
+        };
         let shared = Shared {
             pool: ShardPool::new(config.shards.clone(), config.pool.clone()),
             placement: RwLock::new(Placement { ring, location }),
+            placement_log,
         };
 
         let (listener, addr) = WireListener::bind(&config.bind)?;
@@ -570,6 +675,48 @@ mod tests {
         let mut config = RouterConfig::tcp_loopback(vec![addr]);
         config.max_payload = 0;
         assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn placement_override_records_roundtrip() {
+        let body = encode_override("tenant-a", 3);
+        assert_eq!(decode_override(&body), Some(("tenant-a".into(), 3)));
+        assert!(decode_override(&body[..body.len() - 1]).is_none());
+        assert!(decode_override(&[]).is_none());
+        let empty = encode_override("", 0);
+        assert_eq!(decode_override(&empty), Some((String::new(), 0)));
+    }
+
+    #[test]
+    fn placement_journal_replays_overrides_across_restarts() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ofscil-placement-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut log, _) = OpLog::open(&path).unwrap();
+            log.append(PLACEMENT_KIND_OVERRIDE, &encode_override("tenant-a", 2)).unwrap();
+            log.append(PLACEMENT_KIND_OVERRIDE, &encode_override("tenant-a", 1)).unwrap();
+            // Stale override pointing past the configured shard set.
+            log.append(PLACEMENT_KIND_OVERRIDE, &encode_override("tenant-b", 99)).unwrap();
+        }
+        // Replay exactly as RouterServer::run does.
+        let (_, records) = OpLog::open(&path).unwrap();
+        let shards = 3usize;
+        let mut location: HashMap<String, usize> = HashMap::new();
+        for (kind, body) in records {
+            if kind != PLACEMENT_KIND_OVERRIDE {
+                continue;
+            }
+            if let Some((name, shard)) = decode_override(&body) {
+                if shard < shards {
+                    location.insert(name, shard);
+                }
+            }
+        }
+        // Last override wins; out-of-range shards are skipped.
+        assert_eq!(location.get("tenant-a"), Some(&1));
+        assert_eq!(location.get("tenant-b"), None);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

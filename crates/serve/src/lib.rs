@@ -33,6 +33,11 @@
 //!   runtime configured [`read_only`](ServeConfig::read_only) serves replica
 //!   traffic while rejecting writes (`ofscil_wire` builds its socket server
 //!   and follower mode on these),
+//! * durability hooks — [`ServeRuntime::run_journaled`] additionally writes
+//!   every commit and budget top-up to a [`CommitJournal`] (journaled under
+//!   the deployment's model lock, so record order provably matches mutation
+//!   order); `ofscil_store` implements the trait with a WAL + checkpoint
+//!   store and recovers deployments bit-exactly after a crash,
 //! * backpressure — [`ServeConfig::queue_depth`] bounds the dispatcher queue
 //!   and sheds excess submissions with [`ServeError::QueueFull`].
 //!
@@ -70,6 +75,7 @@
 mod batch;
 mod config;
 mod error;
+mod journal;
 mod registry;
 mod request;
 mod runtime;
@@ -78,6 +84,7 @@ pub mod traffic;
 
 pub use config::ServeConfig;
 pub use error::ServeError;
+pub use journal::{CommitJournal, DurabilityStats};
 pub use registry::{
     BudgetPolicy, DeploymentExport, DeploymentSpec, DeploymentStats, LearnerRegistry,
     RequestPricing,

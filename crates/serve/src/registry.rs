@@ -213,6 +213,9 @@ pub struct DeploymentStats {
     pub energy_spent_mj: f64,
     /// The configured energy budget in millijoules, if any.
     pub energy_budget_mj: Option<f64>,
+    /// Durability counters of the deployment's write-ahead log; `None` when
+    /// the runtime serves without a [`CommitJournal`](crate::CommitJournal).
+    pub durability: Option<crate::DurabilityStats>,
 }
 
 impl DeploymentStats {
@@ -297,6 +300,21 @@ impl EnergyMeter {
         (inner.spent_mj, inner.budget_mj.map(|b| (b - inner.spent_mj).max(0.0)))
     }
 
+    /// Returns `(spent, budget)` — the raw pair a durable journal records
+    /// and crash recovery restores (unlike [`EnergyMeter::state`], which
+    /// reports the *remaining* budget).
+    pub fn spent_and_budget(&self) -> (f64, Option<f64>) {
+        let inner = self.inner.lock().expect("meter lock poisoned");
+        (inner.spent_mj, inner.budget_mj)
+    }
+
+    /// Overwrites the meter with journaled state — crash recovery only.
+    pub fn recover(&self, spent_mj: f64, budget_mj: Option<f64>) {
+        let mut inner = self.inner.lock().expect("meter lock poisoned");
+        inner.spent_mj = spent_mj;
+        inner.budget_mj = budget_mj;
+    }
+
     fn budget(&self) -> Option<f64> {
         self.inner.lock().expect("meter lock poisoned").budget_mj
     }
@@ -378,6 +396,30 @@ impl Deployment {
         (self.pricing().infer_mj * n as f64 - self.batched_infer_mj(n)).max(0.0)
     }
 
+    /// Device-model energy of learning from a support batch of `n` samples,
+    /// in millijoules. A learn's device work per sample is the same
+    /// backbone-plus-FCR forward an inference runs (the prototype
+    /// accumulation is negligible next to it), and the `n` forwards of one
+    /// batch stream the weights **once** — so the batched learn shares the
+    /// coalesced-infer energy derivation and its memoized cache.
+    pub fn batched_learn_mj(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return self.pricing().learn_sample_mj;
+        }
+        self.batched_infer_mj(n)
+    }
+
+    /// Energy to hand back once a `LearnOnline` support batch of `n` samples
+    /// has run: admission charged `n` single-sample passes, the batch
+    /// actually cost [`Deployment::batched_learn_mj`]. Zero for single-shot
+    /// learns.
+    pub fn learn_batch_refund_mj(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        (self.pricing().learn_sample_mj * n as f64 - self.batched_learn_mj(n)).max(0.0)
+    }
+
     pub fn stats_snapshot(&self) -> DeploymentStats {
         let classes = self.model.lock().expect("model lock poisoned").em().num_classes();
         let stats = self.stats.lock().expect("stats lock poisoned");
@@ -394,6 +436,7 @@ impl Deployment {
             deferred: stats.deferred,
             energy_spent_mj: spent,
             energy_budget_mj: self.meter.budget(),
+            durability: None,
         }
     }
 }
@@ -601,6 +644,25 @@ impl LearnerRegistry {
     /// error for malformed snapshot bytes, and
     /// [`ServeError::InvalidRequest`] on a projection-dimension mismatch.
     pub fn import_deployment(&self, export: &DeploymentExport) -> Result<usize> {
+        self.import_deployment_with(export, |_, _, _| ()).map(|(classes, ())| classes)
+    }
+
+    /// Like [`LearnerRegistry::import_deployment`], but invokes `f` with the
+    /// post-install `(seq, spent_mj, budget_mj)` **while the model lock is
+    /// still held** — the journaling hook. Learns journal under the same
+    /// lock, so the import's WAL record and any racing learn's are appended
+    /// in true sequence order; journaling after the lock is released can
+    /// interleave (a learn at seq S+1 lands before the import's record at
+    /// seq S, and replay then skips the import entirely).
+    ///
+    /// # Errors
+    ///
+    /// See [`LearnerRegistry::import_deployment`].
+    pub fn import_deployment_with<T>(
+        &self,
+        export: &DeploymentExport,
+        f: impl FnOnce(u64, f64, Option<f64>) -> T,
+    ) -> Result<(usize, T)> {
         let em = decode_explicit_memory(&export.snapshot)?;
         let deployment = self.resolve(&export.name)?;
         let mut model = deployment.model.lock().expect("model lock poisoned");
@@ -614,9 +676,26 @@ impl LearnerRegistry {
         }
         let classes = em.num_classes();
         *model.em_mut() = em;
-        let mut seq = deployment.repl_seq.lock().expect("repl seq lock poisoned");
-        *seq = export.seq.max(*seq + 1);
-        Ok(classes)
+        let seq = {
+            let mut seq = deployment.repl_seq.lock().expect("repl seq lock poisoned");
+            *seq = export.seq.max(*seq + 1);
+            *seq
+        };
+        let (spent_mj, budget_mj) = deployment.meter.spent_and_budget();
+        let value = f(seq, spent_mj, budget_mj);
+        Ok((classes, value))
+    }
+
+    /// A deployment's current replication sequence number — the cheap
+    /// seq-only read (no snapshot serialization) bootstrap paths use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names.
+    pub fn replication_seq(&self, name: &str) -> Result<u64> {
+        let deployment = self.resolve(name)?;
+        let seq = *deployment.repl_seq.lock().expect("repl seq lock poisoned");
+        Ok(seq)
     }
 
     /// Applies a replication delta: stores each `(class, prototype)` pair
@@ -694,6 +773,26 @@ impl LearnerRegistry {
     /// [`ServeError::InvalidRequest`] when the snapshot's dimensionality does
     /// not match the deployment's projection head.
     pub fn restore(&self, name: &str, bytes: &[u8]) -> Result<usize> {
+        self.restore_inner(name, bytes, None)
+    }
+
+    /// Like [`LearnerRegistry::restore`], but adopts `seq` as the
+    /// deployment's replication sequence number **exactly** instead of
+    /// advancing the local one. This is how a follower applies a
+    /// full-snapshot anchor: its registry then counts in the *primary's*
+    /// sequence line, so a later promotion (follower → writable primary)
+    /// continues that line and re-attached subscribers resume consistently.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for malformed bytes and
+    /// [`ServeError::InvalidRequest`] when the snapshot's dimensionality does
+    /// not match the deployment's projection head.
+    pub fn restore_at(&self, name: &str, bytes: &[u8], seq: u64) -> Result<usize> {
+        self.restore_inner(name, bytes, Some(seq))
+    }
+
+    fn restore_inner(&self, name: &str, bytes: &[u8], seq: Option<u64>) -> Result<usize> {
         let em = decode_explicit_memory(bytes)?;
         let deployment = self.resolve(name)?;
         let mut model = deployment.model.lock().expect("model lock poisoned");
@@ -706,7 +805,62 @@ impl LearnerRegistry {
         }
         let classes = em.num_classes();
         *model.em_mut() = em;
-        *deployment.repl_seq.lock().expect("repl seq lock poisoned") += 1;
+        let mut current = deployment.repl_seq.lock().expect("repl seq lock poisoned");
+        match seq {
+            Some(seq) => *current = seq,
+            None => *current += 1,
+        }
+        Ok(classes)
+    }
+
+    /// Returns a deployment's raw `(spent, budget)` energy-meter state — the
+    /// pair a durable journal checkpoints and crash recovery restores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names.
+    pub fn energy_state(&self, name: &str) -> Result<(f64, Option<f64>)> {
+        Ok(self.resolve(name)?.meter.spent_and_budget())
+    }
+
+    /// Installs a deployment's durable state after a crash: the explicit
+    /// memory is restored bit-exactly, and — unlike [`LearnerRegistry::restore`],
+    /// which treats restoring as a live mutation and advances the sequence —
+    /// the journaled replication sequence number and energy-meter state are
+    /// adopted **exactly**, because recovery recreates history rather than
+    /// extending it. Returns the number of restored classes.
+    ///
+    /// Only a durable store should call this, on a freshly constructed
+    /// registry, before any traffic is served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownDeployment`] for unknown names, a codec
+    /// error for malformed snapshot bytes, and
+    /// [`ServeError::InvalidRequest`] on a projection-dimension mismatch.
+    pub fn recover_deployment(
+        &self,
+        name: &str,
+        snapshot: &[u8],
+        seq: u64,
+        spent_mj: f64,
+        budget_mj: Option<f64>,
+    ) -> Result<usize> {
+        let em = decode_explicit_memory(snapshot)?;
+        let deployment = self.resolve(name)?;
+        let mut model = deployment.model.lock().expect("model lock poisoned");
+        if em.dim() != model.projection_dim() {
+            return Err(ServeError::InvalidRequest(format!(
+                "recovered snapshot dimension {} does not match deployment projection \
+                 dimension {}",
+                em.dim(),
+                model.projection_dim()
+            )));
+        }
+        let classes = em.num_classes();
+        *model.em_mut() = em;
+        *deployment.repl_seq.lock().expect("repl seq lock poisoned") = seq;
+        deployment.meter.recover(spent_mj, budget_mj);
         Ok(classes)
     }
 
@@ -956,6 +1110,61 @@ mod tests {
             registry.import_deployment(&bad).unwrap_err(),
             ServeError::InvalidRequest(_)
         ));
+    }
+
+    #[test]
+    fn recover_deployment_adopts_seq_and_meter_exactly() {
+        let registry = LearnerRegistry::new();
+        registry
+            .register(
+                DeploymentSpec::new("a", (8, 8)).with_energy_budget(50.0, BudgetPolicy::Reject),
+                micro_model(0),
+            )
+            .unwrap();
+        let proto: Vec<f32> = (0..16).map(|i| i as f32 / 8.0 - 1.0).collect();
+        registry.apply_prototype_updates("a", &[(3, proto.clone())]).unwrap();
+        let snapshot = registry.snapshot("a").unwrap();
+
+        // A second registry plays the post-crash fresh process.
+        let registry2 = LearnerRegistry::new();
+        registry2
+            .register(DeploymentSpec::new("a", (8, 8)), micro_model(0))
+            .unwrap();
+        let classes = registry2
+            .recover_deployment("a", &snapshot, 17, 12.5, Some(99.0))
+            .unwrap();
+        assert_eq!(classes, 1);
+        // Unlike restore(), recovery adopts the journaled seq *exactly*.
+        assert_eq!(registry2.snapshot_with_seq("a").unwrap().0, 17);
+        let (spent, budget) = registry2.energy_state("a").unwrap();
+        assert_eq!(spent.to_bits(), 12.5f64.to_bits());
+        assert_eq!(budget.map(f64::to_bits), Some(99.0f64.to_bits()));
+        assert_eq!(registry2.snapshot("a").unwrap(), snapshot);
+
+        // Mismatched dimensionality stays a typed error.
+        let foreign = ofscil_core::ExplicitMemory::new(99);
+        assert!(matches!(
+            registry2
+                .recover_deployment("a", &encode_explicit_memory(&foreign), 1, 0.0, None)
+                .unwrap_err(),
+            ServeError::InvalidRequest(_)
+        ));
+    }
+
+    #[test]
+    fn batched_learn_shares_the_amortized_derivation() {
+        let registry = LearnerRegistry::new();
+        registry
+            .register(DeploymentSpec::new("t", (8, 8)), micro_model(0))
+            .unwrap();
+        let deployment = registry.resolve("t").unwrap();
+        let single = deployment.pricing().learn_sample_mj;
+        assert!((deployment.batched_learn_mj(1) - single).abs() < 1e-12);
+        assert_eq!(deployment.learn_batch_refund_mj(1), 0.0);
+        let batch6 = deployment.batched_learn_mj(6);
+        assert!(batch6 < 6.0 * single, "batched learn must undercut {} mJ", 6.0 * single);
+        let refund = deployment.learn_batch_refund_mj(6);
+        assert!((refund - (6.0 * single - batch6)).abs() < 1e-9);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! a deferred queue at shutdown — a final [`ServeError::BudgetExhausted`].
 
 use crate::batch::{Coalescer, DeploymentJob, InferItem};
+use crate::journal::CommitJournal;
 use crate::registry::{BudgetPolicy, Deployment, LearnerRegistry};
 use crate::request::{Envelope, PendingResponse, Reply, ServeRequest, ServeResponse};
 use crate::snapshot::encode_explicit_memory;
@@ -177,6 +178,35 @@ impl ServeRuntime {
     where
         F: FnOnce(&ServeClient) -> T,
     {
+        ServeRuntime::run_journaled(registry, config, sink, None, body)
+    }
+
+    /// Like [`ServeRuntime::run_replicated`], but every committed
+    /// `LearnOnline` and budget top-up is additionally written to `journal`
+    /// before its reply is sent — commits **under the deployment's model
+    /// lock**, so the journal's record order provably matches the order of
+    /// memory mutations. `ofscil_store` implements [`CommitJournal`] with a
+    /// per-deployment WAL + checkpoint store that recovers every deployment
+    /// bit-exactly after a crash.
+    ///
+    /// A failed journal write fails the request it was part of (the client
+    /// must not believe an unjournaled commit is durable) but leaves the
+    /// runtime serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the configuration is
+    /// invalid; the body itself is infallible from the runtime's view.
+    pub fn run_journaled<T, F>(
+        registry: &LearnerRegistry,
+        config: &ServeConfig,
+        sink: Option<mpsc::Sender<LearnCommit>>,
+        journal: Option<&dyn CommitJournal>,
+        body: F,
+    ) -> Result<T>
+    where
+        F: FnOnce(&ServeClient) -> T,
+    {
         config.validate()?;
         let (tx, rx) = mpsc::channel::<Envelope>();
         let queue = JobQueue::new();
@@ -189,12 +219,12 @@ impl ServeRuntime {
             for _ in 0..config.workers {
                 let sink = sink.clone();
                 let queue = &queue;
-                scope.spawn(move || worker_loop(queue, sink.as_ref()));
+                scope.spawn(move || worker_loop(queue, sink.as_ref(), journal));
             }
             let dispatcher_queue = &queue;
             let dispatcher_gauge = Arc::clone(&gauge);
             scope.spawn(move || {
-                dispatch_loop(rx, registry, config, dispatcher_queue, &dispatcher_gauge)
+                dispatch_loop(rx, registry, config, dispatcher_queue, &dispatcher_gauge, journal)
             });
 
             let client = ServeClient { tx, gauge };
@@ -218,6 +248,7 @@ fn dispatch_loop(
     config: &ServeConfig,
     queue: &JobQueue,
     gauge: &DepthGauge,
+    journal: Option<&dyn CommitJournal>,
 ) {
     let mut coalescer = Coalescer::new(config.max_batch);
     let mut deferred: HashMap<String, VecDeque<Envelope>> = HashMap::new();
@@ -234,7 +265,7 @@ fn dispatch_loop(
         // submission depth limit (they are now the dispatcher's problem).
         gauge.queued.fetch_sub(cycle.len(), Ordering::AcqRel);
         for envelope in cycle {
-            route(envelope, registry, config, queue, &mut coalescer, &mut deferred);
+            route(envelope, registry, config, queue, &mut coalescer, &mut deferred, journal);
         }
         for (deployment, job) in coalescer.flush_all() {
             enqueue(&deployment, job, queue);
@@ -326,6 +357,7 @@ fn route(
     queue: &JobQueue,
     coalescer: &mut Coalescer,
     deferred: &mut HashMap<String, VecDeque<Envelope>>,
+    journal: Option<&dyn CommitJournal>,
 ) {
     let name = envelope.request.deployment().to_string();
     // A read-only replica rejects writes before even resolving the
@@ -345,11 +377,39 @@ fn route(
     // Budget top-ups are answered by the dispatcher itself, then unblock as
     // much deferred work as the new budget covers, oldest first.
     if let ServeRequest::TopUpBudget { energy_mj, .. } = envelope.request {
-        deployment.meter.top_up(energy_mj);
-        let (spent_mj, remaining_mj) = deployment.meter.state();
-        let _ = envelope
-            .reply
-            .send(Ok(ServeResponse::Budget { spent_mj, remaining_mj }));
+        let journaled = match journal {
+            Some(journal) => {
+                // Learns journal their meter state under the model lock;
+                // holding it here too makes the two meter-read + append
+                // pairs mutually exclusive, so WAL meter states land in
+                // true order (a stale read can otherwise be appended after
+                // a newer one and win the replay). Top-ups are rare
+                // control-plane operations, so briefly parking the
+                // dispatcher behind a learn in flight is acceptable.
+                let _model = deployment.model.lock().expect("model lock poisoned");
+                deployment.meter.top_up(energy_mj);
+                let seq = *deployment.repl_seq.lock().expect("repl seq lock poisoned");
+                let (spent_mj, budget_mj) = deployment.meter.spent_and_budget();
+                journal.journal_top_up(&name, seq, spent_mj, budget_mj)
+            }
+            None => {
+                deployment.meter.top_up(energy_mj);
+                Ok(())
+            }
+        };
+        match journaled {
+            Ok(()) => {
+                let (spent_mj, remaining_mj) = deployment.meter.state();
+                let _ = envelope
+                    .reply
+                    .send(Ok(ServeResponse::Budget { spent_mj, remaining_mj }));
+            }
+            // The budget did move; the caller just must not believe the
+            // change is durable.
+            Err(e) => envelope.reject(ServeError::Execution(format!(
+                "budget raised but journaling failed: {e}"
+            ))),
+        }
         release_deferred(&name, registry, queue, coalescer, deferred);
         return;
     }
@@ -481,7 +541,11 @@ fn release_deferred(
 // Worker pool
 // ---------------------------------------------------------------------------
 
-fn worker_loop(queue: &JobQueue, sink: Option<&mpsc::Sender<LearnCommit>>) {
+fn worker_loop(
+    queue: &JobQueue,
+    sink: Option<&mpsc::Sender<LearnCommit>>,
+    journal: Option<&dyn CommitJournal>,
+) {
     while let Some(deployment) = queue.pop() {
         // Drain this deployment's queue in FIFO order. The `scheduled` flag
         // is cleared under the same lock that proves the queue empty, so a
@@ -501,11 +565,15 @@ fn worker_loop(queue: &JobQueue, sink: Option<&mpsc::Sender<LearnCommit>>) {
             match job {
                 DeploymentJob::InferBatch(items) => run_infer_batch(&deployment, items),
                 DeploymentJob::Learn { batch, reply } => {
-                    run_learn(&deployment, &batch, &reply, sink)
+                    run_learn(&deployment, &batch, &reply, sink, journal)
                 }
                 DeploymentJob::Snapshot { reply } => run_snapshot(&deployment, &reply),
                 DeploymentJob::Stats { reply } => {
-                    let _ = reply.send(Ok(ServeResponse::Stats(deployment.stats_snapshot())));
+                    let mut stats = deployment.stats_snapshot();
+                    if let Some(journal) = journal {
+                        stats.durability = journal.durability_stats(&deployment.name);
+                    }
+                    let _ = reply.send(Ok(ServeResponse::Stats(stats)));
                 }
             }
         }
@@ -567,15 +635,23 @@ fn run_learn(
     batch: &ofscil_data::Batch,
     reply: &Reply,
     sink: Option<&mpsc::Sender<LearnCommit>>,
+    journal: Option<&dyn CommitJournal>,
 ) {
-    // The commit (sequence number + post-commit prototypes) is assembled
-    // while the model lock is still held, so replication sees mutations in
-    // exactly the order they happened, with the exact stored bit patterns.
+    // The amortized settlement is derived *before* taking the model lock
+    // (the derivation itself locks the model on a cache miss): admission
+    // charged batch.len() single-sample passes, but the batch's forwards
+    // stream the weights once.
+    let refund_mj = deployment.learn_batch_refund_mj(batch.len());
+    // The commit (sequence number + post-commit prototypes) is assembled —
+    // and journaled — while the model lock is still held, so replication and
+    // the write-ahead log see mutations in exactly the order they happened,
+    // with the exact stored bit patterns.
     let outcome = {
         let mut model = deployment.model.lock().expect("model lock poisoned");
         model
             .learn_classes_online(batch)
-            .map(|()| {
+            .map_err(|e| e.to_string())
+            .and_then(|()| {
                 let mut classes = batch.labels.clone();
                 classes.sort_unstable();
                 classes.dedup();
@@ -585,7 +661,10 @@ fn run_learn(
                     *seq += 1;
                     *seq
                 };
-                let commit = sink.is_some().then(|| LearnCommit {
+                // Settle the meter before the journal reads it, so the
+                // journaled energy state is the post-commit truth.
+                deployment.meter.refund(refund_mj);
+                let commit = (sink.is_some() || journal.is_some()).then(|| LearnCommit {
                     deployment: deployment.name.clone(),
                     seq,
                     updates: classes
@@ -601,9 +680,14 @@ fn run_learn(
                         .collect(),
                     total_classes,
                 });
-                (classes, total_classes, commit)
+                if let (Some(journal), Some(commit)) = (journal, commit.as_ref()) {
+                    let (spent_mj, budget_mj) = deployment.meter.spent_and_budget();
+                    journal
+                        .journal_learn(commit, spent_mj, budget_mj)
+                        .map_err(|e| format!("commit applied but journaling failed: {e}"))?;
+                }
+                Ok((classes, total_classes, commit))
             })
-            .map_err(|e| e.to_string())
     };
     match outcome {
         Ok((classes, total_classes, commit)) => {
@@ -982,6 +1066,157 @@ mod tests {
         // The snapshot anchor reports the last committed sequence number.
         let (seq, _) = registry.snapshot_with_seq("t").unwrap();
         assert_eq!(seq, 2);
+    }
+
+    /// `(kind, deployment, seq, spent_mj, budget_mj)` of one journaled op.
+    type JournalEvent = (String, String, u64, f64, Option<f64>);
+
+    #[derive(Default)]
+    struct MemJournal {
+        events: Mutex<Vec<JournalEvent>>,
+        fail: std::sync::atomic::AtomicBool,
+    }
+
+    impl CommitJournal for MemJournal {
+        fn journal_learn(
+            &self,
+            commit: &LearnCommit,
+            spent_mj: f64,
+            budget_mj: Option<f64>,
+        ) -> std::result::Result<(), String> {
+            if self.fail.load(Ordering::Acquire) {
+                return Err("disk full".into());
+            }
+            self.events.lock().unwrap().push((
+                "learn".into(),
+                commit.deployment.clone(),
+                commit.seq,
+                spent_mj,
+                budget_mj,
+            ));
+            Ok(())
+        }
+
+        fn journal_top_up(
+            &self,
+            deployment: &str,
+            seq: u64,
+            spent_mj: f64,
+            budget_mj: Option<f64>,
+        ) -> std::result::Result<(), String> {
+            self.events.lock().unwrap().push((
+                "topup".into(),
+                deployment.to_string(),
+                seq,
+                spent_mj,
+                budget_mj,
+            ));
+            Ok(())
+        }
+
+        fn durability_stats(&self, _deployment: &str) -> Option<crate::DurabilityStats> {
+            Some(crate::DurabilityStats {
+                wal_records: self.events.lock().unwrap().len() as u64,
+                ..Default::default()
+            })
+        }
+    }
+
+    #[test]
+    fn journaled_run_records_commits_in_order_and_surfaces_durability() {
+        let registry = LearnerRegistry::new();
+        let mut rng = SeedRng::new(0);
+        registry
+            .register(
+                DeploymentSpec::new("t", (8, 8)).with_energy_budget(1e6, BudgetPolicy::Reject),
+                OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+            )
+            .unwrap();
+        let journal = MemJournal::default();
+        let stats =
+            ServeRuntime::run_journaled(&registry, &ServeConfig::default(), None, Some(&journal), |client| {
+                client
+                    .call(ServeRequest::LearnOnline {
+                        deployment: "t".into(),
+                        batch: support_batch(&[0, 1], 2),
+                    })
+                    .unwrap();
+                client
+                    .call(ServeRequest::TopUpBudget { deployment: "t".into(), energy_mj: 5.0 })
+                    .unwrap();
+                client
+                    .call(ServeRequest::LearnOnline {
+                        deployment: "t".into(),
+                        batch: support_batch(&[2], 2),
+                    })
+                    .unwrap();
+                match client.call(ServeRequest::Stats { deployment: "t".into() }).unwrap() {
+                    ServeResponse::Stats(stats) => stats,
+                    other => panic!("unexpected response {other:?}"),
+                }
+            })
+            .unwrap();
+
+        let events = journal.events.lock().unwrap();
+        let kinds: Vec<(&str, u64)> =
+            events.iter().map(|(k, _, seq, _, _)| (k.as_str(), *seq)).collect();
+        // Learn seq 1, top-up at seq 1 (top-ups do not advance), learn seq 2.
+        assert_eq!(kinds, vec![("learn", 1), ("topup", 1), ("learn", 2)]);
+        // The journaled meter state is the settled post-commit truth: the
+        // final learn's spent matches the registry's meter exactly.
+        let (spent, budget) = registry.energy_state("t").unwrap();
+        let last = events.last().unwrap();
+        assert_eq!(last.3.to_bits(), spent.to_bits());
+        assert_eq!(last.4.map(f64::to_bits), budget.map(f64::to_bits));
+        // Stats surfaced the journal's durability counters.
+        assert_eq!(stats.durability.unwrap().wal_records, 3);
+    }
+
+    #[test]
+    fn failed_journal_write_fails_the_request_but_not_the_runtime() {
+        let registry = registry_with(&["t"]);
+        let journal = MemJournal::default();
+        journal.fail.store(true, Ordering::Release);
+        ServeRuntime::run_journaled(&registry, &ServeConfig::default(), None, Some(&journal), |client| {
+            let err = client
+                .call(ServeRequest::LearnOnline {
+                    deployment: "t".into(),
+                    batch: support_batch(&[0], 2),
+                })
+                .unwrap_err();
+            assert!(matches!(err, ServeError::Execution(ref msg) if msg.contains("journal")));
+            // The runtime keeps serving; reads are unaffected.
+            client.call(ServeRequest::Stats { deployment: "t".into() }).unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn learn_batches_are_settled_at_the_amortized_price() {
+        let registry = registry_with(&["t"]);
+        let deployment = registry.resolve("t").unwrap();
+        let single = deployment.pricing().learn_sample_mj;
+        let shots = 4usize;
+        let classes = 2usize;
+        let n = shots * classes;
+        ServeRuntime::run(&registry, &ServeConfig::default(), |client| {
+            client
+                .call(ServeRequest::LearnOnline {
+                    deployment: "t".into(),
+                    batch: support_batch(&[0, 1], shots),
+                })
+                .unwrap();
+        })
+        .unwrap();
+        // Admission charged n single-sample passes; the settled spend is the
+        // batch's amortized energy (weights streamed once).
+        let (spent, _) = deployment.meter.state();
+        let amortized = deployment.batched_learn_mj(n);
+        assert!(
+            (spent - amortized).abs() < 1e-9,
+            "spent {spent} mJ, expected amortized {amortized} mJ"
+        );
+        assert!(spent < single * n as f64);
     }
 
     #[test]

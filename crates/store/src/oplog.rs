@@ -1,0 +1,403 @@
+//! The generic append-only record log under the WAL (and under the router's
+//! placement journal): a file of checksummed `(kind, body)` records in the
+//! same dependency-free style as the snapshot and wire codecs.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     file magic  b"OFLG"
+//! 4       2     format version, little-endian u16 (currently 1)
+//! 6       2     reserved (zero)
+//! 8       8     epoch, little-endian u64 (generation tag, see below)
+//! 16      …     records, each:
+//!                 kind      u8
+//!                 length    u32 LE (body bytes)
+//!                 body      length bytes
+//!                 checksum  u32 LE, FNV-1a over kind + length + body
+//! ```
+//!
+//! Appends are flushed per record, so every record the caller was told is
+//! durable survives a process kill. Reads are **torn-tail tolerant**: a
+//! record that fails its length or checksum (the classic half-written tail of
+//! a killed writer) truncates the log at the last intact record instead of
+//! failing the open — exactly the semantics a write-ahead log wants, because
+//! a torn record's operation was never acknowledged. A damaged file *header*
+//! is a hard [`StoreError::BadLogHeader`]: there is no prefix to salvage.
+//!
+//! The header's **epoch** is an opaque generation tag the layer above pairs
+//! with a sibling file: the WAL store stamps its checkpoint and its log with
+//! the same epoch and bumps both on every checkpoint, so a crash between
+//! "new checkpoint renamed" and "log truncated" is detected at open time
+//! (the log's epoch lags the checkpoint's) and the stale records — all
+//! already folded into that checkpoint — are discarded instead of replayed
+//! onto the newer base.
+
+use crate::error::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes identifying a store record log.
+pub const LOG_MAGIC: [u8; 4] = *b"OFLG";
+
+/// Current record-log format version.
+pub const LOG_VERSION: u16 = 1;
+
+const HEADER_LEN: usize = 16;
+/// kind (1) + length (4) + checksum (4).
+const RECORD_OVERHEAD: usize = 9;
+
+/// FNV-1a 32-bit hash — small, dependency-free corruption detection. Not a
+/// cryptographic integrity check.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// One raw log record: the kind byte plus an opaque body the layer above
+/// interprets (WAL records, placement overrides).
+pub type RawRecord = (u8, Vec<u8>);
+
+/// Serializes one record (kind + length + body + checksum) into `out`.
+fn encode_record(out: &mut Vec<u8>, kind: u8, body: &[u8]) {
+    let start = out.len();
+    out.push(kind);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    let checksum = fnv1a(&out[start..]);
+    out.extend_from_slice(&checksum.to_le_bytes());
+}
+
+/// Parses records from `bytes` (which excludes the file header). Returns the
+/// intact records and the length of the valid prefix; anything past it is a
+/// torn or corrupt tail the caller should truncate.
+fn parse_records(bytes: &[u8]) -> (Vec<RawRecord>, usize) {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let rest = &bytes[offset..];
+        if rest.len() < RECORD_OVERHEAD {
+            break;
+        }
+        let kind = rest[0];
+        let len = u32::from_le_bytes(rest[1..5].try_into().expect("length checked")) as usize;
+        let Some(total) = len.checked_add(RECORD_OVERHEAD) else { break };
+        if rest.len() < total {
+            break;
+        }
+        let stored = u32::from_le_bytes(
+            rest[5 + len..total].try_into().expect("length checked"),
+        );
+        if stored != fnv1a(&rest[..5 + len]) {
+            break;
+        }
+        records.push((kind, rest[5..5 + len].to_vec()));
+        offset += total;
+    }
+    (records, offset)
+}
+
+fn header_bytes(epoch: u64) -> Vec<u8> {
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&LOG_MAGIC);
+    header.extend_from_slice(&LOG_VERSION.to_le_bytes());
+    header.extend_from_slice(&[0u8; 2]);
+    header.extend_from_slice(&epoch.to_le_bytes());
+    header
+}
+
+/// An open append handle on one record log file.
+#[derive(Debug)]
+pub struct OpLog {
+    path: PathBuf,
+    file: File,
+    records: u64,
+    bytes: u64,
+    epoch: u64,
+}
+
+impl OpLog {
+    /// Opens (or creates) the log at `path` and returns the intact records it
+    /// already holds. A torn or corrupt tail is truncated away — the open
+    /// repairs the file so subsequent appends extend the intact prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] for filesystem failures and
+    /// [`StoreError::BadLogHeader`] when the file exists but is not a store
+    /// log (there is nothing to salvage behind a foreign header).
+    pub fn open(path: &Path) -> Result<(OpLog, Vec<RawRecord>), StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        if bytes.len() < HEADER_LEN {
+            // Brand new, or a header torn mid-write (which can hold no
+            // records): start fresh — but only if what is there is a prefix
+            // of our own magic/version/reserved preamble (a torn epoch is
+            // fine: no records can exist behind a torn header). A short
+            // *foreign* file is rejected like a full-size one, not
+            // destroyed.
+            let preamble = header_bytes(0);
+            let check = bytes.len().min(8);
+            if bytes[..check] != preamble[..check] {
+                return Err(StoreError::BadLogHeader {
+                    path: path.display().to_string(),
+                    detail: format!(
+                        "{} bytes of non-log content (not a torn log header)",
+                        bytes.len()
+                    ),
+                });
+            }
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header_bytes(0))?;
+            file.flush()?;
+            return Ok((
+                OpLog {
+                    path: path.to_path_buf(),
+                    file,
+                    records: 0,
+                    bytes: HEADER_LEN as u64,
+                    epoch: 0,
+                },
+                Vec::new(),
+            ));
+        }
+        if bytes[0..4] != LOG_MAGIC {
+            return Err(StoreError::BadLogHeader {
+                path: path.display().to_string(),
+                detail: format!("magic {:?} (expected {LOG_MAGIC:?})", &bytes[0..4]),
+            });
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("length checked"));
+        if version != LOG_VERSION {
+            return Err(StoreError::BadLogHeader {
+                path: path.display().to_string(),
+                detail: format!("version {version} (decoder speaks {LOG_VERSION})"),
+            });
+        }
+
+        let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("length checked"));
+        let (records, valid) = parse_records(&bytes[HEADER_LEN..]);
+        let end = (HEADER_LEN + valid) as u64;
+        if end < bytes.len() as u64 {
+            // Torn or corrupt tail: truncate to the intact prefix.
+            file.set_len(end)?;
+        }
+        file.seek(SeekFrom::Start(end))?;
+        Ok((
+            OpLog {
+                path: path.to_path_buf(),
+                file,
+                records: records.len() as u64,
+                bytes: end,
+                epoch,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the write fails; the log is then in an
+    /// unknown tail state that the next open repairs by truncation.
+    pub fn append(&mut self, kind: u8, body: &[u8]) -> Result<(), StoreError> {
+        let mut buf = Vec::with_capacity(body.len() + RECORD_OVERHEAD);
+        encode_record(&mut buf, kind, body);
+        self.file.write_all(&buf)?;
+        self.file.flush()?;
+        self.records += 1;
+        self.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Atomically replaces the log's contents with `records` (compaction,
+    /// post-checkpoint truncation): the replacement is written to a sibling
+    /// temporary file and renamed over the log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when writing or renaming fails; the
+    /// original log is untouched in that case.
+    pub fn rewrite(&mut self, records: &[RawRecord]) -> Result<(), StoreError> {
+        self.rewrite_with_epoch(records, self.epoch)
+    }
+
+    /// Like [`OpLog::rewrite`], but also stamps a new generation epoch into
+    /// the header — how the WAL store starts a fresh log generation after a
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when writing or renaming fails; the
+    /// original log is untouched in that case.
+    pub fn rewrite_with_epoch(
+        &mut self,
+        records: &[RawRecord],
+        epoch: u64,
+    ) -> Result<(), StoreError> {
+        let tmp = self.path.with_extension("tmp");
+        let mut buf = header_bytes(epoch);
+        for (kind, body) in records {
+            encode_record(&mut buf, *kind, body);
+        }
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&buf)?;
+            file.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.records = records.len() as u64;
+        self.bytes = buf.len() as u64;
+        self.epoch = epoch;
+        Ok(())
+    }
+
+    /// The generation epoch stamped in the log's header.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of records currently in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Size of the log file in bytes (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ofscil-oplog-{}-{tag}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn append_reopen_roundtrip() {
+        let path = temp_path("roundtrip");
+        {
+            let (mut log, existing) = OpLog::open(&path).unwrap();
+            assert!(existing.is_empty());
+            log.append(1, b"alpha").unwrap();
+            log.append(2, b"").unwrap();
+            log.append(7, &[0u8; 300]).unwrap();
+            assert_eq!(log.records(), 3);
+        }
+        let (log, records) = OpLog::open(&path).unwrap();
+        assert_eq!(log.records(), 3);
+        assert_eq!(records[0], (1, b"alpha".to_vec()));
+        assert_eq!(records[1], (2, Vec::new()));
+        assert_eq!(records[2].1.len(), 300);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = temp_path("torn");
+        {
+            let (mut log, _) = OpLog::open(&path).unwrap();
+            log.append(1, b"keep-me").unwrap();
+            log.append(2, b"half-written-record").unwrap();
+        }
+        // Tear the second record: chop a few bytes off the end.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+
+        let (mut log, records) = OpLog::open(&path).unwrap();
+        assert_eq!(records, vec![(1, b"keep-me".to_vec())]);
+        // The repaired log accepts fresh appends cleanly.
+        log.append(3, b"after-repair").unwrap();
+        drop(log);
+        let (_, records) = OpLog::open(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], (3, b"after-repair".to_vec()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_record_stops_the_replay_there() {
+        let path = temp_path("corrupt");
+        {
+            let (mut log, _) = OpLog::open(&path).unwrap();
+            log.append(1, b"first").unwrap();
+            log.append(2, b"second").unwrap();
+        }
+        // Flip one byte inside the first record's body: both records are
+        // gone (the log cannot be trusted past the damage).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 6] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (log, records) = OpLog::open(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(log.records(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rewrite_replaces_contents_atomically() {
+        let path = temp_path("rewrite");
+        let (mut log, _) = OpLog::open(&path).unwrap();
+        for i in 0..10 {
+            log.append(1, &[i]).unwrap();
+        }
+        log.rewrite(&[(9, b"compacted".to_vec())]).unwrap();
+        assert_eq!(log.records(), 1);
+        log.append(1, b"tail").unwrap();
+        drop(log);
+        let (_, records) = OpLog::open(&path).unwrap();
+        assert_eq!(records, vec![(9, b"compacted".to_vec()), (1, b"tail".to_vec())]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_header_is_a_hard_error() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"NOTALOGFILE!").unwrap();
+        assert!(matches!(
+            OpLog::open(&path).unwrap_err(),
+            StoreError::BadLogHeader { .. }
+        ));
+        // A short foreign file is rejected too, never truncated away...
+        std::fs::write(&path, b"hi").unwrap();
+        assert!(matches!(
+            OpLog::open(&path).unwrap_err(),
+            StoreError::BadLogHeader { .. }
+        ));
+        assert_eq!(std::fs::read(&path).unwrap(), b"hi");
+        // ...while a genuinely torn header (a prefix of our own) heals.
+        std::fs::write(&path, &LOG_MAGIC[..3]).unwrap();
+        let (log, records) = OpLog::open(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(log.records(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

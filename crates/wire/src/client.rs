@@ -172,6 +172,32 @@ impl WireClient {
         }
     }
 
+    /// Fetches a fresh full-snapshot anchor `(seq, snapshot-codec bytes)`
+    /// for one deployment. A durably-backed server answers straight from its
+    /// store's latest checkpoint (plus the compacted WAL tail) without
+    /// touching the deployment's model lock; a store-less server falls back
+    /// to a live snapshot. The cheap re-anchor path for far-behind
+    /// subscribers and backup jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Remote`] for server-side refusals (unknown
+    /// deployment) and a transport/codec error when the connection broke.
+    pub fn re_anchor(&mut self, deployment: &str) -> Result<(u64, Vec<u8>), WireError> {
+        self.stream.write_all(&encode_request(&WireRequest::ReAnchor {
+            deployment: deployment.to_string(),
+        }))?;
+        self.stream.flush()?;
+        match self.read_response(None)? {
+            Some(WireResponse::Repl(ReplEvent::Full { seq, snapshot })) => Ok((seq, snapshot)),
+            Some(WireResponse::Error(error)) => Err(WireError::Remote(error)),
+            Some(other) => Err(WireError::Protocol(format!(
+                "server answered a re-anchor with {other:?}"
+            ))),
+            None => Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+        }
+    }
+
     /// Switches the connection into replication streaming for one
     /// deployment. The server answers with a full-snapshot anchor followed
     /// by sequence-numbered deltas; iterate them with

@@ -17,6 +17,7 @@
 //! 0x06   Request  Subscribe    deployment          (switches to streaming)
 //! 0x07   Request  Export       deployment          (migration source)
 //! 0x08   Request  Import       deployment, seq, snapshot (migration target)
+//! 0x09   Request  ReAnchor     deployment          (checkpoint-served Full)
 //! 0x41   Response Prediction   class, similarity, batched_with
 //! 0x42   Response Learned      classes, total
 //! 0x43   Response Snapshot     opaque snapshot-codec bytes
@@ -49,6 +50,7 @@ const KIND_REQ_TOP_UP: u8 = 0x05;
 const KIND_REQ_SUBSCRIBE: u8 = 0x06;
 const KIND_REQ_EXPORT: u8 = 0x07;
 const KIND_REQ_IMPORT: u8 = 0x08;
+const KIND_REQ_REANCHOR: u8 = 0x09;
 const KIND_RESP_PREDICTION: u8 = 0x41;
 const KIND_RESP_LEARNED: u8 = 0x42;
 const KIND_RESP_SNAPSHOT: u8 = 0x43;
@@ -85,6 +87,16 @@ pub enum WireRequest {
     /// [`ServeError::ReadOnlyReplica`] on replicas. Answered with
     /// [`WireResponse::Imported`].
     Import(DeploymentExport),
+    /// Fetch a fresh full-snapshot anchor for one deployment, served
+    /// **straight from the store's latest checkpoint** when the server runs
+    /// durably (no model lock, cost bounded by live classes) and from a live
+    /// snapshot otherwise. Answered with a single [`ReplEvent::Full`] — the
+    /// cheap way for a far-behind subscriber (or a backup job) to re-anchor
+    /// without the expense of a full resubscribe.
+    ReAnchor {
+        /// Deployment whose anchor to fetch.
+        deployment: String,
+    },
 }
 
 /// A response as it travels over a wire connection.
@@ -356,6 +368,10 @@ pub fn encode_request(request: &WireRequest) -> Vec<u8> {
             put_bytes(&mut payload, &export.snapshot);
             KIND_REQ_IMPORT
         }
+        WireRequest::ReAnchor { deployment } => {
+            put_string(&mut payload, deployment);
+            KIND_REQ_REANCHOR
+        }
     };
     frame_bytes(kind, &payload)
 }
@@ -387,7 +403,8 @@ pub struct RequestPeek {
 pub fn peek_request(kind: u8, payload: &[u8]) -> Result<RequestPeek, PayloadError> {
     match kind {
         KIND_REQ_INFER | KIND_REQ_LEARN | KIND_REQ_SNAPSHOT | KIND_REQ_STATS
-        | KIND_REQ_TOP_UP | KIND_REQ_SUBSCRIBE | KIND_REQ_EXPORT | KIND_REQ_IMPORT => {
+        | KIND_REQ_TOP_UP | KIND_REQ_SUBSCRIBE | KIND_REQ_EXPORT | KIND_REQ_IMPORT
+        | KIND_REQ_REANCHOR => {
             let mut r = Reader::new(payload);
             Ok(RequestPeek {
                 deployment: r.string()?,
@@ -440,6 +457,7 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<WireRequest, PayloadEr
             seq: r.u64()?,
             snapshot: r.bytes_field("snapshot")?,
         }),
+        KIND_REQ_REANCHOR => WireRequest::ReAnchor { deployment: r.string()? },
         other => return Err(PayloadError::UnknownKind(other)),
     };
     r.finish()?;
@@ -555,6 +573,16 @@ fn put_stats(out: &mut Vec<u8>, stats: &DeploymentStats) {
     put_u64(out, stats.deferred);
     put_f64(out, stats.energy_spent_mj);
     put_option_f64(out, stats.energy_budget_mj);
+    match &stats.durability {
+        Some(d) => {
+            out.push(1);
+            put_u64(out, d.wal_records);
+            put_u64(out, d.wal_bytes);
+            put_u64(out, d.compactions);
+            put_u64(out, d.last_checkpoint_seq);
+        }
+        None => out.push(0),
+    }
 }
 
 fn read_stats(r: &mut Reader<'_>) -> Result<DeploymentStats, PayloadError> {
@@ -570,6 +598,16 @@ fn read_stats(r: &mut Reader<'_>) -> Result<DeploymentStats, PayloadError> {
         deferred: r.u64()?,
         energy_spent_mj: r.f64()?,
         energy_budget_mj: r.option_f64()?,
+        durability: match r.u8()? {
+            0 => None,
+            1 => Some(ofscil_serve::DurabilityStats {
+                wal_records: r.u64()?,
+                wal_bytes: r.u64()?,
+                compactions: r.u64()?,
+                last_checkpoint_seq: r.u64()?,
+            }),
+            tag => return Err(PayloadError::BadTag { field: "durability", tag }),
+        },
     })
 }
 
@@ -752,6 +790,7 @@ mod tests {
             seq: 17,
             snapshot: vec![0xde, 0xad, 0xbe, 0xef],
         }));
+        roundtrip_request(WireRequest::ReAnchor { deployment: "lagging".into() });
     }
 
     #[test]
@@ -803,6 +842,7 @@ mod tests {
                 false,
                 true,
             ),
+            (WireRequest::ReAnchor { deployment: "tenant-a".into() }, false, false),
         ];
         for (request, streaming, write) in requests {
             let frame = encode_request(&request);
@@ -861,7 +901,7 @@ mod tests {
             assert_eq!(format!("{back:?}"), format!("{response:?}"));
         }
 
-        let stats = DeploymentStats {
+        let mut stats = DeploymentStats {
             name: "tenant".into(),
             classes: 4,
             infer_requests: 100,
@@ -873,7 +913,19 @@ mod tests {
             deferred: 0,
             energy_spent_mj: 5.125,
             energy_budget_mj: Some(12.0),
+            durability: None,
         };
+        match roundtrip_response(&WireResponse::Serve(ServeResponse::Stats(stats.clone()))) {
+            WireResponse::Serve(ServeResponse::Stats(back)) => assert_eq!(back, stats),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Durability counters survive the wire when present.
+        stats.durability = Some(ofscil_serve::DurabilityStats {
+            wal_records: 9,
+            wal_bytes: 4096,
+            compactions: 2,
+            last_checkpoint_seq: 42,
+        });
         match roundtrip_response(&WireResponse::Serve(ServeResponse::Stats(stats.clone()))) {
             WireResponse::Serve(ServeResponse::Stats(back)) => assert_eq!(back, stats),
             other => panic!("unexpected {other:?}"),

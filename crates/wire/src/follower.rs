@@ -268,6 +268,49 @@ impl Follower {
             })
         })
     }
+
+    /// Promotes a follower's replicated registry to a **writable primary**
+    /// backed by a durable store — the failover path once the old primary is
+    /// gone.
+    ///
+    /// The store is [`bootstrap`](ofscil_store::Store::bootstrap)ped against
+    /// the registry first, which covers both failover flavours:
+    ///
+    /// * a fresh store directory: every deployment is checkpointed at its
+    ///   replicated state, so the store **adopts the follower's replication
+    ///   sequence numbers** as its baseline — a subscriber that re-attaches
+    ///   to the promoted primary resumes from a consistent anchor and tails
+    ///   the new writes,
+    /// * the dead primary's own store directory (shared storage): any
+    ///   deployment whose durable history ran past the follower's replicated
+    ///   state is recovered from the log first (recovery never moves state
+    ///   backwards), and the rest are checkpointed as above.
+    ///
+    /// The promoted server then runs exactly like
+    /// [`WireServer::run_with_store`]: writable, journaled, serving
+    /// replication subscribers from its checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Protocol`] when the store bootstrap fails,
+    /// [`WireError::Io`] when binding fails and [`WireError::Runtime`] when
+    /// the serve configuration is invalid.
+    pub fn promote<T, F>(
+        registry: &LearnerRegistry,
+        store: &ofscil_store::Store,
+        config: &WireConfig,
+        body: F,
+    ) -> Result<T, WireError>
+    where
+        F: FnOnce(&WireHandle) -> T,
+    {
+        store.bootstrap(registry).map_err(|e| {
+            WireError::Protocol(format!("promotion bootstrap failed: {e}"))
+        })?;
+        let mut wire = config.clone();
+        wire.serve.read_only = false;
+        WireServer::run_with_store(registry, &wire, Some(store), body)
+    }
 }
 
 /// Returns `true` for tail failures a fresh full-snapshot anchor repairs: a
@@ -327,7 +370,13 @@ fn tail_inner(
     while let Some(event) = stream.next_event(Some(stop))? {
         match event {
             ReplEvent::Full { seq, snapshot } => {
-                registry.restore(deployment, &snapshot).map_err(WireError::Runtime)?;
+                // Adopt the anchor's sequence number exactly: the replica's
+                // registry counts in the primary's sequence line (each
+                // consecutive delta then advances it by one), which is what
+                // lets a promoted follower continue that line.
+                registry
+                    .restore_at(deployment, &snapshot, seq)
+                    .map_err(WireError::Runtime)?;
                 anchor = Some(seq);
                 progress.record_applied(deployment, seq);
             }

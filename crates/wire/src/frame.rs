@@ -27,10 +27,12 @@ pub const WIRE_MAGIC: [u8; 4] = *b"OFWR";
 /// Current wire format version. Bumped whenever the message set changes —
 /// v2 added the migration endpoints (`Export`/`Import`, kinds `0x07`/`0x08`,
 /// responses `0x47`/`0x48`) and the `ShardUnavailable`/`ReplicationLagged`
-/// error tags — so a mismatched peer fails fast with a clean
+/// error tags; v3 added the `ReAnchor` request (kind `0x09`, answered with a
+/// checkpoint-served `Repl Full`) and the durability counters in the `Stats`
+/// payload — so a mismatched peer fails fast with a clean
 /// [`FrameError::UnsupportedVersion`] instead of a confusing `BadTag` deep
 /// inside a payload.
-pub const WIRE_VERSION: u16 = 2;
+pub const WIRE_VERSION: u16 = 3;
 
 /// Fixed frame header length in bytes.
 pub const HEADER_LEN: usize = 12;

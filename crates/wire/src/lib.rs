@@ -20,7 +20,13 @@
 //!   snapshot + sequence-numbered deltas per committed `LearnOnline`),
 //!   restores prototypes **bit-exactly**, and serves read-only traffic on
 //!   its own socket while rejecting writes with a typed `ReadOnlyReplica`
-//!   error.
+//!   error. [`Follower::promote`] turns a replica into a writable,
+//!   durably-journaled primary for failover,
+//! * durability — [`WireServer::run_with_store`] backs the server with an
+//!   `ofscil_store` WAL + checkpoint store: commits are journaled before
+//!   their replies, replication subscribers (and the one-shot `ReAnchor`
+//!   request) are anchored from the latest checkpoint instead of a live
+//!   snapshot, and a background thread runs the store's delta compaction.
 //!
 //! # Example
 //!

@@ -22,6 +22,7 @@ use crate::error::WireError;
 use crate::frame::{read_frame, ReadEvent, DEFAULT_MAX_PAYLOAD};
 use crate::net::{BoundAddr, WireBind, WireListener, WireStream};
 use ofscil_serve::{LearnCommit, LearnerRegistry, ServeClient, ServeConfig, ServeError, ServeRuntime};
+use ofscil_store::Store;
 use std::collections::HashMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -191,13 +192,49 @@ impl WireServer {
     where
         F: FnOnce(&WireHandle) -> T,
     {
+        WireServer::run_with_store(registry, config, None, body)
+    }
+
+    /// Like [`WireServer::run`], but backed by a durable
+    /// [`Store`](ofscil_store::Store):
+    ///
+    /// * every committed `LearnOnline` and budget top-up is journaled to the
+    ///   store's write-ahead log before its reply (via the serve runtime's
+    ///   [`CommitJournal`](ofscil_serve::CommitJournal) hook), and a
+    ///   successful `Import` is journaled as a full-state record,
+    /// * replication subscribers are anchored **from the store's latest
+    ///   checkpoint** (plus the delta-compacted WAL tail) instead of an
+    ///   expensive live snapshot under the model lock, and the `ReAnchor`
+    ///   request serves the same cheap anchor as a one-shot response,
+    /// * a background maintenance thread runs the store's delta compaction
+    ///   ([`Store::maintenance`]) so replay cost stays bounded by live
+    ///   classes while the server is up.
+    ///
+    /// The caller is responsible for calling [`Store::bootstrap`] (recover +
+    /// attach) *before* serving — keeping recovery explicit means a test or
+    /// an operator can inspect what was restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] when binding fails and
+    /// [`WireError::Runtime`] when the serve configuration is invalid.
+    pub fn run_with_store<T, F>(
+        registry: &LearnerRegistry,
+        config: &WireConfig,
+        store: Option<&Store>,
+        body: F,
+    ) -> Result<T, WireError>
+    where
+        F: FnOnce(&WireHandle) -> T,
+    {
         let (listener, addr) = WireListener::bind(&config.bind)?;
         listener.set_nonblocking(true)?;
         let (sink, commits) = mpsc::channel::<LearnCommit>();
         let shutdown = AtomicBool::new(false);
         let hub = ReplHub::new();
 
-        let value = ServeRuntime::run_replicated(registry, &config.serve, Some(sink), |client| {
+        let journal = store.map(|s| s as &dyn ofscil_serve::CommitJournal);
+        let value = ServeRuntime::run_journaled(registry, &config.serve, Some(sink), journal, |client| {
             std::thread::scope(|scope| {
                 let hub = &hub;
                 let shutdown = &shutdown;
@@ -206,17 +243,23 @@ impl WireServer {
                     read_only: config.serve.read_only,
                 };
                 scope.spawn(move || hub_loop(hub, commits, shutdown));
+                if let Some(store) = store {
+                    scope.spawn(move || maintenance_loop(store, shutdown));
+                }
                 let accept_client = client.clone();
                 scope.spawn(move || {
-                    accept_loop(scope, &listener, accept_client, registry, hub, shutdown, options);
+                    accept_loop(
+                        scope, &listener, accept_client, registry, hub, store, shutdown, options,
+                    );
                 });
 
                 let handle = WireHandle { addr: addr.clone() };
                 let _shutdown_on_exit = ShutdownOnDrop::new(shutdown);
                 body(&handle)
                 // The guard raises the flag on return *and* on panic; the
-                // scope then joins the accept loop, the hub and every
-                // connection thread, all of which poll it within `POLL`.
+                // scope then joins the accept loop, the hub, the maintenance
+                // thread and every connection thread, all of which poll it
+                // within `POLL`.
             })
         })
         .map_err(WireError::Runtime)?;
@@ -236,13 +279,33 @@ struct ConnOptions {
     read_only: bool,
 }
 
+/// Polls the store's maintenance sweep (delta compaction of WALs past the
+/// compaction threshold) until shutdown — the "background" in background
+/// delta compaction. The shutdown flag is polled every `POLL` so teardown
+/// stays prompt, but the sweep itself runs an order of magnitude less often
+/// (and the store skips logs with no appends since the last attempt).
+/// Maintenance failures are tolerated: compaction is an optimization, and
+/// the next sweep retries.
+fn maintenance_loop(store: &Store, shutdown: &AtomicBool) {
+    let mut tick: u32 = 0;
+    while !shutdown.load(Ordering::Acquire) {
+        if tick % 16 == 0 {
+            let _ = store.maintenance();
+        }
+        tick = tick.wrapping_add(1);
+        std::thread::sleep(POLL);
+    }
+}
+
 /// Accepts connections until shutdown, spawning one scoped thread each.
+#[allow(clippy::too_many_arguments)]
 fn accept_loop<'scope, 'env>(
     scope: &'scope std::thread::Scope<'scope, 'env>,
     listener: &WireListener,
     client: ServeClient,
     registry: &'env LearnerRegistry,
     hub: &'scope ReplHub,
+    store: Option<&'scope Store>,
     shutdown: &'scope AtomicBool,
     options: ConnOptions,
 ) {
@@ -254,7 +317,7 @@ fn accept_loop<'scope, 'env>(
                 }
                 let client = client.clone();
                 scope.spawn(move || {
-                    serve_connection(stream, &client, registry, hub, shutdown, options);
+                    serve_connection(stream, &client, registry, hub, store, shutdown, options);
                 });
             }
             Err(e)
@@ -280,6 +343,7 @@ fn serve_connection(
     client: &ServeClient,
     registry: &LearnerRegistry,
     hub: &ReplHub,
+    store: Option<&Store>,
     shutdown: &AtomicBool,
     options: ConnOptions,
 ) {
@@ -302,7 +366,7 @@ fn serve_connection(
                 Err(error) => WireResponse::Error(error),
             },
             Ok(WireRequest::Subscribe { deployment }) => {
-                stream_replication(stream, &deployment, registry, hub, shutdown);
+                stream_replication(stream, &deployment, registry, hub, store, shutdown);
                 return;
             }
             // Migration endpoints are registry-direct (like Subscribe): they
@@ -320,12 +384,36 @@ fn serve_connection(
                         deployment: export.name,
                     })
                 } else {
-                    match registry.import_deployment(&export) {
-                        Ok(classes) => WireResponse::Imported { classes: classes as u64 },
+                    // Journaled *inside* the import's model-lock window (the
+                    // same discipline as learns), so the WAL cannot order a
+                    // racing learn's record ahead of the import it ran
+                    // after.
+                    let journaled = registry.import_deployment_with(&export, |seq, spent, budget| {
+                        journal_import(store, &export.name, seq, &export.snapshot, spent, budget)
+                    });
+                    match journaled {
+                        Ok((classes, Ok(()))) => {
+                            WireResponse::Imported { classes: classes as u64 }
+                        }
+                        // The in-memory import stands, but the caller must
+                        // not believe it is durable — a router seeing this
+                        // error keeps the old placement and can retry
+                        // (imports never move seq backwards).
+                        Ok((_, Err(e))) => WireResponse::Error(ServeError::Execution(format!(
+                            "import applied but journaling failed: {e}"
+                        ))),
                         Err(error) => WireResponse::Error(error),
                     }
                 }
             }
+            // A one-shot anchor: the cheap checkpoint-served snapshot when a
+            // store is attached, a live snapshot otherwise.
+            Ok(WireRequest::ReAnchor { deployment }) => match anchor_for(
+                &deployment, registry, store,
+            ) {
+                Ok((seq, snapshot)) => WireResponse::Repl(ReplEvent::Full { seq, snapshot }),
+                Err(error) => WireResponse::Error(error),
+            },
         };
         if stream.write_all(&encode_response(&response)).is_err() {
             return;
@@ -333,22 +421,72 @@ fn serve_connection(
     }
 }
 
+/// Journals a just-applied import into the store's WAL as a full-state
+/// record, with the post-install sequence number and meter state. Called
+/// while the import's model lock is still held (see the `Import` arm).
+///
+/// Serving without a store — or importing into a deployment that was never
+/// attached to it — is not an error: such deployments simply are not
+/// durable. A *failed* journal write on an attached deployment is: the
+/// caller must surface it instead of acknowledging the import as durable.
+fn journal_import(
+    store: Option<&Store>,
+    deployment: &str,
+    seq: u64,
+    snapshot: &[u8],
+    spent_mj: f64,
+    budget_mj: Option<f64>,
+) -> Result<(), String> {
+    let Some(store) = store else { return Ok(()) };
+    match store.journal_import(deployment, seq, snapshot, spent_mj, budget_mj) {
+        Ok(()) | Err(ofscil_store::StoreError::NotAttached(_)) => Ok(()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// A full-snapshot anchor for one deployment: served from the store's latest
+/// checkpoint plus the delta-compacted WAL tail when a store is attached
+/// (bounded by live classes, never touches the model lock), from a live
+/// snapshot otherwise.
+fn anchor_for(
+    deployment: &str,
+    registry: &LearnerRegistry,
+    store: Option<&Store>,
+) -> Result<(u64, Vec<u8>), ServeError> {
+    if let Some(store) = store {
+        if let Ok(state) = store.replication_anchor(deployment) {
+            return Ok((state.seq, state.snapshot));
+        }
+    }
+    registry.snapshot_with_seq(deployment)
+}
+
 /// Streams a deployment's snapshot stream to one subscriber: registration
 /// first, then the full-snapshot anchor, then deltas until the connection or
 /// the server ends.
+///
+/// With a store attached the anchor is served from the **latest checkpoint**
+/// (plus the delta-compacted WAL tail) instead of a live snapshot — so a
+/// far-behind subscriber re-anchoring itself never takes the deployment's
+/// model lock, and its cost is bounded by live classes. Every journaled
+/// commit is in the store *before* it reaches the hub (the journal write
+/// happens under the model lock), so the checkpoint-served anchor can never
+/// lag a delta the hub delivers: racing commits arrive with a sequence
+/// number at or below the anchor (skipped by the follower) or exactly one
+/// past it.
 fn stream_replication(
     mut stream: WireStream,
     deployment: &str,
     registry: &LearnerRegistry,
     hub: &ReplHub,
+    store: Option<&Store>,
     shutdown: &AtomicBool,
 ) {
     let deltas = hub.register(deployment);
-    // Snapshot *after* registering: a commit racing this snapshot either
-    // made it in (its delta arrives with seq <= anchor and is skipped) or
-    // not (its delta arrives with the next seq and is applied). No gap is
-    // possible.
-    let (seq, snapshot) = match registry.snapshot_with_seq(deployment) {
+    // Anchor *after* registering: a commit racing this anchor either made it
+    // in (its delta arrives with seq <= anchor and is skipped) or not (its
+    // delta arrives with the next seq and is applied). No gap is possible.
+    let (seq, snapshot) = match anchor_for(deployment, registry, store) {
         Ok(anchor) => anchor,
         Err(error) => {
             let _ = stream.write_all(&encode_response(&WireResponse::Error(error)));

@@ -58,7 +58,7 @@ fn random_tensor(rng: &mut SeedRng) -> Tensor {
 }
 
 fn random_request(rng: &mut SeedRng) -> WireRequest {
-    match rng.below(6) {
+    match rng.below(7) {
         0 => WireRequest::Serve(ServeRequest::Infer {
             deployment: random_name(rng),
             image: random_tensor(rng),
@@ -86,6 +86,7 @@ fn random_request(rng: &mut SeedRng) -> WireRequest {
             deployment: random_name(rng),
             energy_mj: random_f64(rng),
         }),
+        5 => WireRequest::ReAnchor { deployment: random_name(rng) },
         _ => WireRequest::Subscribe { deployment: random_name(rng) },
     }
 }
@@ -137,6 +138,12 @@ fn random_response(rng: &mut SeedRng) -> WireResponse {
             deferred: rng.next_u64() >> 40,
             energy_spent_mj: random_f64(rng),
             energy_budget_mj: rng.chance(0.5).then(|| random_f64(rng)),
+            durability: rng.chance(0.5).then(|| ofscil_serve::DurabilityStats {
+                wal_records: rng.next_u64() >> 40,
+                wal_bytes: rng.next_u64() >> 32,
+                compactions: rng.next_u64() >> 48,
+                last_checkpoint_seq: rng.next_u64() >> 8,
+            }),
         })),
         4 => WireResponse::Serve(ServeResponse::Budget {
             spent_mj: random_f64(rng),

@@ -1,0 +1,126 @@
+//! Durable serving: learn → kill → recover → bit-exact inference.
+//!
+//! A store-backed serving process learns classes online (the precious,
+//! unrecomputable state the paper buys at 12 mJ each), then "dies" without
+//! any graceful persistence step — durability comes exclusively from the
+//! write-ahead log, and the kill even tears a half-written record onto the
+//! log's tail. A fresh process then opens the same store directory,
+//! recovers, and must answer inference **bit-identically**.
+//!
+//! Run with `cargo run --release -p ofscil --example durable_serving`.
+//! The CI workflow runs this as the durability smoke test.
+
+use ofscil::prelude::*;
+use ofscil::serve::traffic;
+
+const IMAGE: usize = 8;
+const TENANT: &str = "tenant";
+
+/// Both process generations load the same pretrained weights (same seed);
+/// the explicit memory, replication seq and energy meter live in the store.
+fn fresh_registry() -> LearnerRegistry {
+    let mut rng = SeedRng::new(7);
+    let registry = LearnerRegistry::new();
+    registry
+        .register(
+            DeploymentSpec::new(TENANT, (IMAGE, IMAGE))
+                .with_energy_budget(1e6, BudgetPolicy::Reject),
+            OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+        )
+        .unwrap();
+    registry
+}
+
+fn infer(client: &mut WireClient, class: usize) -> (usize, u32) {
+    match client
+        .call(ServeRequest::Infer {
+            deployment: TENANT.into(),
+            image: traffic::class_image(IMAGE, class, 0.013),
+        })
+        .unwrap()
+    {
+        ServeResponse::Prediction { class, similarity, .. } => (class, similarity.to_bits()),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+fn main() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("ofscil-durable-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Generation 1: serve, learn, die ----------------------------------
+    let expected = {
+        let registry = fresh_registry();
+        let store = Store::open(&dir).unwrap();
+        store.bootstrap(&registry).unwrap();
+        let expected = WireServer::run_with_store(
+            &registry,
+            &WireConfig::tcp_loopback(),
+            Some(&store),
+            |server| {
+                let mut client = WireClient::connect(server.addr()).unwrap();
+                for classes in [vec![0usize, 1], vec![2], vec![3, 4]] {
+                    client
+                        .call(ServeRequest::LearnOnline {
+                            deployment: TENANT.into(),
+                            batch: traffic::support_batch(IMAGE, &classes, 3),
+                        })
+                        .unwrap();
+                }
+                (0..5).map(|class| infer(&mut client, class)).collect::<Vec<_>>()
+            },
+        )
+        .unwrap();
+        let (seq, _) = registry.snapshot_with_seq(TENANT).unwrap();
+        println!(
+            "generation 1: learned 5 classes in 3 commits (seq {seq}), then died \
+             mid-write"
+        );
+        expected
+        // The registry, runtime and store drop here: the "kill". No
+        // checkpoint, no shutdown hook — only the per-record WAL survives.
+    };
+
+    // The kill tears a half-written record onto the WAL tail; recovery must
+    // truncate it, not fail.
+    let wal = dir.join(format!("{TENANT}.wal"));
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.extend_from_slice(&[0x01, 0xff, 0xff, 0x00, 0x00, 0xde, 0xad, 0xbe]);
+    std::fs::write(&wal, &bytes).unwrap();
+
+    // ---- Generation 2: recover, verify bit-exactness ----------------------
+    let registry = fresh_registry();
+    let store = Store::open(&dir).unwrap();
+    let reports = store.bootstrap(&registry).unwrap();
+    assert_eq!(reports.len(), 1, "the tenant recovers: {reports:?}");
+    println!(
+        "generation 2: recovered {:?} at seq {} with {} classes ({} WAL records replayed)",
+        reports[0].deployment, reports[0].seq, reports[0].classes, reports[0].replayed_records
+    );
+
+    WireServer::run_with_store(&registry, &WireConfig::tcp_loopback(), Some(&store), |server| {
+        let mut client = WireClient::connect(server.addr()).unwrap();
+        for (class, want) in expected.iter().enumerate() {
+            let got = infer(&mut client, class);
+            assert_eq!(
+                got, *want,
+                "class {class}: post-recovery prediction diverged from pre-kill"
+            );
+        }
+        match client.call(ServeRequest::Stats { deployment: TENANT.into() }).unwrap() {
+            ServeResponse::Stats(stats) => {
+                let durability = stats.durability.expect("durable server reports counters");
+                println!(
+                    "recovered server: {} classes, wal_records {}, last_checkpoint_seq {}",
+                    stats.classes, durability.wal_records, durability.last_checkpoint_seq
+                );
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    })
+    .unwrap();
+
+    println!("all 5 predictions bit-identical across the kill — durable serving works");
+    let _ = std::fs::remove_dir_all(&dir);
+}

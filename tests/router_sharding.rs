@@ -190,6 +190,50 @@ fn migration_is_bit_exact_and_atomically_remaps() {
 }
 
 #[test]
+fn restarted_router_recovers_migrated_placement_from_the_journal() {
+    let mut log_path = std::env::temp_dir();
+    log_path.push(format!("ofscil-router-placement-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+
+    let (registries, shards) = spawn_shards(3);
+    let config = router_config(&shards).with_placement_log(&log_path);
+    let mover = "gamma";
+
+    // Router generation 1: learn, then migrate the deployment off its ring
+    // shard. The override is journaled.
+    let (source, target, moved_snapshot) = RouterServer::run(&config, |router| {
+        let mut client = WireClient::connect(router.addr()).unwrap();
+        learn(&mut client, mover, &[0, 1]);
+        let source = router.shard_for(mover).unwrap();
+        let target = (source + 1) % 3;
+        router.migrate(mover, target).unwrap();
+        (source, target, snapshot(&mut client, mover))
+    })
+    .unwrap();
+
+    // Router generation 2: same shard set, fresh process. Without the
+    // journal it would hash the mover back onto its ring shard — whose
+    // registry no longer matches the migrated state.
+    RouterServer::run(&config, |router| {
+        assert_eq!(
+            router.shard_for(mover).unwrap(),
+            target,
+            "restarted router lost the migrated placement"
+        );
+        let mut client = WireClient::connect(router.addr()).unwrap();
+        // Requests route to the shard that actually holds the memory.
+        assert_eq!(snapshot(&mut client, mover), moved_snapshot);
+        let (class, _) = infer(&mut client, mover, 1);
+        assert_eq!(class, 1);
+        assert!(registries[target].stats(mover).unwrap().infer_requests >= 1);
+        assert_eq!(registries[source].stats(mover).unwrap().infer_requests, 0);
+    })
+    .unwrap();
+
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
 fn killed_shard_yields_typed_shard_unavailable_not_a_hang() {
     let (_registries, shards) = spawn_shards(3);
     let config = router_config(&shards);
