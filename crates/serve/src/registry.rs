@@ -205,8 +205,14 @@ pub struct DeploymentStats {
     pub learn_requests: u64,
     /// Snapshots taken.
     pub snapshots: u64,
-    /// Requests rejected by admission control.
-    pub rejected: u64,
+    /// `Infer` requests refused by admission control. Kept separate from
+    /// [`DeploymentStats::infer_requests`], which counts **accepted** work
+    /// only — a budget-exhaustion storm must not inflate the throughput
+    /// counters it was refused by.
+    pub rejected_infer: u64,
+    /// `LearnOnline` requests refused by admission control (same split as
+    /// [`DeploymentStats::rejected_infer`]).
+    pub rejected_learn: u64,
     /// Requests deferred by admission control (may since have been released).
     pub deferred: u64,
     /// Energy admitted against the budget so far, in millijoules.
@@ -227,6 +233,16 @@ impl DeploymentStats {
             self.infer_requests as f64 / self.infer_batches as f64
         }
     }
+
+    /// Total requests refused by admission control, across request types.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_infer + self.rejected_learn
+    }
+
+    /// Total requests accepted and served, across request types.
+    pub fn accepted(&self) -> u64 {
+        self.infer_requests + self.learn_requests
+    }
 }
 
 /// Mutable counters behind the deployment lock.
@@ -237,7 +253,8 @@ pub(crate) struct StatsInner {
     pub largest_batch: usize,
     pub learn_requests: u64,
     pub snapshots: u64,
-    pub rejected: u64,
+    pub rejected_infer: u64,
+    pub rejected_learn: u64,
     pub deferred: u64,
 }
 
@@ -432,7 +449,8 @@ impl Deployment {
             largest_batch: stats.largest_batch,
             learn_requests: stats.learn_requests,
             snapshots: stats.snapshots,
-            rejected: stats.rejected,
+            rejected_infer: stats.rejected_infer,
+            rejected_learn: stats.rejected_learn,
             deferred: stats.deferred,
             energy_spent_mj: spent,
             energy_budget_mj: self.meter.budget(),

@@ -280,6 +280,9 @@ fn dispatch_loop(
             for envelope in parked {
                 let required_mj = price(&deployment, &envelope.request);
                 let (_, remaining) = deployment.meter.state();
+                // A deferral that never released is ultimately a rejection;
+                // the counters must say so.
+                count_rejection(&deployment, &envelope.request);
                 envelope.reject(ServeError::BudgetExhausted {
                     deployment: name.clone(),
                     required_mj,
@@ -418,7 +421,7 @@ fn route(
         Admission::Granted => dispatch(deployment, envelope, queue, coalescer),
         Admission::Refused { required_mj, remaining_mj } => match deployment.policy {
             BudgetPolicy::Reject => {
-                deployment.stats.lock().expect("stats lock poisoned").rejected += 1;
+                count_rejection(&deployment, &envelope.request);
                 envelope.reject(ServeError::BudgetExhausted {
                     deployment: name,
                     required_mj,
@@ -436,6 +439,19 @@ fn route(
 enum Admission {
     Granted,
     Refused { required_mj: f64, remaining_mj: f64 },
+}
+
+/// Records an admission refusal in the per-type rejection counters. Only
+/// priced request types (`Infer`, `LearnOnline`) can be refused; the split
+/// keeps the throughput counters (`infer_requests` / `learn_requests`)
+/// measuring **accepted** work only.
+fn count_rejection(deployment: &Deployment, request: &ServeRequest) {
+    let mut stats = deployment.stats.lock().expect("stats lock poisoned");
+    match request {
+        ServeRequest::Infer { .. } => stats.rejected_infer += 1,
+        ServeRequest::LearnOnline { .. } => stats.rejected_learn += 1,
+        _ => {}
+    }
 }
 
 fn admit(deployment: &Deployment, request: &ServeRequest) -> Admission {
@@ -1274,7 +1290,13 @@ mod tests {
             client.call(ServeRequest::Stats { deployment: "t".into() }).unwrap();
         })
         .unwrap();
-        assert_eq!(registry.stats("t").unwrap().rejected, 1);
+        let stats = registry.stats("t").unwrap();
+        // The refusal lands in the per-type rejection counter, never in the
+        // accepted-throughput counters.
+        assert_eq!(stats.rejected_infer, 1);
+        assert_eq!(stats.rejected_learn, 0);
+        assert_eq!(stats.rejected(), 1);
+        assert_eq!(stats.infer_requests, 0);
     }
 
     #[test]
@@ -1326,6 +1348,10 @@ mod tests {
         })
         .unwrap();
         assert!(matches!(parked.wait(), Err(ServeError::BudgetExhausted { .. })));
-        assert_eq!(registry2.stats("t").unwrap().deferred, 1);
+        let stats = registry2.stats("t").unwrap();
+        assert_eq!(stats.deferred, 1);
+        // A deferral that was never released is ultimately a rejection.
+        assert_eq!(stats.rejected_infer, 1);
+        assert_eq!(stats.infer_requests, 0);
     }
 }

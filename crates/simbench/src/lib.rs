@@ -1,0 +1,39 @@
+//! `ofscil_simbench` — adversarial workload simulator and learning-quality
+//! audit harness with recorded bench trajectories.
+//!
+//! The serving stack (runtime → wire → router) is benchmarked elsewhere for
+//! *speed*; this crate asks the harder questions:
+//!
+//! * does the stack behave under **adversarial shapes** of load — Zipfian
+//!   tenant skew, diurnal swings, bursty learn-storms, drifting class
+//!   distributions ([`scenarios`], [`samplers`]),
+//! * does it survive **byzantine clients** — malformed/truncated frames,
+//!   budget-exhaustion floods, stale-export replay — without serving them
+//!   ([`scenarios`]),
+//! * and does the actual **few-shot learning quality** survive the serving
+//!   path — session accuracy and forgetting curves per the FSCIL protocol,
+//!   against the classical baseline heads ([`audit`])?
+//!
+//! Every scenario replays a deterministic seeded trace and asserts its own
+//! invariants inline; the run appends one byte-stable JSON line to
+//! `BENCH_simbench.json` ([`record`]), and `--check` gates the fresh run
+//! against the last committed line so quality can only move forward.
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo run --release -p ofscil_simbench -- --scenario all --seed 7
+//! cargo run --release -p ofscil_simbench -- --scenario smoke --seed 7 --check
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod record;
+pub mod samplers;
+pub mod scenario;
+pub mod scenarios;
+
+pub use record::{compare_runs, Gate, Json, Regression};
+pub use scenario::{run, scenarios as scenario_registry, select, RunOutcome, SimError};

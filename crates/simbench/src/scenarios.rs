@@ -1,0 +1,799 @@
+//! The adversarial workload scenarios.
+//!
+//! Each scenario drives real serving machinery — the in-process
+//! [`ServeRuntime`], a socket-backed [`WireServer`], or a router in front of
+//! two shard processes — with a deterministic seeded trace, asserts its own
+//! invariants inline (a hostile frame that gets *accepted* fails the run,
+//! it does not become a data point), and returns a [`ScenarioReport`] of
+//! metrics for the trajectory line.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ofscil::prelude::*;
+use ofscil::serve::traffic;
+use ofscil::wire::codec::{decode_response, encode_request, WireRequest};
+use ofscil::wire::frame::{parse_frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
+use ofscil::router::harness::ShardProcess;
+
+use crate::record::Gate;
+use crate::samplers::{Diurnal, DriftSchedule, Zipfian};
+use crate::scenario::{sim_err, Ctx, ScenarioCtx, ScenarioReport, SimResult};
+
+/// Image side used by the traffic-helper scenarios (matches the serving
+/// examples and the router test suite).
+const SIDE: usize = 8;
+/// Projection dimension of the scenario models.
+const PROJ: usize = 16;
+/// Weight seed shared by every scenario deployment: shards must agree on
+/// weights so migrated/replicated state stays bit-identical.
+const WEIGHT_SEED: u64 = 11;
+
+fn scenario_model() -> OFscilModel {
+    let mut rng = SeedRng::new(WEIGHT_SEED);
+    OFscilModel::new(BackboneKind::Micro, PROJ, &mut rng)
+}
+
+fn registry_with(names: &[&str]) -> SimResult<Arc<LearnerRegistry>> {
+    let registry = LearnerRegistry::new();
+    for name in names {
+        registry
+            .register(DeploymentSpec::new(name, (SIDE, SIDE)), scenario_model())
+            .ctx("register deployment")?;
+    }
+    Ok(Arc::new(registry))
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig { workers: 2, ..ServeConfig::default() }
+}
+
+fn predicted(response: ServeResponse) -> SimResult<usize> {
+    match response {
+        ServeResponse::Prediction { class, .. } => Ok(class),
+        other => Err(sim_err(format!("expected a prediction, got {other:?}"))),
+    }
+}
+
+/// Zipfian tenant popularity over mixed infer/learn traffic against the
+/// in-process runtime: the hot tenant's share must track the analytic
+/// distribution, every accepted request must land in the throughput
+/// counters, and predictions on the separable traffic classes must be
+/// correct.
+pub fn zipf_mixed(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
+    const TENANTS: [&str; 4] = ["tenant-0", "tenant-1", "tenant-2", "tenant-3"];
+    const TICKS: usize = 400;
+    let registry = registry_with(&TENANTS)?;
+    let zipf = Zipfian::new(TENANTS.len(), 1.1);
+    let mut rng = SeedRng::new(ctx.rng_seed());
+
+    let mut per_tenant = [0u64; 4];
+    let mut learns = 0u64;
+    let mut infers = 0u64;
+    let mut correct = 0u64;
+    ServeRuntime::run(&registry, &serve_config(), |client| -> SimResult<()> {
+        for tenant in TENANTS {
+            ctx.timed(|| {
+                client.call(ServeRequest::LearnOnline {
+                    deployment: tenant.into(),
+                    batch: traffic::support_batch(SIDE, &[0, 1, 2], 3),
+                })
+            })
+            .ctx("seed tenant classes")?;
+            learns += 1;
+        }
+        for _ in 0..TICKS {
+            let tenant = zipf.sample(&mut rng);
+            per_tenant[tenant] += 1;
+            let deployment = TENANTS[tenant].to_string();
+            if rng.chance(0.2) {
+                let class = rng.below(3);
+                ctx.timed(|| {
+                    client.call(ServeRequest::LearnOnline {
+                        deployment,
+                        batch: traffic::support_batch(SIDE, &[class], 2),
+                    })
+                })
+                .ctx("tick learn")?;
+                learns += 1;
+            } else {
+                let class = rng.below(3);
+                let response = ctx
+                    .timed(|| {
+                        client.call(ServeRequest::Infer {
+                            deployment,
+                            image: traffic::class_image(SIDE, class, 0.01),
+                        })
+                    })
+                    .ctx("tick infer")?;
+                infers += 1;
+                if predicted(response)? == class {
+                    correct += 1;
+                }
+            }
+        }
+        Ok(())
+    })
+    .ctx("serve runtime")??;
+
+    // Conservation: what the workload offered is exactly what the per-tenant
+    // throughput counters recorded — nothing lost, nothing double-counted.
+    let mut counted = 0u64;
+    for tenant in TENANTS {
+        let stats = registry.stats(tenant).ctx("tenant stats")?;
+        counted += stats.accepted();
+        if stats.rejected() != 0 {
+            return Err(sim_err(format!("unlimited-budget tenant {tenant} rejected work")));
+        }
+    }
+    if counted != learns + infers {
+        return Err(sim_err(format!(
+            "accepted counters {counted} != offered {}",
+            learns + infers
+        )));
+    }
+
+    let mut report = ScenarioReport::new("zipf_mixed");
+    report.int("requests", (learns + infers) as i64, Gate::Exact);
+    report.int("learns", learns as i64, Gate::Exact);
+    report.int("infers", infers as i64, Gate::Exact);
+    report.int("hot_tenant_requests", per_tenant[0] as i64, Gate::Exact);
+    report.float("hot_tenant_share", per_tenant[0] as f64 / TICKS as f64, Gate::None);
+    report.float("hot_tenant_share_expected", zipf.expected_share(0), Gate::None);
+    report.float("accuracy", correct as f64 / infers as f64, Gate::AtLeast { slack: 0.02 });
+    Ok(report)
+}
+
+/// A raised-cosine daily load curve against a socket-backed wire server:
+/// offered load per tick follows the curve, and the realized mean must match
+/// the closed-form mean of the sampler.
+pub fn diurnal(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
+    const TICKS: u64 = 48;
+    let registry = registry_with(&["diurnal"])?;
+    let curve = Diurnal { floor: 1.0, peak: 6.0, period: 24.0 };
+    let mut rng = SeedRng::new(ctx.rng_seed());
+
+    let mut offered = 0u64;
+    let mut peak_tick = 0u64;
+    let mut correct = 0u64;
+    WireServer::run(&registry, &WireConfig::tcp_loopback(), |handle| -> SimResult<()> {
+        let mut client = WireClient::connect(handle.addr()).ctx("connect")?;
+        ctx.timed(|| {
+            client.call(ServeRequest::LearnOnline {
+                deployment: "diurnal".into(),
+                batch: traffic::support_batch(SIDE, &[0, 1, 2], 3),
+            })
+        })
+        .ctx("seed classes")?;
+        for t in 0..TICKS {
+            let load = curve.requests_at(t);
+            peak_tick = peak_tick.max(load);
+            for _ in 0..load {
+                let class = rng.below(3);
+                let response = ctx
+                    .timed(|| {
+                        client.call(ServeRequest::Infer {
+                            deployment: "diurnal".into(),
+                            image: traffic::class_image(SIDE, class, 0.01),
+                        })
+                    })
+                    .ctx("diurnal infer")?;
+                offered += 1;
+                if predicted(response)? == class {
+                    correct += 1;
+                }
+            }
+        }
+        Ok(())
+    })
+    .ctx("wire server")??;
+
+    let measured_mean = offered as f64 / TICKS as f64;
+    // Two full periods of integer-rounded draws: the realized mean must sit
+    // within one request/tick of the closed form.
+    if (measured_mean - curve.mean_level()).abs() > 1.0 {
+        return Err(sim_err(format!(
+            "diurnal mean drifted: measured {measured_mean}, analytic {}",
+            curve.mean_level()
+        )));
+    }
+    let mut report = ScenarioReport::new("diurnal");
+    report.int("ticks", TICKS as i64, Gate::Exact);
+    report.int("offered", offered as i64, Gate::Exact);
+    report.int("peak_tick_load", peak_tick as i64, Gate::Exact);
+    report.float("mean_per_tick", measured_mean, Gate::None);
+    report.float("mean_level_analytic", curve.mean_level(), Gate::None);
+    report.float("accuracy", correct as f64 / offered as f64, Gate::AtLeast { slack: 0.02 });
+    Ok(report)
+}
+
+/// Bursty learn-storms against a wire server: storms of redundant learns on
+/// a growing class set, with snapshot-size monotonicity and replication-
+/// sequence bookkeeping checked between bursts.
+pub fn learn_storm(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
+    const STORMS: usize = 6;
+    const LEARNS_PER_STORM: usize = 8;
+    const INFERS_PER_LULL: usize = 10;
+    let registry = registry_with(&["storm"])?;
+    let mut rng = SeedRng::new(ctx.rng_seed());
+
+    let mut learns = 0u64;
+    let mut infers = 0u64;
+    let mut snapshot_sizes = Vec::new();
+    WireServer::run(&registry, &WireConfig::tcp_loopback(), |handle| -> SimResult<()> {
+        let mut client = WireClient::connect(handle.addr()).ctx("connect")?;
+        for storm in 0..STORMS {
+            // Each storm introduces three new classes, then hammers them
+            // with redundant learns (the bursty part).
+            let classes = [3 * storm, 3 * storm + 1, 3 * storm + 2];
+            for _ in 0..LEARNS_PER_STORM {
+                ctx.timed(|| {
+                    client.call(ServeRequest::LearnOnline {
+                        deployment: "storm".into(),
+                        batch: traffic::support_batch(SIDE, &classes, 2),
+                    })
+                })
+                .ctx("storm learn")?;
+                learns += 1;
+            }
+            for _ in 0..INFERS_PER_LULL {
+                let class = classes[rng.below(classes.len())];
+                ctx.timed(|| {
+                    client.call(ServeRequest::Infer {
+                        deployment: "storm".into(),
+                        image: traffic::class_image(SIDE, class, 0.01),
+                    })
+                })
+                .ctx("lull infer")?;
+                infers += 1;
+            }
+            let response = ctx
+                .timed(|| client.call(ServeRequest::Snapshot { deployment: "storm".into() }))
+                .ctx("storm snapshot")?;
+            match response {
+                ServeResponse::Snapshot { bytes } => snapshot_sizes.push(bytes.len()),
+                other => return Err(sim_err(format!("expected snapshot, got {other:?}"))),
+            }
+        }
+        Ok(())
+    })
+    .ctx("wire server")??;
+
+    if !snapshot_sizes.windows(2).all(|w| w[0] < w[1]) {
+        return Err(sim_err(format!(
+            "snapshot sizes must grow with the class set: {snapshot_sizes:?}"
+        )));
+    }
+    let seq = registry.replication_seq("storm").ctx("replication seq")?;
+    if seq != learns {
+        return Err(sim_err(format!("replication seq {seq} != committed learns {learns}")));
+    }
+    let stats = registry.stats("storm").ctx("storm stats")?;
+    let mut report = ScenarioReport::new("learn_storm");
+    report.int("storms", STORMS as i64, Gate::Exact);
+    report.int("learns", learns as i64, Gate::Exact);
+    report.int("infers", infers as i64, Gate::Exact);
+    report.int("classes_final", stats.classes as i64, Gate::Exact);
+    report.int("repl_seq_final", seq as i64, Gate::Exact);
+    report.int(
+        "snapshot_bytes_final",
+        *snapshot_sizes.last().expect("at least one storm") as i64,
+        Gate::Exact,
+    );
+    Ok(report)
+}
+
+/// Class-distribution drift on real FSCIL data: classes onboard in phases
+/// (base classes, then one session's worth at a time) while query traffic
+/// concentrates on the newest classes — measuring whether accuracy survives
+/// the moving distribution.
+pub fn drift(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
+    const QUERIES_PER_PHASE: usize = 60;
+    let mut config = FscilConfig::micro();
+    config.synthetic.num_classes = 9;
+    config.num_base_classes = 3;
+    config.num_sessions = 3;
+    config.ways = 2;
+    config.base_train_per_class = 8;
+    config.test_per_class = 4;
+    let side = config.synthetic.image_size;
+    let benchmark = FscilBenchmark::generate(&config, ctx.rng_seed()).ctx("benchmark")?;
+
+    let registry = LearnerRegistry::new();
+    let mut weight_rng = SeedRng::new(WEIGHT_SEED);
+    registry
+        .register(
+            DeploymentSpec::new("drift", (side, side)),
+            OFscilModel::new(BackboneKind::Micro, PROJ, &mut weight_rng),
+        )
+        .ctx("register drift deployment")?;
+
+    let mut phases = vec![benchmark.base_train().classes()];
+    for session in benchmark.sessions() {
+        phases.push(session.classes.clone());
+    }
+    let schedule = DriftSchedule::new(phases, 0.7);
+    let mut rng = SeedRng::new(ctx.rng_seed() ^ 1);
+    let test = benchmark.test();
+
+    let mut queries = 0u64;
+    let mut correct = 0u64;
+    let mut hot_hits = 0u64;
+    let mut phase_accuracies = Vec::new();
+    ServeRuntime::run(&registry, &serve_config(), |client| -> SimResult<()> {
+        for phase in 0..schedule.num_phases() {
+            // Onboard this phase's classes: per-class batches for the base
+            // phase (mirroring the FSCIL protocol), the session's support
+            // batch afterwards.
+            if phase == 0 {
+                let base = benchmark.base_train();
+                for class in base.classes() {
+                    let batch = base.batch(&base.indices_of_class(class)).ctx("base batch")?;
+                    ctx.timed(|| {
+                        client.call(ServeRequest::LearnOnline {
+                            deployment: "drift".into(),
+                            batch,
+                        })
+                    })
+                    .ctx("base learn")?;
+                }
+            } else {
+                let support =
+                    benchmark.sessions()[phase - 1].support.full_batch().ctx("support")?;
+                ctx.timed(|| {
+                    client.call(ServeRequest::LearnOnline {
+                        deployment: "drift".into(),
+                        batch: support,
+                    })
+                })
+                .ctx("session learn")?;
+            }
+            // Query traffic for this phase, recency-weighted.
+            let mut phase_correct = 0u64;
+            for _ in 0..QUERIES_PER_PHASE {
+                let class = schedule.sample_class(phase, &mut rng);
+                if schedule.introduced(phase).contains(&class) {
+                    hot_hits += 1;
+                }
+                let indices = test.indices_of_class(class);
+                let sample = test
+                    .get(indices[rng.below(indices.len())])
+                    .ctx("test sample")?;
+                let response = ctx
+                    .timed(|| {
+                        client.call(ServeRequest::Infer {
+                            deployment: "drift".into(),
+                            image: sample.image.clone(),
+                        })
+                    })
+                    .ctx("drift infer")?;
+                queries += 1;
+                if predicted(response)? == sample.label {
+                    phase_correct += 1;
+                    correct += 1;
+                }
+            }
+            phase_accuracies.push(phase_correct as f64 / QUERIES_PER_PHASE as f64);
+        }
+        Ok(())
+    })
+    .ctx("serve runtime")??;
+
+    let stats = registry.stats("drift").ctx("drift stats")?;
+    let mut report = ScenarioReport::new("drift");
+    report.int("phases", schedule.num_phases() as i64, Gate::Exact);
+    report.int("queries", queries as i64, Gate::Exact);
+    report.int("classes_final", stats.classes as i64, Gate::Exact);
+    report.float("hot_query_fraction", hot_hits as f64 / queries as f64, Gate::None);
+    report.float(
+        "accuracy_overall",
+        correct as f64 / queries as f64,
+        Gate::AtLeast { slack: 0.05 },
+    );
+    report.float(
+        "accuracy_final_phase",
+        *phase_accuracies.last().expect("at least one phase"),
+        Gate::None,
+    );
+    Ok(report)
+}
+
+/// Applies one seeded hostile mutation to a valid frame. Every mutation
+/// guarantees the result is not a prefix-valid frame stream: a parser that
+/// accepts any of these has a bug.
+fn mutate_frame(frame: &[u8], rng: &mut SeedRng) -> (&'static str, Vec<u8>) {
+    let mut bytes = frame.to_vec();
+    match rng.below(4) {
+        0 => {
+            // Single bit flip anywhere in the frame.
+            let byte = rng.below(bytes.len());
+            bytes[byte] ^= 1 << rng.below(8);
+            ("bitflip", bytes)
+        }
+        1 => {
+            // Truncate mid-frame (never empty — that is just a clean EOF).
+            let keep = 1 + rng.below(bytes.len() - 1);
+            bytes.truncate(keep);
+            ("truncate", bytes)
+        }
+        2 => {
+            // Tamper with the declared payload length.
+            let fake = rng.next_u32();
+            bytes[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&fake.to_le_bytes());
+            ("length_tamper", bytes)
+        }
+        _ => {
+            // Corrupt the magic so the stream is garbage from byte 0.
+            bytes[rng.below(4)] ^= 0xff;
+            ("bad_magic", bytes)
+        }
+    }
+}
+
+/// Writes one hostile byte blob to the router and returns `true` when the
+/// server rejected it (closed the connection or answered with a typed error
+/// frame — never a successful response).
+fn deliver_hostile(addr: &std::net::SocketAddr, blob: &[u8]) -> SimResult<bool> {
+    let mut stream = TcpStream::connect(addr).ctx("connect hostile")?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ctx("read timeout")?;
+    // Ignore write errors: the server may have already torn the connection
+    // down after the first corrupt bytes, which is exactly the defense this
+    // scenario verifies.
+    let _ = stream.write_all(blob);
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    // Parse whatever came back: any decodable *successful* response frame
+    // means the hostile frame was accepted.
+    let mut rest = &response[..];
+    while !rest.is_empty() {
+        let Ok((kind, payload)) = parse_frame(rest, DEFAULT_MAX_PAYLOAD) else {
+            // A half-written reply before the close is still a rejection.
+            break;
+        };
+        match decode_response(kind, payload) {
+            Ok(ofscil::wire::WireResponse::Error(_)) | Err(_) => {}
+            Ok(_) => return Ok(false),
+        }
+        let consumed = HEADER_LEN + payload.len() + 4;
+        rest = &rest[consumed..];
+    }
+    Ok(true)
+}
+
+/// Byzantine clients against a router + 2-shard topology: seeded mutations
+/// of valid frames (bit flips, truncations, length tampering, magic
+/// corruption) must all be rejected at the wire layer, while a well-behaved
+/// client keeps getting correct answers on the same address — and none of
+/// the hostile traffic may leak into the cluster's accepted counters.
+pub fn byzantine_frames(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
+    const HOSTILE_FRAMES: usize = 40;
+    const VALID_AFTER: usize = 10;
+    const DEPLOYMENTS: [&str; 2] = ["alpha", "beta"];
+    let registries = [registry_with(&DEPLOYMENTS)?, registry_with(&DEPLOYMENTS)?];
+    let shards: Vec<ShardProcess> = registries
+        .iter()
+        .map(|r| ShardProcess::spawn(Arc::clone(r), WireConfig::tcp_loopback()))
+        .collect::<Result<_, _>>()
+        .ctx("spawn shards")?;
+    let config = RouterConfig::tcp_loopback(shards.iter().map(|s| s.addr().clone()).collect())
+        .with_deployments(&DEPLOYMENTS);
+
+    let mut rng = SeedRng::new(ctx.rng_seed());
+    let outcome = RouterServer::run(&config, |router| -> SimResult<ScenarioReport> {
+        let BoundAddr::Tcp(addr) = router.addr().clone() else {
+            return Err(sim_err("router must bind tcp for the byzantine scenario"));
+        };
+        let mut client = WireClient::connect(router.addr()).ctx("connect valid client")?;
+        let mut valid_ok = 0u64;
+        for deployment in DEPLOYMENTS {
+            ctx.timed(|| {
+                client.call(ServeRequest::LearnOnline {
+                    deployment: deployment.into(),
+                    batch: traffic::support_batch(SIDE, &[0, 1, 2], 3),
+                })
+            })
+            .ctx("seed classes")?;
+            valid_ok += 1;
+        }
+
+        // Templates covering the three frame shapes clients actually send.
+        let templates: Vec<Vec<u8>> = vec![
+            encode_request(&WireRequest::Serve(ServeRequest::Stats {
+                deployment: "alpha".into(),
+            })),
+            encode_request(&WireRequest::Serve(ServeRequest::Infer {
+                deployment: "beta".into(),
+                image: traffic::class_image(SIDE, 1, 0.0),
+            })),
+            encode_request(&WireRequest::Serve(ServeRequest::LearnOnline {
+                deployment: "alpha".into(),
+                batch: traffic::support_batch(SIDE, &[1], 1),
+            })),
+        ];
+        let mut rejected = 0u64;
+        for _ in 0..HOSTILE_FRAMES {
+            let template = &templates[rng.below(templates.len())];
+            let (mutation, blob) = mutate_frame(template, &mut rng);
+            let ok = ctx.timed(|| deliver_hostile(&addr, &blob))?;
+            if !ok {
+                return Err(sim_err(format!(
+                    "hostile frame ({mutation}) elicited a successful response"
+                )));
+            }
+            rejected += 1;
+        }
+
+        // The same address still serves a well-behaved client correctly.
+        let mut correct = 0u64;
+        for i in 0..VALID_AFTER {
+            let class = i % 3;
+            let deployment = DEPLOYMENTS[i % 2];
+            let response = ctx
+                .timed(|| {
+                    client.call(ServeRequest::Infer {
+                        deployment: deployment.into(),
+                        image: traffic::class_image(SIDE, class, 0.01),
+                    })
+                })
+                .ctx("valid infer after barrage")?;
+            valid_ok += 1;
+            if predicted(response)? == class {
+                correct += 1;
+            }
+        }
+
+        // Hostile frames must not have leaked into the accepted counters:
+        // the cluster saw exactly the well-behaved client's requests.
+        let accepted: u64 = router
+            .cluster_stats()
+            .iter()
+            .flat_map(|slice| slice.deployments.iter())
+            .map(|d| d.accepted())
+            .sum();
+        if accepted != valid_ok {
+            return Err(sim_err(format!(
+                "cluster accepted {accepted} requests, expected only the {valid_ok} valid ones"
+            )));
+        }
+
+        let mut report = ScenarioReport::new("byzantine_frames");
+        report.int("hostile_sent", HOSTILE_FRAMES as i64, Gate::Exact);
+        report.int("hostile_rejected", rejected as i64, Gate::Exact);
+        report.int("valid_requests", valid_ok as i64, Gate::Exact);
+        report.int("cluster_accepted", accepted as i64, Gate::Exact);
+        report.float(
+            "valid_accuracy",
+            correct as f64 / VALID_AFTER as f64,
+            Gate::AtLeast { slack: 0.02 },
+        );
+        Ok(report)
+    })
+    .ctx("router")??;
+    for shard in shards {
+        shard.stop();
+    }
+    Ok(outcome)
+}
+
+/// A budget-exhaustion attack through the router: deployments carry an
+/// exactly-sized energy budget, the attacker floods past it, and the
+/// admission counters must conserve — every offered request is either in
+/// the accepted throughput counters or the per-type rejection counters,
+/// never both, never neither.
+pub fn budget_exhaustion(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
+    const DEPLOYMENTS: [&str; 2] = ["alpha", "beta"];
+    let make_registry = || -> SimResult<Arc<LearnerRegistry>> {
+        let registry = LearnerRegistry::new();
+        for name in DEPLOYMENTS {
+            registry
+                .register(
+                    DeploymentSpec::new(name, (SIDE, SIDE))
+                        .with_energy_budget(0.0, BudgetPolicy::Reject),
+                    scenario_model(),
+                )
+                .ctx("register budgeted deployment")?;
+        }
+        Ok(Arc::new(registry))
+    };
+    let registries = [make_registry()?, make_registry()?];
+    let shards: Vec<ShardProcess> = registries
+        .iter()
+        .map(|r| ShardProcess::spawn(Arc::clone(r), WireConfig::tcp_loopback()))
+        .collect::<Result<_, _>>()
+        .ctx("spawn shards")?;
+    let config = RouterConfig::tcp_loopback(shards.iter().map(|s| s.addr().clone()).collect())
+        .with_deployments(&DEPLOYMENTS);
+
+    let outcome = RouterServer::run(&config, |router| -> SimResult<ScenarioReport> {
+        let mut client = WireClient::connect(router.addr()).ctx("connect")?;
+        let mut offered = 0u64;
+        for name in DEPLOYMENTS {
+            let owner = router.shard_for(name).ctx("owner")?;
+            let pricing = registries[owner].pricing(name).ctx("pricing")?;
+            // Admit exactly two single-sample learns and two infers; the
+            // 0.4-pass slack absorbs float noise without admitting a fifth.
+            let budget = 2.0 * pricing.learn_sample_mj + 2.4 * pricing.infer_mj;
+            registries[owner].top_up(name, budget).ctx("top up")?;
+
+            let learn = |client: &mut WireClient, class: usize| {
+                client.call(ServeRequest::LearnOnline {
+                    deployment: name.into(),
+                    batch: traffic::support_batch(SIDE, &[class], 1),
+                })
+            };
+            let infer = |client: &mut WireClient| {
+                client.call(ServeRequest::Infer {
+                    deployment: name.into(),
+                    image: traffic::class_image(SIDE, 0, 0.0),
+                })
+            };
+            // Two learns and two infers are admitted…
+            ctx.timed(|| learn(&mut client, 0)).ctx("admitted learn")?;
+            ctx.timed(|| learn(&mut client, 1)).ctx("admitted learn")?;
+            ctx.timed(|| infer(&mut client)).ctx("admitted infer")?;
+            ctx.timed(|| infer(&mut client)).ctx("admitted infer")?;
+            offered += 4;
+            // …then the attack flood is refused with typed errors.
+            for expect_learn in [false, true] {
+                let err = if expect_learn {
+                    ctx.timed(|| learn(&mut client, 2)).err()
+                } else {
+                    ctx.timed(|| infer(&mut client)).err()
+                };
+                offered += 1;
+                match err {
+                    Some(WireError::Remote(ServeError::BudgetExhausted { .. })) => {}
+                    other => {
+                        return Err(sim_err(format!(
+                            "expected BudgetExhausted past the budget, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+
+        let slices = router.cluster_stats();
+        let mut accepted = 0u64;
+        let mut rejected_infer = 0u64;
+        let mut rejected_learn = 0u64;
+        for name in DEPLOYMENTS {
+            let stats = slices
+                .iter()
+                .flat_map(|slice| slice.deployments.iter())
+                .find(|d| d.name == name && d.accepted() + d.rejected() > 0)
+                .ok_or_else(|| sim_err(format!("no active stats for {name}")))?;
+            if stats.infer_requests != 2
+                || stats.learn_requests != 2
+                || stats.rejected_infer != 1
+                || stats.rejected_learn != 1
+            {
+                return Err(sim_err(format!(
+                    "admission split off for {name}: {stats:?}"
+                )));
+            }
+            accepted += stats.accepted();
+            rejected_infer += stats.rejected_infer;
+            rejected_learn += stats.rejected_learn;
+        }
+        // Conservation across the cluster.
+        if accepted + rejected_infer + rejected_learn != offered {
+            return Err(sim_err(format!(
+                "offered {offered} != accepted {accepted} + rejected \
+                 {rejected_infer}+{rejected_learn}"
+            )));
+        }
+
+        let mut report = ScenarioReport::new("budget_exhaustion");
+        report.int("offered", offered as i64, Gate::Exact);
+        report.int("accepted", accepted as i64, Gate::Exact);
+        report.int("rejected_infer", rejected_infer as i64, Gate::Exact);
+        report.int("rejected_learn", rejected_learn as i64, Gate::Exact);
+        report.int("conservation_ok", 1, Gate::Exact);
+        Ok(report)
+    })
+    .ctx("router")??;
+    for shard in shards {
+        shard.stop();
+    }
+    Ok(outcome)
+}
+
+/// A stale-replay attack on the migration/import path: an attacker who
+/// captured an old deployment export re-imports it after further learning.
+/// The defense under test is sequence monotonicity — the replication
+/// sequence must never move backwards, so followers detect the jump and
+/// resync instead of silently serving stale deltas — plus typed rejection
+/// of corrupted snapshots.
+pub fn stale_replay(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
+    let registry = registry_with(&["replay"])?;
+    let mut rng = SeedRng::new(ctx.rng_seed());
+
+    let report = ServeRuntime::run(&registry, &serve_config(), |client| -> SimResult<
+        ScenarioReport,
+    > {
+        let learn = |ctx: &mut ScenarioCtx, client: &ServeClient, class: usize| {
+            ctx.timed(|| {
+                client.call(ServeRequest::LearnOnline {
+                    deployment: "replay".into(),
+                    batch: traffic::support_batch(SIDE, &[class], 2),
+                })
+            })
+            .ctx("learn")
+        };
+        for class in 0..3 {
+            learn(ctx, client, class)?;
+        }
+        let export = registry.export_deployment("replay").ctx("export")?;
+        let seq_at_export = export.seq;
+        for class in 3..6 {
+            learn(ctx, client, class)?;
+        }
+        let seq_before_replay = registry.replication_seq("replay").ctx("seq")?;
+
+        // Attack 1: replay the stale export verbatim. The import itself is a
+        // legitimate operation (it is how migration works); the invariant is
+        // that the sequence jumps *forward* so subscribers resync.
+        let classes_after_replay =
+            registry.import_deployment(&export).ctx("stale import")?;
+        let seq_after_replay = registry.replication_seq("replay").ctx("seq")?;
+        if seq_after_replay <= seq_before_replay {
+            return Err(sim_err(format!(
+                "replication seq moved backwards: {seq_before_replay} -> {seq_after_replay}"
+            )));
+        }
+
+        // Attack 2: a corrupted snapshot must be rejected with a typed error
+        // and leave the state untouched.
+        let mut corrupt = export.clone();
+        let victim = rng.below(corrupt.snapshot.len());
+        corrupt.snapshot[victim] ^= 0xa5;
+        corrupt.seq = seq_after_replay + 100;
+        let corrupt_rejected = registry.import_deployment(&corrupt).is_err();
+        let seq_after_corrupt = registry.replication_seq("replay").ctx("seq")?;
+
+        // The deployment recovers by re-learning what the replay clobbered.
+        for class in 3..6 {
+            learn(ctx, client, class)?;
+        }
+        let response = ctx
+            .timed(|| {
+                client.call(ServeRequest::Infer {
+                    deployment: "replay".into(),
+                    image: traffic::class_image(SIDE, 1, 0.01),
+                })
+            })
+            .ctx("post-recovery infer")?;
+        let recovered_prediction_ok = predicted(response)? == 1;
+        let classes_recovered = registry.stats("replay").ctx("stats")?.classes;
+
+        let mut report = ScenarioReport::new("stale_replay");
+        report.int("seq_at_export", seq_at_export as i64, Gate::Exact);
+        report.int("seq_before_replay", seq_before_replay as i64, Gate::Exact);
+        report.int("seq_after_replay", seq_after_replay as i64, Gate::Exact);
+        report.int("seq_monotonic", 1, Gate::Exact);
+        report.int("classes_after_replay", classes_after_replay as i64, Gate::Exact);
+        report.int("classes_recovered", classes_recovered as i64, Gate::Exact);
+        report.int("corrupt_import_rejected", i64::from(corrupt_rejected), Gate::Exact);
+        report.int(
+            "seq_unchanged_by_corrupt_import",
+            i64::from(seq_after_corrupt == seq_after_replay),
+            Gate::Exact,
+        );
+        report.int(
+            "recovered_prediction_ok",
+            i64::from(recovered_prediction_ok),
+            Gate::Exact,
+        );
+        if !corrupt_rejected {
+            return Err(sim_err("corrupted snapshot import was accepted"));
+        }
+        Ok(report)
+    })
+    .ctx("serve runtime")??;
+    Ok(report)
+}

@@ -569,7 +569,8 @@ fn put_stats(out: &mut Vec<u8>, stats: &DeploymentStats) {
     put_u64(out, stats.largest_batch as u64);
     put_u64(out, stats.learn_requests);
     put_u64(out, stats.snapshots);
-    put_u64(out, stats.rejected);
+    put_u64(out, stats.rejected_infer);
+    put_u64(out, stats.rejected_learn);
     put_u64(out, stats.deferred);
     put_f64(out, stats.energy_spent_mj);
     put_option_f64(out, stats.energy_budget_mj);
@@ -594,7 +595,8 @@ fn read_stats(r: &mut Reader<'_>) -> Result<DeploymentStats, PayloadError> {
         largest_batch: r.usize_field("largest_batch")?,
         learn_requests: r.u64()?,
         snapshots: r.u64()?,
-        rejected: r.u64()?,
+        rejected_infer: r.u64()?,
+        rejected_learn: r.u64()?,
         deferred: r.u64()?,
         energy_spent_mj: r.f64()?,
         energy_budget_mj: r.option_f64()?,
@@ -909,7 +911,8 @@ mod tests {
             largest_batch: 8,
             learn_requests: 3,
             snapshots: 1,
-            rejected: 2,
+            rejected_infer: 2,
+            rejected_learn: 1,
             deferred: 0,
             energy_spent_mj: 5.125,
             energy_budget_mj: Some(12.0),

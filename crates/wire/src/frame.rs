@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"OFWR"
-//! 4       2     wire format version, little-endian u16 (currently 2)
+//! 4       2     wire format version, little-endian u16 (currently 4)
 //! 6       1     message kind (see `codec`)
 //! 7       1     reserved (zero)
 //! 8       4     payload length, little-endian u32
@@ -29,10 +29,12 @@ pub const WIRE_MAGIC: [u8; 4] = *b"OFWR";
 /// responses `0x47`/`0x48`) and the `ShardUnavailable`/`ReplicationLagged`
 /// error tags; v3 added the `ReAnchor` request (kind `0x09`, answered with a
 /// checkpoint-served `Repl Full`) and the durability counters in the `Stats`
-/// payload — so a mismatched peer fails fast with a clean
+/// payload; v4 split the `Stats` payload's lump `rejected` counter into
+/// per-request-type `rejected_infer` / `rejected_learn` counters — so a
+/// mismatched peer fails fast with a clean
 /// [`FrameError::UnsupportedVersion`] instead of a confusing `BadTag` deep
 /// inside a payload.
-pub const WIRE_VERSION: u16 = 3;
+pub const WIRE_VERSION: u16 = 4;
 
 /// Fixed frame header length in bytes.
 pub const HEADER_LEN: usize = 12;

@@ -134,7 +134,8 @@ fn random_response(rng: &mut SeedRng) -> WireResponse {
             largest_batch: rng.below(64),
             learn_requests: rng.next_u64() >> 8,
             snapshots: rng.next_u64() >> 40,
-            rejected: rng.next_u64() >> 40,
+            rejected_infer: rng.next_u64() >> 40,
+            rejected_learn: rng.next_u64() >> 40,
             deferred: rng.next_u64() >> 40,
             energy_spent_mj: random_f64(rng),
             energy_budget_mj: rng.chance(0.5).then(|| random_f64(rng)),

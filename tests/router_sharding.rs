@@ -315,6 +315,91 @@ fn killed_shard_yields_typed_shard_unavailable_not_a_hang() {
 }
 
 #[test]
+fn budget_rejections_stay_out_of_throughput_counters_across_the_cluster() {
+    // Shards whose deployments start with a zero budget and a Reject policy;
+    // the budget is topped up out-of-band to admit an exact number of
+    // requests, so the accepted/rejected split is fully determined.
+    let registries: Vec<Arc<LearnerRegistry>> = (0..2)
+        .map(|_| {
+            let registry = LearnerRegistry::new();
+            for name in DEPLOYMENTS {
+                let mut rng = SeedRng::new(11);
+                registry
+                    .register(
+                        DeploymentSpec::new(name, (IMAGE, IMAGE))
+                            .with_energy_budget(0.0, BudgetPolicy::Reject),
+                        OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+                    )
+                    .unwrap();
+            }
+            Arc::new(registry)
+        })
+        .collect();
+    let shards: Vec<ShardProcess> = registries
+        .iter()
+        .map(|registry| {
+            ShardProcess::spawn(Arc::clone(registry), WireConfig::tcp_loopback()).unwrap()
+        })
+        .collect();
+
+    RouterServer::run(&router_config(&shards), |router| {
+        let victim = "alpha";
+        let owner = router.shard_for(victim).unwrap();
+        // Admit exactly one single-sample learn and one infer (both cost one
+        // backbone+FCR pass); the half-pass slack keeps float noise harmless
+        // while refusing any third pass.
+        let pass_mj = registries[owner].pricing(victim).unwrap().infer_mj;
+        registries[owner].top_up(victim, 2.5 * pass_mj).unwrap();
+
+        let mut client = WireClient::connect(router.addr()).unwrap();
+        let single_learn = |client: &mut WireClient| {
+            client.call(ServeRequest::LearnOnline {
+                deployment: victim.into(),
+                batch: traffic::support_batch(IMAGE, &[0], 1),
+            })
+        };
+        single_learn(&mut client).unwrap();
+        infer(&mut client, victim, 0);
+        // Budget spent: both of these must be refused with a typed error...
+        for expect_learn in [false, true] {
+            let err = if expect_learn {
+                single_learn(&mut client).unwrap_err()
+            } else {
+                client
+                    .call(ServeRequest::Infer {
+                        deployment: victim.into(),
+                        image: traffic::class_image(IMAGE, 0, 0.0),
+                    })
+                    .unwrap_err()
+            };
+            assert!(
+                matches!(err, WireError::Remote(ServeError::BudgetExhausted { .. })),
+                "expected BudgetExhausted, got {err:?}"
+            );
+        }
+
+        // ...and the refusals must land in the per-type rejection counters,
+        // never in the accepted-throughput counters — observed through the
+        // router's scatter-gathered cluster statistics.
+        let slices = router.cluster_stats();
+        let stats = slices
+            .iter()
+            .flat_map(|slice| slice.deployments.iter())
+            .find(|d| d.name == victim)
+            .expect("victim deployment missing from cluster stats");
+        assert_eq!(stats.infer_requests, 1, "accepted infers only");
+        assert_eq!(stats.learn_requests, 1, "accepted learns only");
+        assert_eq!(stats.rejected_infer, 1);
+        assert_eq!(stats.rejected_learn, 1);
+        assert_eq!(stats.rejected(), 2);
+        assert_eq!(stats.accepted(), 2);
+        // The wire roundtrip agrees bit-for-bit with the owning registry.
+        assert_eq!(*stats, registries[owner].stats(victim).unwrap());
+    })
+    .unwrap();
+}
+
+#[test]
 fn add_and_drain_rebalance_with_live_migrations() {
     let (_registries, mut shards) = spawn_shards(2);
     let config = router_config(&shards[..2]);
