@@ -1,0 +1,211 @@
+//! The event schema: one row per thing the cluster did.
+
+/// What happened. The discriminants double as wire codes and as bit
+/// positions in a query's kind mask ([`EventKind::bit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// One served inference (per item, even inside a coalesced batch).
+    Infer,
+    /// One committed `LearnOnline`.
+    Learn,
+    /// One admission rejection (budget refusal, including deferrals settled
+    /// as rejections at shutdown).
+    Reject,
+    /// One accepted energy-budget top-up.
+    TopUp,
+    /// A durable checkpoint advanced (store-backed servers only).
+    Checkpoint,
+    /// A live migration moved the deployment between shards (router).
+    Migration,
+    /// A shard's circuit breaker opened (router; the "deployment" is the
+    /// pseudo-name `shard:N`).
+    BreakerOpen,
+    /// A shard's circuit breaker closed again (router).
+    BreakerClose,
+    /// A follower was promoted to a writable primary.
+    Promotion,
+}
+
+impl EventKind {
+    /// Every kind, in code order.
+    pub const ALL: [EventKind; 9] = [
+        EventKind::Infer,
+        EventKind::Learn,
+        EventKind::Reject,
+        EventKind::TopUp,
+        EventKind::Checkpoint,
+        EventKind::Migration,
+        EventKind::BreakerOpen,
+        EventKind::BreakerClose,
+        EventKind::Promotion,
+    ];
+
+    /// The stable storage/wire code of this kind.
+    pub fn code(self) -> u8 {
+        match self {
+            EventKind::Infer => 0,
+            EventKind::Learn => 1,
+            EventKind::Reject => 2,
+            EventKind::TopUp => 3,
+            EventKind::Checkpoint => 4,
+            EventKind::Migration => 5,
+            EventKind::BreakerOpen => 6,
+            EventKind::BreakerClose => 7,
+            EventKind::Promotion => 8,
+        }
+    }
+
+    /// Inverse of [`EventKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<EventKind> {
+        EventKind::ALL.get(code as usize).copied()
+    }
+
+    /// This kind's bit in a query's kind mask.
+    pub fn bit(self) -> u16 {
+        1 << self.code()
+    }
+
+    /// A short human-readable label (for timeline printouts).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Infer => "infer",
+            EventKind::Learn => "learn",
+            EventKind::Reject => "reject",
+            EventKind::TopUp => "top-up",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Migration => "migration",
+            EventKind::BreakerOpen => "breaker-open",
+            EventKind::BreakerClose => "breaker-close",
+            EventKind::Promotion => "promotion",
+        }
+    }
+}
+
+/// One observability sample — the row form of what the store holds
+/// column-per-field.
+///
+/// Fields that do not apply to a kind keep their neutral value: `seq` 0,
+/// `energy_mj` 0, `latency_us` 0, `wal_bytes` 0, and `accuracy` **NaN**
+/// (aggregates skip non-finite accuracies, so "not applicable" never drags a
+/// mean down).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Deployment the event belongs to (interned to a `u32` id in storage).
+    /// Router-level shard events use the pseudo-name `shard:N`.
+    pub deployment: String,
+    /// What happened.
+    pub kind: EventKind,
+    /// Replication/commit sequence number, when the event has one.
+    pub seq: u64,
+    /// Monotonic microseconds since the Unix epoch, stamped by the emitting
+    /// process's [`ObsClock`](crate::ObsClock) at [`emit`](crate::EventSink::emit) time.
+    pub time_us: u64,
+    /// Energy attributed to the event, in millijoules (amortized per item
+    /// for coalesced batches).
+    pub energy_mj: f64,
+    /// Wall-clock latency of the work, in microseconds.
+    pub latency_us: u64,
+    /// Accuracy proxy (the prediction's cosine similarity for `Infer`);
+    /// NaN when not applicable.
+    pub accuracy: f32,
+    /// Write-ahead-log size after the event, for `Checkpoint` rows.
+    pub wal_bytes: u64,
+}
+
+impl Event {
+    /// A new event with neutral field values (see the struct docs).
+    pub fn new(kind: EventKind, deployment: &str) -> Event {
+        Event {
+            deployment: deployment.to_string(),
+            kind,
+            seq: 0,
+            time_us: 0,
+            energy_mj: 0.0,
+            latency_us: 0,
+            accuracy: f32::NAN,
+            wal_bytes: 0,
+        }
+    }
+
+    /// Sets the sequence number (builder style).
+    #[must_use]
+    pub fn with_seq(mut self, seq: u64) -> Event {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the explicit timestamp (builder style). [`EventSink::emit`]
+    /// overwrites it; use [`EventSink::emit_at`] to keep it.
+    ///
+    /// [`EventSink::emit`]: crate::EventSink::emit
+    /// [`EventSink::emit_at`]: crate::EventSink::emit_at
+    #[must_use]
+    pub fn with_time_us(mut self, time_us: u64) -> Event {
+        self.time_us = time_us;
+        self
+    }
+
+    /// Sets the energy cost (builder style).
+    #[must_use]
+    pub fn with_energy_mj(mut self, energy_mj: f64) -> Event {
+        self.energy_mj = energy_mj;
+        self
+    }
+
+    /// Sets the latency (builder style).
+    #[must_use]
+    pub fn with_latency_us(mut self, latency_us: u64) -> Event {
+        self.latency_us = latency_us;
+        self
+    }
+
+    /// Sets the accuracy proxy (builder style).
+    #[must_use]
+    pub fn with_accuracy(mut self, accuracy: f32) -> Event {
+        self.accuracy = accuracy;
+        self
+    }
+
+    /// Sets the WAL size (builder style).
+    #[must_use]
+    pub fn with_wal_bytes(mut self, wal_bytes: u64) -> Event {
+        self.wal_bytes = wal_bytes;
+        self
+    }
+
+    /// The ordering key of the store and of merged query results: time
+    /// first, sequence number as the tiebreaker.
+    pub fn order_key(&self) -> (u64, u64) {
+        (self.time_us, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_roundtrip_and_bits_are_distinct() {
+        let mut mask: u16 = 0;
+        for (i, kind) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(kind.code() as usize, i);
+            assert_eq!(EventKind::from_code(kind.code()), Some(*kind));
+            assert_eq!(mask & kind.bit(), 0, "bit collision at {kind:?}");
+            mask |= kind.bit();
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(EventKind::from_code(9), None);
+        assert_eq!(EventKind::from_code(255), None);
+    }
+
+    #[test]
+    fn new_event_is_neutral() {
+        let event = Event::new(EventKind::Reject, "t");
+        assert_eq!(event.seq, 0);
+        assert_eq!(event.energy_mj, 0.0);
+        assert!(event.accuracy.is_nan());
+        let event = event.with_seq(7).with_energy_mj(1.5).with_accuracy(0.5);
+        assert_eq!(event.order_key(), (0, 7));
+        assert_eq!(event.accuracy, 0.5);
+    }
+}

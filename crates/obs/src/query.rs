@@ -1,0 +1,301 @@
+//! Range scans and aggregates over the columnar store.
+
+use crate::event::{Event, EventKind};
+
+/// Default cap on the number of events a query materializes. Aggregates are
+/// always computed over **every** matching row; the cap only bounds the
+/// returned event list.
+pub const DEFAULT_EVENT_LIMIT: u32 = 4096;
+
+/// A range scan: deployment, time window, sequence window, kind mask.
+///
+/// All windows are inclusive. An empty deployment string matches every
+/// deployment; a zero kind mask matches every kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsQuery {
+    /// Deployment to scan; empty for all. This leads the wire encoding so a
+    /// router can peek it like any other request's routing key.
+    pub deployment: String,
+    /// Earliest matching [`Event::time_us`].
+    pub time_min: u64,
+    /// Latest matching [`Event::time_us`].
+    pub time_max: u64,
+    /// Smallest matching [`Event::seq`].
+    pub seq_min: u64,
+    /// Largest matching [`Event::seq`].
+    pub seq_max: u64,
+    /// OR of [`EventKind::bit`]s to match; 0 matches every kind.
+    pub kinds: u16,
+    /// Maximum events returned (earliest first); excess rows still count in
+    /// the aggregates and set [`ObsResult::truncated`]. 0 is a pure
+    /// aggregate query.
+    pub limit: u32,
+}
+
+impl ObsQuery {
+    /// Matches everything.
+    pub fn all() -> ObsQuery {
+        ObsQuery {
+            deployment: String::new(),
+            time_min: 0,
+            time_max: u64::MAX,
+            seq_min: 0,
+            seq_max: u64::MAX,
+            kinds: 0,
+            limit: DEFAULT_EVENT_LIMIT,
+        }
+    }
+
+    /// Matches everything for one deployment.
+    pub fn deployment(name: &str) -> ObsQuery {
+        ObsQuery { deployment: name.to_string(), ..ObsQuery::all() }
+    }
+
+    /// Restricts the time window (builder style, inclusive).
+    #[must_use]
+    pub fn with_time_range(mut self, min_us: u64, max_us: u64) -> ObsQuery {
+        self.time_min = min_us;
+        self.time_max = max_us;
+        self
+    }
+
+    /// Restricts the sequence window (builder style, inclusive).
+    #[must_use]
+    pub fn with_seq_range(mut self, min: u64, max: u64) -> ObsQuery {
+        self.seq_min = min;
+        self.seq_max = max;
+        self
+    }
+
+    /// Restricts the matched kinds (builder style).
+    #[must_use]
+    pub fn with_kinds(mut self, kinds: &[EventKind]) -> ObsQuery {
+        self.kinds = kinds.iter().fold(0, |mask, kind| mask | kind.bit());
+        self
+    }
+
+    /// Sets the returned-event cap (builder style).
+    #[must_use]
+    pub fn with_limit(mut self, limit: u32) -> ObsQuery {
+        self.limit = limit;
+        self
+    }
+
+    /// Whether a kind code passes the mask.
+    pub fn matches_kind_code(&self, code: u8) -> bool {
+        self.kinds == 0 || (code < 16 && self.kinds & (1u16 << code) != 0)
+    }
+
+    /// Whether a `(time_us, seq)` pair falls inside both windows.
+    pub fn matches_windows(&self, time_us: u64, seq: u64) -> bool {
+        time_us >= self.time_min
+            && time_us <= self.time_max
+            && seq >= self.seq_min
+            && seq <= self.seq_max
+    }
+}
+
+impl Default for ObsQuery {
+    fn default() -> Self {
+        ObsQuery::all()
+    }
+}
+
+/// Running min/max/sum/count over one numeric column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest observed value (`+inf` when empty).
+    pub min: f64,
+    /// Largest observed value (`-inf` when empty).
+    pub max: f64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observed values.
+    pub count: u64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn empty() -> Summary {
+        Summary { min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0, count: 0 }
+    }
+
+    /// Folds one finite value in; non-finite values (a "not applicable"
+    /// NaN accuracy) are skipped.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Folds another summary in (for merging shard results).
+    pub fn merge(&mut self, other: &Summary) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Mean of the observed values; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::empty()
+    }
+}
+
+/// Aggregates over every row a query matched — including rows past the
+/// event-list cap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsAggregates {
+    /// Rows matched.
+    pub matched: u64,
+    /// Energy column, millijoules.
+    pub energy_mj: Summary,
+    /// Latency column, microseconds.
+    pub latency_us: Summary,
+    /// Accuracy column; NaN rows ("not applicable") are skipped, so
+    /// `accuracy.count` can be below `matched`.
+    pub accuracy: Summary,
+}
+
+impl ObsAggregates {
+    /// Folds one matching event in.
+    pub fn observe(&mut self, event: &Event) {
+        self.matched += 1;
+        self.energy_mj.observe(event.energy_mj);
+        self.latency_us.observe(event.latency_us as f64);
+        self.accuracy.observe(f64::from(event.accuracy));
+    }
+
+    /// Folds another aggregate in.
+    pub fn merge(&mut self, other: &ObsAggregates) {
+        self.matched += other.matched;
+        self.energy_mj.merge(&other.energy_mj);
+        self.latency_us.merge(&other.latency_us);
+        self.accuracy.merge(&other.accuracy);
+    }
+}
+
+/// What a query returned — from one store, or merged across a cluster.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsResult {
+    /// Matching events in `(time_us, seq)` order, capped at the query's
+    /// limit (earliest first).
+    pub events: Vec<Event>,
+    /// Aggregates over **all** matching rows, capped by nothing.
+    pub aggregates: ObsAggregates,
+    /// `true` when `events` was cut short by the limit.
+    pub truncated: bool,
+    /// Events ever appended to the answering store(s) — a completeness
+    /// denominator, not a match count.
+    pub appended: u64,
+    /// Events the answering pipeline(s) shed under backpressure.
+    pub dropped: u64,
+    /// Sources that answered (1 for a single store; the router sums).
+    pub shards_ok: u32,
+    /// Sources that could not be reached.
+    pub shards_err: u32,
+}
+
+impl ObsResult {
+    /// Merges per-shard results into one timeline: events re-sorted by
+    /// `(time_us, seq)` and re-capped at `limit`, aggregates and counters
+    /// summed. This is the stitch that makes a migrated tenant's history
+    /// whole again.
+    pub fn merge(parts: Vec<ObsResult>, limit: usize) -> ObsResult {
+        let mut merged = ObsResult::default();
+        for part in parts {
+            merged.aggregates.merge(&part.aggregates);
+            merged.truncated |= part.truncated;
+            merged.appended += part.appended;
+            merged.dropped += part.dropped;
+            merged.shards_ok += part.shards_ok;
+            merged.shards_err += part.shards_err;
+            merged.events.extend(part.events);
+        }
+        merged.events.sort_by_key(Event::order_key);
+        if merged.events.len() > limit {
+            merged.events.truncate(limit);
+            merged.truncated = true;
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_skips_non_finite_and_merges() {
+        let mut a = Summary::empty();
+        a.observe(2.0);
+        a.observe(f64::NAN);
+        a.observe(4.0);
+        assert_eq!((a.min, a.max, a.sum, a.count), (2.0, 4.0, 6.0, 2));
+        let mut b = Summary::empty();
+        b.observe(1.0);
+        a.merge(&b);
+        assert_eq!((a.min, a.max, a.count), (1.0, 4.0, 3));
+        assert!((a.mean() - 7.0 / 3.0).abs() < 1e-12);
+        assert!(Summary::empty().mean().is_nan());
+    }
+
+    #[test]
+    fn kind_mask_and_windows() {
+        let q = ObsQuery::all()
+            .with_kinds(&[EventKind::Infer, EventKind::Migration])
+            .with_time_range(10, 20)
+            .with_seq_range(1, 5);
+        assert!(q.matches_kind_code(EventKind::Infer.code()));
+        assert!(q.matches_kind_code(EventKind::Migration.code()));
+        assert!(!q.matches_kind_code(EventKind::Learn.code()));
+        assert!(q.matches_windows(10, 1));
+        assert!(q.matches_windows(20, 5));
+        assert!(!q.matches_windows(9, 1));
+        assert!(!q.matches_windows(21, 1));
+        assert!(!q.matches_windows(15, 0));
+        assert!(!q.matches_windows(15, 6));
+        // Zero mask matches everything.
+        assert!(ObsQuery::all().matches_kind_code(EventKind::Promotion.code()));
+    }
+
+    #[test]
+    fn merge_restitches_order_and_recaps() {
+        let event = |t: u64, seq: u64| {
+            Event::new(EventKind::Infer, "t").with_time_us(t).with_seq(seq)
+        };
+        let mut a = ObsResult { shards_ok: 1, appended: 2, ..ObsResult::default() };
+        a.events = vec![event(1, 0), event(5, 0)];
+        a.aggregates.observe(&a.events[0]);
+        a.aggregates.observe(&a.events[1]);
+        let mut b = ObsResult { shards_ok: 1, appended: 3, dropped: 1, ..ObsResult::default() };
+        b.events = vec![event(2, 0), event(3, 0), event(4, 0)];
+        for e in &b.events {
+            let e = e.clone();
+            b.aggregates.observe(&e);
+        }
+        let merged = ObsResult::merge(vec![a, b], 4);
+        assert_eq!(
+            merged.events.iter().map(|e| e.time_us).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert!(merged.truncated);
+        assert_eq!(merged.aggregates.matched, 5);
+        assert_eq!((merged.appended, merged.dropped), (5, 1));
+        assert_eq!((merged.shards_ok, merged.shards_err), (2, 0));
+    }
+}

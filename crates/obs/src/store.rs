@@ -1,0 +1,443 @@
+//! The columnar store: an active chunk absorbing appends, sealed time-sorted
+//! chunks behind it, and a byte budget enforced by evicting the oldest.
+
+use crate::event::{Event, EventKind};
+use crate::query::{ObsQuery, ObsResult};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Bytes one event occupies across the eight columns: deployment id (4) +
+/// kind (1) + seq (8) + time (8) + energy (8) + latency (8) + accuracy (4) +
+/// WAL bytes (8). Interned deployment names are not charged — there are a
+/// handful of tenants and millions of rows.
+pub const EVENT_BYTES: usize = 49;
+
+/// Store tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Depth of the bounded intake channel ([`EventSink`](crate::EventSink)).
+    /// Size it at the burst you expect between collector wakeups; overflow
+    /// is dropped and counted, never waited on.
+    pub queue_depth: usize,
+    /// Rows per chunk: the active chunk seals (and time-sorts) once it holds
+    /// this many events.
+    pub chunk_events: usize,
+    /// Resident budget in bytes (`rows × EVENT_BYTES`). Once exceeded, whole
+    /// sealed chunks are evicted oldest-first; the active chunk is never
+    /// evicted.
+    pub byte_budget: usize,
+}
+
+impl ObsConfig {
+    /// Sets the intake channel depth (builder style; clamped to ≥ 1).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> ObsConfig {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the rows-per-chunk seal threshold (builder style; clamped to ≥ 1).
+    #[must_use]
+    pub fn with_chunk_events(mut self, events: usize) -> ObsConfig {
+        self.chunk_events = events.max(1);
+        self
+    }
+
+    /// Sets the resident byte budget (builder style; clamped to ≥ 1).
+    #[must_use]
+    pub fn with_byte_budget(mut self, bytes: usize) -> ObsConfig {
+        self.byte_budget = bytes.max(1);
+        self
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            queue_depth: 8192,
+            chunk_events: 512,
+            byte_budget: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the pipeline's health counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsCounters {
+    /// Events appended to the store since creation (survivors and GC'd).
+    pub appended: u64,
+    /// Events the sink accepted into the channel ([`Obs`](crate::Obs) fills
+    /// this; a bare store reports 0).
+    pub sent: u64,
+    /// Events the sink shed under backpressure ([`Obs`](crate::Obs) fills
+    /// this; a bare store reports 0).
+    pub dropped: u64,
+    /// Sealed chunks currently resident.
+    pub sealed_chunks: u64,
+    /// Rows currently resident (active + sealed).
+    pub resident_events: u64,
+    /// `resident_events × EVENT_BYTES`.
+    pub resident_bytes: u64,
+    /// Whole chunks evicted by the byte budget so far.
+    pub gc_chunks: u64,
+    /// Rows those evictions removed.
+    pub gc_events: u64,
+}
+
+/// The eight parallel columns of one chunk.
+#[derive(Debug, Default)]
+struct Columns {
+    deployment: Vec<u32>,
+    kind: Vec<u8>,
+    seq: Vec<u64>,
+    time_us: Vec<u64>,
+    energy_mj: Vec<f64>,
+    latency_us: Vec<u64>,
+    accuracy: Vec<f32>,
+    wal_bytes: Vec<u64>,
+}
+
+impl Columns {
+    fn len(&self) -> usize {
+        self.time_us.len()
+    }
+
+    fn push(&mut self, deployment: u32, event: &Event) {
+        self.deployment.push(deployment);
+        self.kind.push(event.kind.code());
+        self.seq.push(event.seq);
+        self.time_us.push(event.time_us);
+        self.energy_mj.push(event.energy_mj);
+        self.latency_us.push(event.latency_us);
+        self.accuracy.push(event.accuracy);
+        self.wal_bytes.push(event.wal_bytes);
+    }
+
+    /// Reorders every column by `(time_us, seq)` via one permutation —
+    /// columnar sorting without materializing rows.
+    fn sort_by_time(&mut self) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by_key(|&i| (self.time_us[i], self.seq[i]));
+        self.deployment = order.iter().map(|&i| self.deployment[i]).collect();
+        self.kind = order.iter().map(|&i| self.kind[i]).collect();
+        self.seq = order.iter().map(|&i| self.seq[i]).collect();
+        self.time_us = order.iter().map(|&i| self.time_us[i]).collect();
+        self.energy_mj = order.iter().map(|&i| self.energy_mj[i]).collect();
+        self.latency_us = order.iter().map(|&i| self.latency_us[i]).collect();
+        self.accuracy = order.iter().map(|&i| self.accuracy[i]).collect();
+        self.wal_bytes = order.iter().map(|&i| self.wal_bytes[i]).collect();
+    }
+
+    /// Materializes row `i` back into an [`Event`].
+    fn event(&self, i: usize, names: &[String]) -> Event {
+        Event {
+            deployment: names
+                .get(self.deployment[i] as usize)
+                .cloned()
+                .unwrap_or_default(),
+            kind: EventKind::from_code(self.kind[i]).unwrap_or(EventKind::Infer),
+            seq: self.seq[i],
+            time_us: self.time_us[i],
+            energy_mj: self.energy_mj[i],
+            latency_us: self.latency_us[i],
+            accuracy: self.accuracy[i],
+            wal_bytes: self.wal_bytes[i],
+        }
+    }
+}
+
+/// A sealed, time-sorted chunk with its time bounds for query skipping.
+#[derive(Debug)]
+struct SealedChunk {
+    cols: Columns,
+    min_time: u64,
+    max_time: u64,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    /// Interned deployment names; column values index into this.
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+    active: Columns,
+    sealed: Vec<SealedChunk>,
+    gc_chunks: u64,
+    gc_events: u64,
+}
+
+impl StoreInner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn resident_events(&self) -> usize {
+        self.active.len() + self.sealed.iter().map(|c| c.cols.len()).sum::<usize>()
+    }
+
+    fn seal_active(&mut self) {
+        if self.active.len() == 0 {
+            return;
+        }
+        let mut cols = std::mem::take(&mut self.active);
+        cols.sort_by_time();
+        let min_time = *cols.time_us.first().expect("non-empty chunk");
+        let max_time = *cols.time_us.last().expect("non-empty chunk");
+        self.sealed.push(SealedChunk { cols, min_time, max_time });
+    }
+
+    /// Evicts whole sealed chunks, oldest (`min_time`, then insertion order)
+    /// first, until resident bytes fit the budget. The active chunk is never
+    /// evicted, so the budget can be overshot by at most one chunk.
+    fn gc(&mut self, byte_budget: usize) {
+        while self.resident_events() * EVENT_BYTES > byte_budget && !self.sealed.is_empty() {
+            let oldest = self
+                .sealed
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, c)| (c.min_time, *i))
+                .map(|(i, _)| i)
+                .expect("non-empty sealed list");
+            let chunk = self.sealed.remove(oldest);
+            self.gc_chunks += 1;
+            self.gc_events += chunk.cols.len() as u64;
+        }
+    }
+}
+
+/// The columnar store. Thread-safe; normally fed by the collector thread of
+/// an [`Obs`](crate::Obs) pipeline and queried from anywhere.
+#[derive(Debug, Default)]
+pub struct ObsStore {
+    inner: Mutex<StoreInner>,
+    appended: AtomicU64,
+    config: ObsConfig,
+}
+
+impl ObsStore {
+    /// An empty store with the given tuning.
+    pub fn new(config: ObsConfig) -> ObsStore {
+        ObsStore {
+            inner: Mutex::new(StoreInner::default()),
+            appended: AtomicU64::new(0),
+            config: ObsConfig {
+                queue_depth: config.queue_depth.max(1),
+                chunk_events: config.chunk_events.max(1),
+                byte_budget: config.byte_budget.max(1),
+            },
+        }
+    }
+
+    /// The store's tuning.
+    pub fn config(&self) -> &ObsConfig {
+        &self.config
+    }
+
+    /// Appends one event as-is (no timestamp stamping — the sink did that).
+    /// Seals the active chunk at [`ObsConfig::chunk_events`] rows and runs GC
+    /// after each seal.
+    pub fn append(&self, event: &Event) {
+        let mut inner = self.inner.lock().expect("obs store lock");
+        let id = inner.intern(&event.deployment);
+        inner.active.push(id, event);
+        if inner.active.len() >= self.config.chunk_events {
+            inner.seal_active();
+            inner.gc(self.config.byte_budget);
+        }
+        drop(inner);
+        self.appended.fetch_add(1, Ordering::Release);
+    }
+
+    /// Seals the active chunk now (tests and shutdown paths; queries see the
+    /// active chunk anyway).
+    pub fn seal(&self) {
+        let mut inner = self.inner.lock().expect("obs store lock");
+        inner.seal_active();
+        inner.gc(self.config.byte_budget);
+    }
+
+    /// Total events ever appended.
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the store-side counters (`sent`/`dropped` are 0 here;
+    /// [`Obs::counters`](crate::Obs::counters) fills them from the sink).
+    pub fn counters(&self) -> ObsCounters {
+        let inner = self.inner.lock().expect("obs store lock");
+        let resident = inner.resident_events() as u64;
+        ObsCounters {
+            appended: self.appended(),
+            sent: 0,
+            dropped: 0,
+            sealed_chunks: inner.sealed.len() as u64,
+            resident_events: resident,
+            resident_bytes: resident * EVENT_BYTES as u64,
+            gc_chunks: inner.gc_chunks,
+            gc_events: inner.gc_events,
+        }
+    }
+
+    /// Runs `query` against every resident chunk: sealed chunks outside the
+    /// time window are skipped by their bounds without scanning; matching
+    /// rows are aggregated (all of them) and materialized (up to
+    /// `query.limit`, earliest first).
+    pub fn query(&self, query: &ObsQuery) -> ObsResult {
+        let inner = self.inner.lock().expect("obs store lock");
+        // Resolve the deployment filter to an interned id once. A name this
+        // store never saw matches nothing — but the scan still reports
+        // appended/aggregate context truthfully (zeroes).
+        let want_id: Option<u32> = if query.deployment.is_empty() {
+            None
+        } else {
+            match inner.ids.get(&query.deployment) {
+                Some(&id) => Some(id),
+                None => {
+                    return ObsResult {
+                        appended: self.appended(),
+                        shards_ok: 1,
+                        ..ObsResult::default()
+                    }
+                }
+            }
+        };
+
+        let mut result = ObsResult { shards_ok: 1, ..ObsResult::default() };
+        let mut scan = |cols: &Columns| {
+            for i in 0..cols.len() {
+                if let Some(id) = want_id {
+                    if cols.deployment[i] != id {
+                        continue;
+                    }
+                }
+                if !query.matches_windows(cols.time_us[i], cols.seq[i]) {
+                    continue;
+                }
+                if !query.matches_kind_code(cols.kind[i]) {
+                    continue;
+                }
+                let event = cols.event(i, &inner.names);
+                result.aggregates.observe(&event);
+                result.events.push(event);
+            }
+        };
+        for chunk in &inner.sealed {
+            if chunk.max_time < query.time_min || chunk.min_time > query.time_max {
+                continue;
+            }
+            scan(&chunk.cols);
+        }
+        scan(&inner.active);
+        drop(inner);
+
+        result.events.sort_by_key(Event::order_key);
+        let limit = query.limit as usize;
+        if result.events.len() > limit {
+            result.events.truncate(limit);
+            result.truncated = true;
+        }
+        result.appended = self.appended();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(deployment: &str, t: u64, seq: u64) -> Event {
+        Event::new(EventKind::Infer, deployment)
+            .with_time_us(t)
+            .with_seq(seq)
+            .with_energy_mj(1.0)
+            .with_latency_us(10)
+    }
+
+    #[test]
+    fn seals_sort_and_bound_chunks() {
+        let store = ObsStore::new(ObsConfig::default().with_chunk_events(4));
+        // Out-of-order appends within a chunk get time-sorted at seal.
+        for t in [30u64, 10, 40, 20] {
+            store.append(&event("t", t, t));
+        }
+        let counters = store.counters();
+        assert_eq!(counters.sealed_chunks, 1);
+        assert_eq!(counters.resident_events, 4);
+        assert_eq!(counters.resident_bytes, 4 * EVENT_BYTES as u64);
+        let result = store.query(&ObsQuery::all());
+        assert_eq!(
+            result.events.iter().map(|e| e.time_us).collect::<Vec<_>>(),
+            vec![10, 20, 30, 40]
+        );
+    }
+
+    #[test]
+    fn gc_evicts_oldest_sealed_chunk_first() {
+        // Budget fits two 2-row chunks plus a bit; the third seal evicts the
+        // oldest.
+        let store = ObsStore::new(
+            ObsConfig::default()
+                .with_chunk_events(2)
+                .with_byte_budget(5 * EVENT_BYTES),
+        );
+        for t in 0..6u64 {
+            store.append(&event("t", t * 10, t));
+        }
+        let counters = store.counters();
+        assert_eq!(counters.gc_chunks, 1);
+        assert_eq!(counters.gc_events, 2);
+        assert_eq!(counters.appended, 6);
+        assert_eq!(counters.resident_events, 4);
+        // The surviving window is the newest rows.
+        let result = store.query(&ObsQuery::all());
+        assert_eq!(
+            result.events.iter().map(|e| e.time_us).collect::<Vec<_>>(),
+            vec![20, 30, 40, 50]
+        );
+    }
+
+    #[test]
+    fn unknown_deployment_matches_nothing_but_reports_appended() {
+        let store = ObsStore::new(ObsConfig::default());
+        store.append(&event("t", 1, 1));
+        let result = store.query(&ObsQuery::deployment("nope"));
+        assert!(result.events.is_empty());
+        assert_eq!(result.aggregates.matched, 0);
+        assert_eq!(result.appended, 1);
+        assert_eq!(result.shards_ok, 1);
+    }
+
+    #[test]
+    fn limit_truncates_events_but_not_aggregates() {
+        let store = ObsStore::new(ObsConfig::default());
+        for t in 0..10u64 {
+            store.append(&event("t", t, t));
+        }
+        let result = store.query(&ObsQuery::deployment("t").with_limit(3));
+        assert_eq!(result.events.len(), 3);
+        assert!(result.truncated);
+        // Earliest first.
+        assert_eq!(result.events[0].time_us, 0);
+        assert_eq!(result.aggregates.matched, 10);
+        assert_eq!(result.aggregates.energy_mj.sum, 10.0);
+    }
+
+    #[test]
+    fn seq_window_filters_across_sealed_and_active() {
+        let store = ObsStore::new(ObsConfig::default().with_chunk_events(3));
+        for s in 0..7u64 {
+            store.append(&event("t", 100, s));
+        }
+        let result = store.query(&ObsQuery::deployment("t").with_seq_range(2, 5));
+        assert_eq!(
+            result.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+    }
+}

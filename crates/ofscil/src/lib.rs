@@ -14,6 +14,10 @@
 //! * [`gap9`] — the GAP9-class MCU deployment and energy model (the crate's
 //!   module docs walk through the full latency/power/energy pipeline and its
 //!   calibration),
+//! * [`obs`] — the columnar time-series event store for cluster
+//!   observability: non-blocking event sinks on the serving hot path,
+//!   chunked time-sorted storage with a byte budget, and range/aggregate
+//!   timeline queries that merge across shards,
 //! * [`serve`] — the multi-tenant serving runtime: request batching,
 //!   energy-budget admission and explicit-memory snapshots for long-lived
 //!   deployments,
@@ -55,6 +59,7 @@ pub use ofscil_core as core;
 pub use ofscil_data as data;
 pub use ofscil_gap9 as gap9;
 pub use ofscil_nn as nn;
+pub use ofscil_obs as obs;
 pub use ofscil_quant as quant;
 pub use ofscil_router as router;
 pub use ofscil_serve as serve;
@@ -84,6 +89,9 @@ pub mod prelude {
     pub use ofscil_nn::models::{BackboneKind, MobileNetVariant};
     pub use ofscil_nn::profile::{profile_backbone, profile_with_fcr};
     pub use ofscil_nn::{Layer, Mode};
+    pub use ofscil_obs::{
+        Event, EventKind, EventSink, Obs, ObsConfig, ObsQuery, ObsResult,
+    };
     pub use ofscil_quant::{ExplicitMemoryFootprint, FakeQuant, PrototypePrecision, QuantTensor};
     pub use ofscil_router::{
         HashRing, MigrationReport, PoolConfig, RouterConfig, RouterError, RouterHandle,

@@ -9,6 +9,7 @@
 //! spin a whole sharded cluster up and tear members down (including
 //! mid-run, to exercise failover).
 
+use ofscil_obs::Obs;
 use ofscil_serve::LearnerRegistry;
 use ofscil_wire::{BoundAddr, WireConfig, WireError, WireServer};
 use std::sync::{mpsc, Arc};
@@ -35,10 +36,26 @@ impl ShardProcess {
         registry: Arc<LearnerRegistry>,
         config: WireConfig,
     ) -> Result<Self, WireError> {
+        ShardProcess::spawn_observed(registry, config, None)
+    }
+
+    /// Like [`ShardProcess::spawn`], but with an observability handle: the
+    /// shard's server records its serving events into the handle's store and
+    /// answers `ObsQuery` requests from it. Handles are cheap clones over
+    /// one shared store — the caller keeps its own to query directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's bind error when the shard never came up.
+    pub fn spawn_observed(
+        registry: Arc<LearnerRegistry>,
+        config: WireConfig,
+        obs: Option<Obs>,
+    ) -> Result<Self, WireError> {
         let (addr_tx, addr_rx) = mpsc::channel();
         let (stop_tx, stop_rx) = mpsc::channel::<()>();
         let join = std::thread::spawn(move || {
-            WireServer::run(&registry, &config, |handle| {
+            WireServer::run_observed(&registry, &config, None, obs.as_ref(), |handle| {
                 let _ = addr_tx.send(handle.addr().clone());
                 // Blocks until `stop` fires or the ShardProcess is dropped
                 // (sender gone ⇒ recv errors ⇒ the server tears down).

@@ -15,6 +15,7 @@
 //! shards.
 
 use crate::error::RouterError;
+use ofscil_obs::{Event, EventKind, EventSink};
 use ofscil_wire::{BoundAddr, WireClient, WireError};
 use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -96,20 +97,30 @@ impl ShardSlot {
         }
     }
 
-    fn mark_up(&self) {
+    /// Clears the failure state. Returns `true` when this actually closed a
+    /// breaker (the slot had failures or a cooldown on record) — the
+    /// transition edge worth an observability event.
+    fn mark_up(&self) -> bool {
         let mut state = self.state.lock().expect("pool state lock poisoned");
+        let closed = state.down_until.is_some() || state.consecutive_failures > 0;
         state.consecutive_failures = 0;
         state.down_until = None;
         state.last_error = None;
+        closed
     }
 
-    fn mark_down(&self, error: &str, cooldown: Duration) {
+    /// Records a failure and starts (or extends) the cooldown window.
+    /// Returns `true` when the breaker was closed before this call — i.e.
+    /// this failure is the open transition, not a repeat.
+    fn mark_down(&self, error: &str, cooldown: Duration) -> bool {
         // Dead shards accept no connections, so the stale idle pool is junk.
         self.idle.lock().expect("pool lock poisoned").clear();
         let mut state = self.state.lock().expect("pool state lock poisoned");
+        let opened = state.down_until.is_none();
         state.consecutive_failures += 1;
         state.down_until = Some(Instant::now() + cooldown);
         state.last_error = Some(error.to_string());
+        opened
     }
 
     /// The cached failure if the shard is still inside its cooldown window.
@@ -133,14 +144,53 @@ impl ShardSlot {
 pub struct ShardPool {
     slots: RwLock<Vec<std::sync::Arc<ShardSlot>>>,
     config: PoolConfig,
+    /// When attached, circuit-breaker **transitions** (closed → open, open →
+    /// closed) are emitted as `BreakerOpen`/`BreakerClose` events under the
+    /// pseudo-deployment `shard:N`. Repeated failures inside an open window
+    /// are not re-emitted.
+    obs: Option<EventSink>,
 }
 
 impl ShardPool {
     /// A pool over the given shard addresses (ids `0..addrs.len()`).
     pub fn new(addrs: Vec<BoundAddr>, config: PoolConfig) -> Self {
+        ShardPool::new_observed(addrs, config, None)
+    }
+
+    /// Like [`ShardPool::new`], but emitting circuit-breaker transition
+    /// events into `obs`.
+    pub fn new_observed(
+        addrs: Vec<BoundAddr>,
+        config: PoolConfig,
+        obs: Option<EventSink>,
+    ) -> Self {
         ShardPool {
             slots: RwLock::new(addrs.into_iter().map(|a| ShardSlot::new(a).into()).collect()),
             config,
+            obs,
+        }
+    }
+
+    /// Emits one breaker-transition event for a shard, if a sink is attached.
+    fn breaker_event(&self, shard: usize, kind: EventKind) {
+        if let Some(obs) = &self.obs {
+            obs.emit(Event::new(kind, &format!("shard:{shard}")));
+        }
+    }
+
+    /// Applies a successful interaction with a shard: clears its failure
+    /// state and emits `BreakerClose` when that closed an open breaker.
+    fn on_up(&self, shard: usize, slot: &ShardSlot) {
+        if slot.mark_up() {
+            self.breaker_event(shard, EventKind::BreakerClose);
+        }
+    }
+
+    /// Applies a failed interaction with a shard: starts its cooldown and
+    /// emits `BreakerOpen` on the closed → open edge.
+    fn on_down(&self, shard: usize, slot: &ShardSlot, detail: &str) {
+        if slot.mark_down(detail, self.config.cooldown) {
+            self.breaker_event(shard, EventKind::BreakerOpen);
         }
     }
 
@@ -202,7 +252,7 @@ impl ShardPool {
             self.config.connect_attempts.max(1),
             last.expect("at least one attempt ran")
         );
-        slot.mark_down(&detail, self.config.cooldown);
+        self.on_down(shard, slot, &detail);
         Err(self.unavailable(shard, slot, detail))
     }
 
@@ -238,14 +288,14 @@ impl ShardPool {
         if let Some(mut conn) = slot.pop_idle() {
             match f(&mut conn) {
                 Ok(value) => {
-                    slot.mark_up();
+                    self.on_up(shard, &slot);
                     slot.checkin(conn, self.config.max_idle);
                     return Ok(value);
                 }
                 Err(WireError::Remote(error)) => {
                     // The shard answered — connection and shard are fine,
                     // the request itself was refused.
-                    slot.mark_up();
+                    self.on_up(shard, &slot);
                     slot.checkin(conn, self.config.max_idle);
                     return Err(RouterError::Remote(error));
                 }
@@ -270,18 +320,18 @@ impl ShardPool {
         let mut conn = self.connect(shard, &slot)?;
         match f(&mut conn) {
             Ok(value) => {
-                slot.mark_up();
+                self.on_up(shard, &slot);
                 slot.checkin(conn, self.config.max_idle);
                 Ok(value)
             }
             Err(WireError::Remote(error)) => {
-                slot.mark_up();
+                self.on_up(shard, &slot);
                 slot.checkin(conn, self.config.max_idle);
                 Err(RouterError::Remote(error))
             }
             Err(error) => {
                 let detail = format!("request failed on a fresh connection: {error}");
-                slot.mark_down(&detail, self.config.cooldown);
+                self.on_down(shard, &slot, &detail);
                 Err(self.unavailable(shard, &slot, detail))
             }
         }
@@ -294,12 +344,12 @@ impl ShardPool {
         let slot = self.slot(shard)?;
         let healthy = match WireClient::connect(&slot.addr) {
             Ok(conn) => {
-                slot.mark_up();
+                self.on_up(shard, &slot);
                 slot.checkin(conn, self.config.max_idle);
                 true
             }
             Err(e) => {
-                slot.mark_down(&format!("probe failed: {e}"), self.config.cooldown);
+                self.on_down(shard, &slot, &format!("probe failed: {e}"));
                 false
             }
         };

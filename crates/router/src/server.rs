@@ -26,9 +26,10 @@
 use crate::error::RouterError;
 use crate::pool::{PoolConfig, ShardHealth, ShardPool};
 use crate::ring::HashRing;
+use ofscil_obs::{Event, EventKind, EventSink, Obs, ObsResult};
 use ofscil_serve::{DeploymentStats, ServeError, ServeRequest, ServeResponse};
 use ofscil_store::OpLog;
-use ofscil_wire::codec::encode_response;
+use ofscil_wire::codec::{decode_request, encode_response, WireRequest};
 use ofscil_wire::{
     peek_request, read_frame_verbatim, BoundAddr, ShutdownOnDrop, VerbatimEvent, VerbatimFrame,
     WireBind, WireListener, WireResponse, WireStream, DEFAULT_MAX_PAYLOAD,
@@ -67,6 +68,12 @@ pub struct RouterConfig {
     /// is deterministic from `shards`, so overrides are the only placement
     /// state worth persisting. `None` keeps placement in memory only.
     pub placement_log: Option<PathBuf>,
+    /// Observability handle of the router itself. When set, migrations and
+    /// circuit-breaker transitions are recorded as cluster events
+    /// (`Migration`, `BreakerOpen`/`BreakerClose` under `shard:N`), and a
+    /// scatter-gathered `ObsQuery` merges the router's own timeline into the
+    /// per-shard results.
+    pub obs: Option<Obs>,
 }
 
 impl RouterConfig {
@@ -80,6 +87,7 @@ impl RouterConfig {
             max_payload: DEFAULT_MAX_PAYLOAD,
             pool: PoolConfig::default(),
             placement_log: None,
+            obs: None,
         }
     }
 
@@ -111,6 +119,14 @@ impl RouterConfig {
     #[must_use]
     pub fn with_placement_log(mut self, path: impl Into<PathBuf>) -> Self {
         self.placement_log = Some(path.into());
+        self
+    }
+
+    /// Attaches an observability handle (builder style). Handles are cheap
+    /// clones sharing one store, so the caller keeps its own copy to query.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -163,6 +179,8 @@ struct Shared {
     /// The persistent placement journal, when configured: one override
     /// record per migration, replayed at startup.
     placement_log: Option<Mutex<OpLog>>,
+    /// The router's own observability handle, when configured.
+    obs: Option<Obs>,
 }
 
 /// Record kind of a placement override in the journal.
@@ -219,6 +237,12 @@ pub struct ShardStats {
     pub addr: BoundAddr,
     /// Statistics of every managed deployment this shard currently owns.
     pub deployments: Vec<DeploymentStats>,
+    /// `false` when the shard could not be reached at all (dead process,
+    /// open circuit breaker) — the gather then carries whatever the live
+    /// shards returned, with this one explicitly marked instead of the
+    /// whole read failing. A shard that answered but *refused* a request
+    /// stays `true` (see [`ShardStats::error`]).
+    pub reachable: bool,
     /// Set when the shard could not be queried; `deployments` is then
     /// whatever was gathered before the failure.
     pub error: Option<String>,
@@ -350,6 +374,7 @@ impl RouterHandle<'_> {
             &self.shared.pool,
             &mut placement,
             self.shared.placement_log.as_ref(),
+            self.shared.obs.as_ref().map(|o| o.sink()),
             deployment,
             from,
             target,
@@ -375,8 +400,12 @@ impl RouterHandle<'_> {
         let pool_id = self.shared.pool.add_shard(addr);
         let ring_id = placement.ring.add_shard();
         debug_assert_eq!(pool_id, ring_id, "pool and ring ids must stay aligned");
-        let moves =
-            rebalance_locked(&self.shared.pool, &mut placement, self.shared.placement_log.as_ref())?;
+        let moves = rebalance_locked(
+            &self.shared.pool,
+            &mut placement,
+            self.shared.placement_log.as_ref(),
+            self.shared.obs.as_ref().map(|o| o.sink()),
+        )?;
         Ok((ring_id, moves))
     }
 
@@ -409,14 +438,37 @@ impl RouterHandle<'_> {
         }
         // A re-drain after a partially-failed attempt lands here with the
         // ring already updated; the rebalance moves what is still stranded.
-        rebalance_locked(&self.shared.pool, &mut placement, self.shared.placement_log.as_ref())
+        rebalance_locked(
+            &self.shared.pool,
+            &mut placement,
+            self.shared.placement_log.as_ref(),
+            self.shared.obs.as_ref().map(|o| o.sink()),
+        )
     }
 }
 
 /// Queries one shard for the statistics of the given deployments.
+///
+/// A transport failure marks the slice `reachable: false` and returns the
+/// partial gather instead of failing the whole cluster read; a shard that
+/// answered with a refusal keeps `reachable: true` with the refusal in
+/// `error`. A shard owning no managed deployments is actively probed —
+/// otherwise a dead but empty shard would report as healthy purely because
+/// nothing asked it anything.
 fn gather_shard_stats(pool: &ShardPool, shard: usize, names: &[String]) -> ShardStats {
     let addr = pool.addr(shard).expect("shard id from the ring");
-    let mut stats = ShardStats { shard, addr, deployments: Vec::new(), error: None };
+    let mut stats =
+        ShardStats { shard, addr, deployments: Vec::new(), reachable: true, error: None };
+    if names.is_empty() {
+        if let Ok(health) = pool.probe(shard) {
+            if !health.healthy {
+                stats.reachable = false;
+                stats.error =
+                    Some(health.last_error.unwrap_or_else(|| "probe failed".to_string()));
+            }
+        }
+        return stats;
+    }
     for name in names {
         let result = pool.with_conn(shard, true, |conn| {
             conn.call(ServeRequest::Stats { deployment: name.clone() })
@@ -427,7 +479,12 @@ fn gather_shard_stats(pool: &ShardPool, shard: usize, names: &[String]) -> Shard
                 stats.error = Some(format!("unexpected stats response: {other:?}"));
                 break;
             }
+            Err(RouterError::Remote(e)) => {
+                stats.error = Some(e.to_string());
+                break;
+            }
             Err(e) => {
+                stats.reachable = false;
                 stats.error = Some(e.to_string());
                 break;
             }
@@ -444,15 +501,27 @@ fn migrate_locked(
     pool: &ShardPool,
     placement: &mut Placement,
     placement_log: Option<&Mutex<OpLog>>,
+    obs: Option<&EventSink>,
     deployment: &str,
     from: usize,
     to: usize,
 ) -> Result<MigrationReport, RouterError> {
+    let started = obs.map(|_| std::time::Instant::now());
     let export = pool.with_conn(from, true, |conn| conn.export(deployment))?;
     // Import mutates the target: never replayed on an ambiguous failure.
     let classes = pool.with_conn(to, false, |conn| conn.import(&export))?;
     journal_override(placement_log, deployment, to)?;
     placement.location.insert(deployment.to_string(), to);
+    if let (Some(obs), Some(started)) = (obs, started) {
+        // The cluster event that later explains a tenant's timeline split:
+        // its seq is the snapshot the move was cut at, its latency the
+        // routing pause the migration imposed.
+        obs.emit(
+            Event::new(EventKind::Migration, deployment)
+                .with_seq(export.seq)
+                .with_latency_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64),
+        );
+    }
     Ok(MigrationReport {
         deployment: deployment.to_string(),
         from,
@@ -469,6 +538,7 @@ fn rebalance_locked(
     pool: &ShardPool,
     placement: &mut Placement,
     placement_log: Option<&Mutex<OpLog>>,
+    obs: Option<&EventSink>,
 ) -> Result<Vec<MigrationReport>, RouterError> {
     let mut names: Vec<String> = placement.location.keys().cloned().collect();
     names.sort_unstable();
@@ -477,7 +547,9 @@ fn rebalance_locked(
         let current = placement.location[&name];
         let target = placement.ring.shard_for(&name).ok_or(RouterError::EmptyRing)?;
         if target != current {
-            moves.push(migrate_locked(pool, placement, placement_log, &name, current, target)?);
+            moves.push(migrate_locked(
+                pool, placement, placement_log, obs, &name, current, target,
+            )?);
         }
     }
     Ok(moves)
@@ -535,9 +607,14 @@ impl RouterServer {
             None => None,
         };
         let shared = Shared {
-            pool: ShardPool::new(config.shards.clone(), config.pool.clone()),
+            pool: ShardPool::new_observed(
+                config.shards.clone(),
+                config.pool.clone(),
+                config.obs.as_ref().map(|o| o.sink().clone()),
+            ),
             placement: RwLock::new(Placement { ring, location }),
             placement_log,
+            obs: config.obs.clone(),
         };
 
         let (listener, addr) = WireListener::bind(&config.bind)?;
@@ -630,6 +707,12 @@ fn route_one(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
             )));
         }
     };
+    if peek.scatter {
+        // An observability query is the one request that is *not* owned by a
+        // single shard: a deployment's timeline may span several after a
+        // migration. Fan it out and stitch the answers back together.
+        return obs_scatter(shared, frame);
+    }
     let shard = {
         let placement = shared.placement.read().expect("placement lock poisoned");
         match placement.shard_for(&peek.deployment) {
@@ -657,6 +740,67 @@ fn route_one(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
         Ok(reply) => reply,
         Err(e) => encode_response(&WireResponse::Error(e.to_serve_error())),
     }
+}
+
+/// Scatter-gathers one observability query across every ring shard and the
+/// router's own event store, merging the slices into a single time-ordered
+/// timeline. Shards that cannot be reached (or have observability disabled)
+/// are counted in [`ObsResult::shards_err`] instead of failing the query —
+/// a partially-observable cluster still answers with what it has.
+fn obs_scatter(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
+    let query = match decode_request(frame.kind, frame.payload()) {
+        Ok(WireRequest::ObsQuery(query)) => query,
+        _ => {
+            return encode_response(&WireResponse::Error(ServeError::InvalidRequest(
+                "undecodable observability query".into(),
+            )));
+        }
+    };
+    let shard_ids = {
+        let placement = shared.placement.read().expect("placement lock poisoned");
+        placement.ring.shard_ids()
+    };
+    let pool = &shared.pool;
+    let results: Vec<Result<ObsResult, RouterError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shard_ids
+            .iter()
+            .map(|&shard| {
+                let query = &query;
+                scope.spawn(move || {
+                    pool.with_conn(shard, true, |conn| conn.obs_query(query))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("obs scatter thread panicked"))
+            .collect()
+    });
+    let mut shards_ok: u32 = 0;
+    let mut shards_err: u32 = 0;
+    let mut parts = Vec::new();
+    for result in results {
+        match result {
+            Ok(part) => {
+                shards_ok += 1;
+                parts.push(part);
+            }
+            Err(_) => shards_err += 1,
+        }
+    }
+    if let Some(obs) = &shared.obs {
+        // The router's own timeline carries the cluster events (migrations,
+        // breaker transitions) that explain the per-shard slices. Its source
+        // counters are zeroed so only real shards count in the totals below.
+        let mut local = obs.query(&query);
+        local.shards_ok = 0;
+        local.shards_err = 0;
+        parts.push(local);
+    }
+    let mut merged = ObsResult::merge(parts, query.limit as usize);
+    merged.shards_ok = shards_ok;
+    merged.shards_err = shards_err;
+    encode_response(&WireResponse::Obs(merged))
 }
 
 #[cfg(test)]

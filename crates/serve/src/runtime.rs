@@ -30,6 +30,7 @@ use crate::request::{Envelope, PendingResponse, Reply, ServeRequest, ServeRespon
 use crate::snapshot::encode_explicit_memory;
 use crate::{Result, ServeConfig, ServeError};
 use ofscil_nn::Mode;
+use ofscil_obs::{Event, EventKind, EventSink};
 use ofscil_tensor::Tensor;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -207,6 +208,35 @@ impl ServeRuntime {
     where
         F: FnOnce(&ServeClient) -> T,
     {
+        ServeRuntime::run_observed(registry, config, sink, journal, None, body)
+    }
+
+    /// Like [`ServeRuntime::run_journaled`], but the runtime additionally
+    /// emits one observability [`Event`] per unit of work into `obs`: an
+    /// `Infer` per served item (amortized batch energy, batch latency,
+    /// prediction similarity as the accuracy proxy), a `Learn` per commit
+    /// (with its replication sequence number), a `Reject` per admission
+    /// refusal, and a `TopUp` per accepted budget top-up.
+    ///
+    /// The sink is **never waited on**: emission is a `try_send` into a
+    /// bounded channel, and a full channel drops the event and counts it
+    /// ([`EventSink::dropped`]) instead of stalling the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the configuration is
+    /// invalid; the body itself is infallible from the runtime's view.
+    pub fn run_observed<T, F>(
+        registry: &LearnerRegistry,
+        config: &ServeConfig,
+        sink: Option<mpsc::Sender<LearnCommit>>,
+        journal: Option<&dyn CommitJournal>,
+        obs: Option<&EventSink>,
+        body: F,
+    ) -> Result<T>
+    where
+        F: FnOnce(&ServeClient) -> T,
+    {
         config.validate()?;
         let (tx, rx) = mpsc::channel::<Envelope>();
         let queue = JobQueue::new();
@@ -219,12 +249,14 @@ impl ServeRuntime {
             for _ in 0..config.workers {
                 let sink = sink.clone();
                 let queue = &queue;
-                scope.spawn(move || worker_loop(queue, sink.as_ref(), journal));
+                scope.spawn(move || worker_loop(queue, sink.as_ref(), journal, obs));
             }
             let dispatcher_queue = &queue;
             let dispatcher_gauge = Arc::clone(&gauge);
             scope.spawn(move || {
-                dispatch_loop(rx, registry, config, dispatcher_queue, &dispatcher_gauge, journal)
+                dispatch_loop(
+                    rx, registry, config, dispatcher_queue, &dispatcher_gauge, journal, obs,
+                )
             });
 
             let client = ServeClient { tx, gauge };
@@ -242,6 +274,7 @@ impl ServeRuntime {
 // Dispatcher
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn dispatch_loop(
     rx: mpsc::Receiver<Envelope>,
     registry: &LearnerRegistry,
@@ -249,6 +282,7 @@ fn dispatch_loop(
     queue: &JobQueue,
     gauge: &DepthGauge,
     journal: Option<&dyn CommitJournal>,
+    obs: Option<&EventSink>,
 ) {
     let mut coalescer = Coalescer::new(config.max_batch);
     let mut deferred: HashMap<String, VecDeque<Envelope>> = HashMap::new();
@@ -265,7 +299,7 @@ fn dispatch_loop(
         // submission depth limit (they are now the dispatcher's problem).
         gauge.queued.fetch_sub(cycle.len(), Ordering::AcqRel);
         for envelope in cycle {
-            route(envelope, registry, config, queue, &mut coalescer, &mut deferred, journal);
+            route(envelope, registry, config, queue, &mut coalescer, &mut deferred, journal, obs);
         }
         for (deployment, job) in coalescer.flush_all() {
             enqueue(&deployment, job, queue);
@@ -282,7 +316,7 @@ fn dispatch_loop(
                 let (_, remaining) = deployment.meter.state();
                 // A deferral that never released is ultimately a rejection;
                 // the counters must say so.
-                count_rejection(&deployment, &envelope.request);
+                count_rejection(&deployment, &envelope.request, obs);
                 envelope.reject(ServeError::BudgetExhausted {
                     deployment: name.clone(),
                     required_mj,
@@ -353,6 +387,7 @@ fn validate(deployment: &Deployment, request: &ServeRequest) -> Result<()> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn route(
     envelope: Envelope,
     registry: &LearnerRegistry,
@@ -361,6 +396,7 @@ fn route(
     coalescer: &mut Coalescer,
     deferred: &mut HashMap<String, VecDeque<Envelope>>,
     journal: Option<&dyn CommitJournal>,
+    obs: Option<&EventSink>,
 ) {
     let name = envelope.request.deployment().to_string();
     // A read-only replica rejects writes before even resolving the
@@ -406,6 +442,9 @@ fn route(
                 let _ = envelope
                     .reply
                     .send(Ok(ServeResponse::Budget { spent_mj, remaining_mj }));
+                if let Some(obs) = obs {
+                    obs.emit(Event::new(EventKind::TopUp, &name).with_energy_mj(energy_mj));
+                }
             }
             // The budget did move; the caller just must not believe the
             // change is durable.
@@ -421,7 +460,7 @@ fn route(
         Admission::Granted => dispatch(deployment, envelope, queue, coalescer),
         Admission::Refused { required_mj, remaining_mj } => match deployment.policy {
             BudgetPolicy::Reject => {
-                count_rejection(&deployment, &envelope.request);
+                count_rejection(&deployment, &envelope.request, obs);
                 envelope.reject(ServeError::BudgetExhausted {
                     deployment: name,
                     required_mj,
@@ -444,13 +483,21 @@ enum Admission {
 /// Records an admission refusal in the per-type rejection counters. Only
 /// priced request types (`Infer`, `LearnOnline`) can be refused; the split
 /// keeps the throughput counters (`infer_requests` / `learn_requests`)
-/// measuring **accepted** work only.
-fn count_rejection(deployment: &Deployment, request: &ServeRequest) {
+/// measuring **accepted** work only. With observability enabled, each
+/// refusal is also a `Reject` event priced at what admission demanded.
+fn count_rejection(deployment: &Deployment, request: &ServeRequest, obs: Option<&EventSink>) {
     let mut stats = deployment.stats.lock().expect("stats lock poisoned");
     match request {
         ServeRequest::Infer { .. } => stats.rejected_infer += 1,
         ServeRequest::LearnOnline { .. } => stats.rejected_learn += 1,
         _ => {}
+    }
+    drop(stats);
+    if let Some(obs) = obs {
+        obs.emit(
+            Event::new(EventKind::Reject, &deployment.name)
+                .with_energy_mj(price(deployment, request)),
+        );
     }
 }
 
@@ -561,6 +608,7 @@ fn worker_loop(
     queue: &JobQueue,
     sink: Option<&mpsc::Sender<LearnCommit>>,
     journal: Option<&dyn CommitJournal>,
+    obs: Option<&EventSink>,
 ) {
     while let Some(deployment) = queue.pop() {
         // Drain this deployment's queue in FIFO order. The `scheduled` flag
@@ -579,9 +627,9 @@ fn worker_loop(
                 }
             };
             match job {
-                DeploymentJob::InferBatch(items) => run_infer_batch(&deployment, items),
+                DeploymentJob::InferBatch(items) => run_infer_batch(&deployment, items, obs),
                 DeploymentJob::Learn { batch, reply } => {
-                    run_learn(&deployment, &batch, &reply, sink, journal)
+                    run_learn(&deployment, &batch, &reply, sink, journal, obs)
                 }
                 DeploymentJob::Snapshot { reply } => run_snapshot(&deployment, &reply),
                 DeploymentJob::Stats { reply } => {
@@ -596,8 +644,10 @@ fn worker_loop(
     }
 }
 
-fn run_infer_batch(deployment: &Deployment, items: Vec<InferItem>) {
+fn run_infer_batch(deployment: &Deployment, items: Vec<InferItem>, obs: Option<&EventSink>) {
     let n = items.len();
+    // The latency timer only runs when someone is listening.
+    let started = obs.map(|_| std::time::Instant::now());
     let images: Vec<&Tensor> = items.iter().map(|item| &item.image).collect();
     // One lock acquisition and one batched forward for the whole batch; the
     // per-row cosine classification reuses the already-projected features.
@@ -630,7 +680,21 @@ fn run_infer_batch(deployment: &Deployment, items: Vec<InferItem>) {
             // Admission charged n single-sample passes before the batch
             // formed; settle the spend at the batch's amortized cost.
             deployment.meter.refund(deployment.infer_batch_refund_mj(n));
+            // One Infer event per item: the batch's settled energy amortized
+            // per item, the batch's latency, the prediction's similarity as
+            // the accuracy proxy.
+            let per_item_mj = deployment.batched_infer_mj(n) / n as f64;
+            let latency_us =
+                started.map_or(0, |started| started.elapsed().as_micros() as u64);
             for (item, (class, similarity)) in items.into_iter().zip(predictions) {
+                if let Some(obs) = obs {
+                    obs.emit(
+                        Event::new(EventKind::Infer, &deployment.name)
+                            .with_energy_mj(per_item_mj)
+                            .with_latency_us(latency_us)
+                            .with_accuracy(similarity),
+                    );
+                }
                 let _ = item.reply.send(Ok(ServeResponse::Prediction {
                     class,
                     similarity,
@@ -652,7 +716,9 @@ fn run_learn(
     reply: &Reply,
     sink: Option<&mpsc::Sender<LearnCommit>>,
     journal: Option<&dyn CommitJournal>,
+    obs: Option<&EventSink>,
 ) {
+    let started = obs.map(|_| std::time::Instant::now());
     // The amortized settlement is derived *before* taking the model lock
     // (the derivation itself locks the model on a cache miss): admission
     // charged batch.len() single-sample passes, but the batch's forwards
@@ -702,12 +768,22 @@ fn run_learn(
                         .journal_learn(commit, spent_mj, budget_mj)
                         .map_err(|e| format!("commit applied but journaling failed: {e}"))?;
                 }
-                Ok((classes, total_classes, commit))
+                Ok((classes, total_classes, seq, commit))
             })
     };
     match outcome {
-        Ok((classes, total_classes, commit)) => {
+        Ok((classes, total_classes, seq, commit)) => {
             deployment.stats.lock().expect("stats lock poisoned").learn_requests += 1;
+            if let Some(obs) = obs {
+                obs.emit(
+                    Event::new(EventKind::Learn, &deployment.name)
+                        .with_seq(seq)
+                        .with_energy_mj(deployment.batched_learn_mj(batch.len()))
+                        .with_latency_us(
+                            started.map_or(0, |started| started.elapsed().as_micros() as u64),
+                        ),
+                );
+            }
             if let (Some(sink), Some(commit)) = (sink, commit) {
                 // A sink that hung up just stops replicating; serving goes on.
                 let _ = sink.send(commit);
@@ -852,6 +928,78 @@ mod tests {
         assert_eq!(stats.infer_requests, 1);
         assert_eq!(stats.learn_requests, 1);
         assert_eq!(stats.classes, 3);
+    }
+
+    #[test]
+    fn observed_runtime_emits_one_event_per_unit_of_work() {
+        use ofscil_obs::{Obs, ObsConfig, ObsQuery};
+
+        let registry = LearnerRegistry::new();
+        let mut rng = SeedRng::new(0);
+        registry
+            .register(
+                // A budget too small for the first learn forces one
+                // observable rejection before the top-up.
+                DeploymentSpec::new("t", (8, 8))
+                    .with_energy_budget(0.0001, BudgetPolicy::Reject),
+                OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+            )
+            .unwrap();
+        let obs = Obs::new(ObsConfig::default());
+        ServeRuntime::run_observed(
+            &registry,
+            &ServeConfig::default(),
+            None,
+            None,
+            Some(obs.sink()),
+            |client| {
+                let err = client
+                    .call(ServeRequest::LearnOnline {
+                        deployment: "t".into(),
+                        batch: support_batch(&[0, 1, 2], 3),
+                    })
+                    .unwrap_err();
+                assert!(matches!(err, ServeError::BudgetExhausted { .. }));
+                client
+                    .call(ServeRequest::TopUpBudget {
+                        deployment: "t".into(),
+                        energy_mj: 500.0,
+                    })
+                    .unwrap();
+                client
+                    .call(ServeRequest::LearnOnline {
+                        deployment: "t".into(),
+                        batch: support_batch(&[0, 1, 2], 3),
+                    })
+                    .unwrap();
+                for _ in 0..3 {
+                    client
+                        .call(ServeRequest::Infer {
+                            deployment: "t".into(),
+                            image: class_image(1, 0.02),
+                        })
+                        .unwrap();
+                }
+            },
+        )
+        .unwrap();
+
+        let count_of = |kind: EventKind| {
+            obs.query(&ObsQuery::deployment("t").with_kinds(&[kind])).aggregates.matched
+        };
+        assert_eq!(count_of(EventKind::Reject), 1);
+        assert_eq!(count_of(EventKind::TopUp), 1);
+        assert_eq!(count_of(EventKind::Learn), 1);
+        assert_eq!(count_of(EventKind::Infer), 3);
+        let result = obs.query(&ObsQuery::deployment("t"));
+        assert_eq!(result.dropped, 0);
+        // The learn carries its replication sequence number; infers carry a
+        // finite accuracy proxy and a real energy price.
+        let learns = obs.query(&ObsQuery::deployment("t").with_kinds(&[EventKind::Learn]));
+        assert_eq!(learns.events[0].seq, 1);
+        let infers = obs.query(&ObsQuery::deployment("t").with_kinds(&[EventKind::Infer]));
+        assert_eq!(infers.aggregates.accuracy.count, 3);
+        assert!(infers.aggregates.energy_mj.min > 0.0);
     }
 
     #[test]
@@ -1258,7 +1406,7 @@ mod tests {
                 InferItem { image: class_image(i % 2, 0.01), reply }
             })
             .collect();
-        run_infer_batch(&deployment, items);
+        run_infer_batch(&deployment, items, None);
 
         // The spend settled at the batch's amortized energy, not n passes.
         let (spent, _) = deployment.meter.state();

@@ -61,61 +61,71 @@ fn predicted(response: ServeResponse) -> SimResult<usize> {
 /// in-process runtime: the hot tenant's share must track the analytic
 /// distribution, every accepted request must land in the throughput
 /// counters, and predictions on the separable traffic classes must be
-/// correct.
+/// correct. The runtime runs with an observability sink attached, and the
+/// event-store counters ride along in the trajectory record — dropped
+/// events in a non-adversarial run are a regression.
 pub fn zipf_mixed(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
     const TENANTS: [&str; 4] = ["tenant-0", "tenant-1", "tenant-2", "tenant-3"];
     const TICKS: usize = 400;
     let registry = registry_with(&TENANTS)?;
     let zipf = Zipfian::new(TENANTS.len(), 1.1);
     let mut rng = SeedRng::new(ctx.rng_seed());
+    let obs = Obs::new(ObsConfig::default());
 
     let mut per_tenant = [0u64; 4];
     let mut learns = 0u64;
     let mut infers = 0u64;
     let mut correct = 0u64;
-    ServeRuntime::run(&registry, &serve_config(), |client| -> SimResult<()> {
-        for tenant in TENANTS {
-            ctx.timed(|| {
-                client.call(ServeRequest::LearnOnline {
-                    deployment: tenant.into(),
-                    batch: traffic::support_batch(SIDE, &[0, 1, 2], 3),
-                })
-            })
-            .ctx("seed tenant classes")?;
-            learns += 1;
-        }
-        for _ in 0..TICKS {
-            let tenant = zipf.sample(&mut rng);
-            per_tenant[tenant] += 1;
-            let deployment = TENANTS[tenant].to_string();
-            if rng.chance(0.2) {
-                let class = rng.below(3);
+    ServeRuntime::run_observed(
+        &registry,
+        &serve_config(),
+        None,
+        None,
+        Some(obs.sink()),
+        |client| -> SimResult<()> {
+            for tenant in TENANTS {
                 ctx.timed(|| {
                     client.call(ServeRequest::LearnOnline {
-                        deployment,
-                        batch: traffic::support_batch(SIDE, &[class], 2),
+                        deployment: tenant.into(),
+                        batch: traffic::support_batch(SIDE, &[0, 1, 2], 3),
                     })
                 })
-                .ctx("tick learn")?;
+                .ctx("seed tenant classes")?;
                 learns += 1;
-            } else {
-                let class = rng.below(3);
-                let response = ctx
-                    .timed(|| {
-                        client.call(ServeRequest::Infer {
+            }
+            for _ in 0..TICKS {
+                let tenant = zipf.sample(&mut rng);
+                per_tenant[tenant] += 1;
+                let deployment = TENANTS[tenant].to_string();
+                if rng.chance(0.2) {
+                    let class = rng.below(3);
+                    ctx.timed(|| {
+                        client.call(ServeRequest::LearnOnline {
                             deployment,
-                            image: traffic::class_image(SIDE, class, 0.01),
+                            batch: traffic::support_batch(SIDE, &[class], 2),
                         })
                     })
-                    .ctx("tick infer")?;
-                infers += 1;
-                if predicted(response)? == class {
-                    correct += 1;
+                    .ctx("tick learn")?;
+                    learns += 1;
+                } else {
+                    let class = rng.below(3);
+                    let response = ctx
+                        .timed(|| {
+                            client.call(ServeRequest::Infer {
+                                deployment,
+                                image: traffic::class_image(SIDE, class, 0.01),
+                            })
+                        })
+                        .ctx("tick infer")?;
+                    infers += 1;
+                    if predicted(response)? == class {
+                        correct += 1;
+                    }
                 }
             }
-        }
-        Ok(())
-    })
+            Ok(())
+        },
+    )
     .ctx("serve runtime")??;
 
     // Conservation: what the workload offered is exactly what the per-tenant
@@ -135,6 +145,20 @@ pub fn zipf_mixed(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
         )));
     }
 
+    // Every accepted request emitted exactly one event; the sink's queue
+    // comfortably outsizes this trace, so a single shed event is a bug.
+    if !obs.flush(Duration::from_secs(5)) {
+        return Err(sim_err("obs collector failed to drain the event queue"));
+    }
+    let obs_counters = obs.counters();
+    if obs_counters.appended != learns + infers {
+        return Err(sim_err(format!(
+            "obs store appended {} events, expected one per accepted request ({})",
+            obs_counters.appended,
+            learns + infers
+        )));
+    }
+
     let mut report = ScenarioReport::new("zipf_mixed");
     report.int("requests", (learns + infers) as i64, Gate::Exact);
     report.int("learns", learns as i64, Gate::Exact);
@@ -143,6 +167,8 @@ pub fn zipf_mixed(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
     report.float("hot_tenant_share", per_tenant[0] as f64 / TICKS as f64, Gate::None);
     report.float("hot_tenant_share_expected", zipf.expected_share(0), Gate::None);
     report.float("accuracy", correct as f64 / infers as f64, Gate::AtLeast { slack: 0.02 });
+    report.int("obs_events", obs_counters.appended as i64, Gate::Exact);
+    report.int("obs_dropped", obs_counters.dropped as i64, Gate::Exact);
     Ok(report)
 }
 
@@ -469,15 +495,26 @@ fn deliver_hostile(addr: &std::net::SocketAddr, blob: &[u8]) -> SimResult<bool> 
 /// of valid frames (bit flips, truncations, length tampering, magic
 /// corruption) must all be rejected at the wire layer, while a well-behaved
 /// client keeps getting correct answers on the same address — and none of
-/// the hostile traffic may leak into the cluster's accepted counters.
+/// the hostile traffic may leak into the cluster's accepted counters. Both
+/// shards run observed, so the barrage doubles as a check that hostile
+/// frames never reach the event stores either: the appended count must
+/// equal the valid requests exactly, with zero drops.
 pub fn byzantine_frames(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
     const HOSTILE_FRAMES: usize = 40;
     const VALID_AFTER: usize = 10;
     const DEPLOYMENTS: [&str; 2] = ["alpha", "beta"];
     let registries = [registry_with(&DEPLOYMENTS)?, registry_with(&DEPLOYMENTS)?];
+    let shard_obs = [Obs::new(ObsConfig::default()), Obs::new(ObsConfig::default())];
     let shards: Vec<ShardProcess> = registries
         .iter()
-        .map(|r| ShardProcess::spawn(Arc::clone(r), WireConfig::tcp_loopback()))
+        .zip(&shard_obs)
+        .map(|(r, obs)| {
+            ShardProcess::spawn_observed(
+                Arc::clone(r),
+                WireConfig::tcp_loopback(),
+                Some(obs.clone()),
+            )
+        })
         .collect::<Result<_, _>>()
         .ctx("spawn shards")?;
     let config = RouterConfig::tcp_loopback(shards.iter().map(|s| s.addr().clone()).collect())
@@ -548,9 +585,12 @@ pub fn byzantine_frames(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
         }
 
         // Hostile frames must not have leaked into the accepted counters:
-        // the cluster saw exactly the well-behaved client's requests.
-        let accepted: u64 = router
-            .cluster_stats()
+        // the cluster saw exactly the well-behaved client's requests. The
+        // end-of-scenario `cluster_stats` snapshot also lands in the
+        // trajectory record — a shard marked unreachable here is a bug.
+        let slices = router.cluster_stats();
+        let reachable = slices.iter().filter(|slice| slice.reachable).count();
+        let accepted: u64 = slices
             .iter()
             .flat_map(|slice| slice.deployments.iter())
             .map(|d| d.accepted())
@@ -566,6 +606,7 @@ pub fn byzantine_frames(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
         report.int("hostile_rejected", rejected as i64, Gate::Exact);
         report.int("valid_requests", valid_ok as i64, Gate::Exact);
         report.int("cluster_accepted", accepted as i64, Gate::Exact);
+        report.int("shards_reachable", reachable as i64, Gate::Exact);
         report.float(
             "valid_accuracy",
             correct as f64 / VALID_AFTER as f64,
@@ -577,6 +618,22 @@ pub fn byzantine_frames(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
     for shard in shards {
         shard.stop();
     }
+
+    // Sum the per-shard event stores: exactly one event per valid request,
+    // none for the hostile barrage, and nothing shed by the bounded sinks.
+    let mut obs_events = 0u64;
+    let mut obs_dropped = 0u64;
+    for obs in &shard_obs {
+        if !obs.flush(Duration::from_secs(5)) {
+            return Err(sim_err("shard obs collector failed to drain"));
+        }
+        let counters = obs.counters();
+        obs_events += counters.appended;
+        obs_dropped += counters.dropped;
+    }
+    let mut outcome = outcome;
+    outcome.int("obs_events", obs_events as i64, Gate::Exact);
+    outcome.int("obs_dropped", obs_dropped as i64, Gate::Exact);
     Ok(outcome)
 }
 

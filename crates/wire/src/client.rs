@@ -2,6 +2,7 @@
 //! [`ServeClient`](ofscil_serve::ServeClient).
 
 use crate::codec::{decode_response, encode_request, ReplEvent, WireRequest, WireResponse};
+use ofscil_obs::{ObsQuery, ObsResult};
 use crate::error::WireError;
 use crate::frame::{
     read_frame, read_frame_verbatim, ReadEvent, VerbatimEvent, DEFAULT_MAX_PAYLOAD,
@@ -169,6 +170,30 @@ impl WireClient {
             VerbatimEvent::Eof | VerbatimEvent::Shutdown => {
                 Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into()))
             }
+        }
+    }
+
+    /// Runs an observability range query against the peer's event store.
+    /// Sent to a single server this scans that server's timeline; sent to a
+    /// router it is scatter-gathered across every shard and the merged,
+    /// time-ordered result comes back — one call reconstructing a tenant's
+    /// trajectory even across a live migration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Remote`] when the peer has observability
+    /// disabled (a typed `InvalidRequest`) and a transport/codec error when
+    /// the connection broke.
+    pub fn obs_query(&mut self, query: &ObsQuery) -> Result<ObsResult, WireError> {
+        self.stream.write_all(&encode_request(&WireRequest::ObsQuery(query.clone())))?;
+        self.stream.flush()?;
+        match self.read_response(None)? {
+            Some(WireResponse::Obs(result)) => Ok(result),
+            Some(WireResponse::Error(error)) => Err(WireError::Remote(error)),
+            Some(other) => Err(WireError::Protocol(format!(
+                "server answered an obs query with {other:?}"
+            ))),
+            None => Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into())),
         }
     }
 

@@ -18,6 +18,7 @@
 //! 0x07   Request  Export       deployment          (migration source)
 //! 0x08   Request  Import       deployment, seq, snapshot (migration target)
 //! 0x09   Request  ReAnchor     deployment          (checkpoint-served Full)
+//! 0x0A   Request  ObsQuery     deployment, windows, kind mask, limit (scatter)
 //! 0x41   Response Prediction   class, similarity, batched_with
 //! 0x42   Response Learned      classes, total
 //! 0x43   Response Snapshot     opaque snapshot-codec bytes
@@ -26,6 +27,7 @@
 //! 0x46   Response Error        typed ServeError
 //! 0x47   Response Export       seq, snapshot bytes
 //! 0x48   Response Imported     restored class count
+//! 0x49   Response Obs          events, aggregates, completeness counters
 //! 0x61   Repl     Full         seq, snapshot bytes
 //! 0x62   Repl     Delta        seq, total classes, (class, prototype) pairs
 //! ```
@@ -37,6 +39,7 @@
 use crate::error::PayloadError;
 use crate::frame::frame_bytes;
 use ofscil_data::Batch;
+use ofscil_obs::{Event, EventKind, ObsAggregates, ObsQuery, ObsResult, Summary};
 use ofscil_serve::{DeploymentExport, DeploymentStats, ServeError, ServeRequest, ServeResponse};
 use ofscil_tensor::Tensor;
 
@@ -51,6 +54,7 @@ const KIND_REQ_SUBSCRIBE: u8 = 0x06;
 const KIND_REQ_EXPORT: u8 = 0x07;
 const KIND_REQ_IMPORT: u8 = 0x08;
 const KIND_REQ_REANCHOR: u8 = 0x09;
+const KIND_REQ_OBS_QUERY: u8 = 0x0A;
 const KIND_RESP_PREDICTION: u8 = 0x41;
 const KIND_RESP_LEARNED: u8 = 0x42;
 const KIND_RESP_SNAPSHOT: u8 = 0x43;
@@ -59,6 +63,7 @@ const KIND_RESP_BUDGET: u8 = 0x45;
 const KIND_RESP_ERROR: u8 = 0x46;
 const KIND_RESP_EXPORT: u8 = 0x47;
 const KIND_RESP_IMPORTED: u8 = 0x48;
+const KIND_RESP_OBS: u8 = 0x49;
 const KIND_REPL_FULL: u8 = 0x61;
 const KIND_REPL_DELTA: u8 = 0x62;
 
@@ -97,6 +102,13 @@ pub enum WireRequest {
         /// Deployment whose anchor to fetch.
         deployment: String,
     },
+    /// Scan the server's observability store: a range query over the event
+    /// timeline by deployment, time window, sequence window and kind mask.
+    /// Answered with [`WireResponse::Obs`]. The one request a router
+    /// **scatter-gathers** to every shard (see [`RequestPeek::scatter`])
+    /// instead of forwarding to a single owner — a migrated tenant's history
+    /// lives on both its old and new shard.
+    ObsQuery(ObsQuery),
 }
 
 /// A response as it travels over a wire connection.
@@ -115,6 +127,9 @@ pub enum WireResponse {
         /// Classes stored after the import.
         classes: u64,
     },
+    /// Answer to [`WireRequest::ObsQuery`]: matching events plus aggregates
+    /// and completeness counters, from one shard or merged across a cluster.
+    Obs(ObsResult),
 }
 
 /// One event on a deployment's snapshot-replication stream.
@@ -372,6 +387,16 @@ pub fn encode_request(request: &WireRequest) -> Vec<u8> {
             put_string(&mut payload, deployment);
             KIND_REQ_REANCHOR
         }
+        WireRequest::ObsQuery(query) => {
+            put_string(&mut payload, &query.deployment);
+            put_u64(&mut payload, query.time_min);
+            put_u64(&mut payload, query.time_max);
+            put_u64(&mut payload, query.seq_min);
+            put_u64(&mut payload, query.seq_max);
+            put_u32(&mut payload, u32::from(query.kinds));
+            put_u32(&mut payload, query.limit);
+            KIND_REQ_OBS_QUERY
+        }
     };
     frame_bytes(kind, &payload)
 }
@@ -389,6 +414,11 @@ pub struct RequestPeek {
     /// after an ambiguous failure — the shard may have applied the request
     /// even though the response never arrived.
     pub write: bool,
+    /// `true` for `ObsQuery`: the answer lives on *every* shard (a migrated
+    /// deployment's history spans its old and new home), so a router must
+    /// scatter the request to the whole cluster and merge the results rather
+    /// than forward to the ring owner.
+    pub scatter: bool,
 }
 
 /// Reads a request frame's routing key (the leading deployment string)
@@ -404,12 +434,13 @@ pub fn peek_request(kind: u8, payload: &[u8]) -> Result<RequestPeek, PayloadErro
     match kind {
         KIND_REQ_INFER | KIND_REQ_LEARN | KIND_REQ_SNAPSHOT | KIND_REQ_STATS
         | KIND_REQ_TOP_UP | KIND_REQ_SUBSCRIBE | KIND_REQ_EXPORT | KIND_REQ_IMPORT
-        | KIND_REQ_REANCHOR => {
+        | KIND_REQ_REANCHOR | KIND_REQ_OBS_QUERY => {
             let mut r = Reader::new(payload);
             Ok(RequestPeek {
                 deployment: r.string()?,
                 streaming: kind == KIND_REQ_SUBSCRIBE,
                 write: matches!(kind, KIND_REQ_LEARN | KIND_REQ_TOP_UP | KIND_REQ_IMPORT),
+                scatter: kind == KIND_REQ_OBS_QUERY,
             })
         }
         other => Err(PayloadError::UnknownKind(other)),
@@ -458,6 +489,26 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<WireRequest, PayloadEr
             snapshot: r.bytes_field("snapshot")?,
         }),
         KIND_REQ_REANCHOR => WireRequest::ReAnchor { deployment: r.string()? },
+        KIND_REQ_OBS_QUERY => {
+            let deployment = r.string()?;
+            let time_min = r.u64()?;
+            let time_max = r.u64()?;
+            let seq_min = r.u64()?;
+            let seq_max = r.u64()?;
+            let kinds = r.u32()?;
+            let kinds = u16::try_from(kinds)
+                .map_err(|_| PayloadError::ValueOverflow { field: "kinds", value: u64::from(kinds) })?;
+            let limit = r.u32()?;
+            WireRequest::ObsQuery(ObsQuery {
+                deployment,
+                time_min,
+                time_max,
+                seq_min,
+                seq_max,
+                kinds,
+                limit,
+            })
+        }
         other => return Err(PayloadError::UnknownKind(other)),
     };
     r.finish()?;
@@ -613,6 +664,49 @@ fn read_stats(r: &mut Reader<'_>) -> Result<DeploymentStats, PayloadError> {
     })
 }
 
+// Minimum encoded size of one obs event: deployment length prefix (4) +
+// kind (1) + seq/time/latency/wal (4×8) + energy (8) + accuracy (4).
+const OBS_EVENT_MIN_BYTES: usize = 49;
+
+fn put_obs_event(out: &mut Vec<u8>, event: &Event) {
+    put_string(out, &event.deployment);
+    out.push(event.kind.code());
+    put_u64(out, event.seq);
+    put_u64(out, event.time_us);
+    put_f64(out, event.energy_mj);
+    put_u64(out, event.latency_us);
+    put_f32(out, event.accuracy);
+    put_u64(out, event.wal_bytes);
+}
+
+fn read_obs_event(r: &mut Reader<'_>) -> Result<Event, PayloadError> {
+    let deployment = r.string()?;
+    let kind_code = r.u8()?;
+    let kind = EventKind::from_code(kind_code)
+        .ok_or(PayloadError::BadTag { field: "obs event kind", tag: kind_code })?;
+    Ok(Event {
+        deployment,
+        kind,
+        seq: r.u64()?,
+        time_us: r.u64()?,
+        energy_mj: r.f64()?,
+        latency_us: r.u64()?,
+        accuracy: r.f32()?,
+        wal_bytes: r.u64()?,
+    })
+}
+
+fn put_summary(out: &mut Vec<u8>, summary: &Summary) {
+    put_f64(out, summary.min);
+    put_f64(out, summary.max);
+    put_f64(out, summary.sum);
+    put_u64(out, summary.count);
+}
+
+fn read_summary(r: &mut Reader<'_>) -> Result<Summary, PayloadError> {
+    Ok(Summary { min: r.f64()?, max: r.f64()?, sum: r.f64()?, count: r.u64()? })
+}
+
 /// Encodes a response into one complete frame.
 pub fn encode_response(response: &WireResponse) -> Vec<u8> {
     let mut payload = Vec::new();
@@ -675,6 +769,22 @@ pub fn encode_response(response: &WireResponse) -> Vec<u8> {
         WireResponse::Imported { classes } => {
             put_u64(&mut payload, *classes);
             KIND_RESP_IMPORTED
+        }
+        WireResponse::Obs(result) => {
+            put_u32(&mut payload, result.events.len() as u32);
+            for event in &result.events {
+                put_obs_event(&mut payload, event);
+            }
+            put_u64(&mut payload, result.aggregates.matched);
+            put_summary(&mut payload, &result.aggregates.energy_mj);
+            put_summary(&mut payload, &result.aggregates.latency_us);
+            put_summary(&mut payload, &result.aggregates.accuracy);
+            payload.push(u8::from(result.truncated));
+            put_u64(&mut payload, result.appended);
+            put_u64(&mut payload, result.dropped);
+            put_u32(&mut payload, result.shards_ok);
+            put_u32(&mut payload, result.shards_err);
+            KIND_RESP_OBS
         }
     };
     frame_bytes(kind, &payload)
@@ -740,6 +850,33 @@ pub fn decode_response(kind: u8, payload: &[u8]) -> Result<WireResponse, Payload
             snapshot: r.bytes_field("snapshot")?,
         }),
         KIND_RESP_IMPORTED => WireResponse::Imported { classes: r.u64()? },
+        KIND_RESP_OBS => {
+            let count = r.checked_count("obs events", OBS_EVENT_MIN_BYTES)?;
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                events.push(read_obs_event(&mut r)?);
+            }
+            let aggregates = ObsAggregates {
+                matched: r.u64()?,
+                energy_mj: read_summary(&mut r)?,
+                latency_us: read_summary(&mut r)?,
+                accuracy: read_summary(&mut r)?,
+            };
+            let truncated = match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => return Err(PayloadError::BadTag { field: "truncated", tag }),
+            };
+            WireResponse::Obs(ObsResult {
+                events,
+                aggregates,
+                truncated,
+                appended: r.u64()?,
+                dropped: r.u64()?,
+                shards_ok: r.u32()?,
+                shards_err: r.u32()?,
+            })
+        }
         other => return Err(PayloadError::UnknownKind(other)),
     };
     r.finish()?;
@@ -793,17 +930,26 @@ mod tests {
             snapshot: vec![0xde, 0xad, 0xbe, 0xef],
         }));
         roundtrip_request(WireRequest::ReAnchor { deployment: "lagging".into() });
+        roundtrip_request(WireRequest::ObsQuery(
+            ObsQuery::deployment("tenant-a")
+                .with_time_range(1_000, 2_000)
+                .with_seq_range(5, 50)
+                .with_kinds(&[EventKind::Infer, EventKind::Migration])
+                .with_limit(128),
+        ));
+        roundtrip_request(WireRequest::ObsQuery(ObsQuery::all()));
     }
 
     #[test]
     fn peek_reads_the_routing_key_of_every_request_kind() {
-        // (request, streaming, write)
+        // (request, streaming, write, scatter)
         let requests = [
             (
                 WireRequest::Serve(ServeRequest::Infer {
                     deployment: "tenant-a".into(),
                     image: Tensor::zeros(&[1, 2, 2]),
                 }),
+                false,
                 false,
                 false,
             ),
@@ -814,14 +960,17 @@ mod tests {
                 }),
                 false,
                 true,
+                false,
             ),
             (
                 WireRequest::Serve(ServeRequest::Snapshot { deployment: "tenant-a".into() }),
                 false,
                 false,
+                false,
             ),
             (
                 WireRequest::Serve(ServeRequest::Stats { deployment: "tenant-a".into() }),
+                false,
                 false,
                 false,
             ),
@@ -832,9 +981,10 @@ mod tests {
                 }),
                 false,
                 true,
+                false,
             ),
-            (WireRequest::Subscribe { deployment: "tenant-a".into() }, true, false),
-            (WireRequest::Export { deployment: "tenant-a".into() }, false, false),
+            (WireRequest::Subscribe { deployment: "tenant-a".into() }, true, false, false),
+            (WireRequest::Export { deployment: "tenant-a".into() }, false, false, false),
             (
                 WireRequest::Import(DeploymentExport {
                     name: "tenant-a".into(),
@@ -843,16 +993,19 @@ mod tests {
                 }),
                 false,
                 true,
+                false,
             ),
-            (WireRequest::ReAnchor { deployment: "tenant-a".into() }, false, false),
+            (WireRequest::ReAnchor { deployment: "tenant-a".into() }, false, false, false),
+            (WireRequest::ObsQuery(ObsQuery::deployment("tenant-a")), false, false, true),
         ];
-        for (request, streaming, write) in requests {
+        for (request, streaming, write, scatter) in requests {
             let frame = encode_request(&request);
             let (kind, payload) = parse_frame(&frame, DEFAULT_MAX_PAYLOAD).unwrap();
             let peek = peek_request(kind, payload).unwrap();
             assert_eq!(peek.deployment, "tenant-a", "for {request:?}");
             assert_eq!(peek.streaming, streaming, "for {request:?}");
             assert_eq!(peek.write, write, "for {request:?}");
+            assert_eq!(peek.scatter, scatter, "for {request:?}");
         }
         // A response kind is not peekable, and a truncated deployment string
         // is a typed error.
@@ -898,6 +1051,36 @@ mod tests {
                 snapshot: vec![7; 12],
             }),
             WireResponse::Imported { classes: 4 },
+            WireResponse::Obs(ObsResult::default()),
+            WireResponse::Obs({
+                let mut result = ObsResult {
+                    truncated: true,
+                    appended: 12,
+                    dropped: 2,
+                    shards_ok: 3,
+                    shards_err: 1,
+                    ..ObsResult::default()
+                };
+                result.events = vec![
+                    Event::new(EventKind::Infer, "tenant-a")
+                        .with_seq(4)
+                        .with_time_us(1_000)
+                        .with_energy_mj(0.5)
+                        .with_latency_us(120)
+                        .with_accuracy(0.875),
+                    // NaN accuracy must cross bit-faithfully (Debug prints
+                    // NaN identically on both sides).
+                    Event::new(EventKind::Migration, "tenant-a")
+                        .with_seq(5)
+                        .with_time_us(2_000)
+                        .with_wal_bytes(4096),
+                ];
+                for i in 0..result.events.len() {
+                    let event = result.events[i].clone();
+                    result.aggregates.observe(&event);
+                }
+                result
+            }),
         ] {
             let back = roundtrip_response(&response);
             assert_eq!(format!("{back:?}"), format!("{response:?}"));

@@ -304,12 +304,47 @@ impl Follower {
     where
         F: FnOnce(&WireHandle) -> T,
     {
+        Follower::promote_observed(registry, store, config, None, body)
+    }
+
+    /// Like [`Follower::promote`], but with an observability handle: right
+    /// after the store bootstrap, one `Promotion` event is emitted per
+    /// registered deployment (carrying the replication sequence number the
+    /// new primary adopts), and the promoted server runs with the handle
+    /// attached — its timeline picks up exactly where the dead primary's
+    /// left off, which is what lets a routed `ObsQuery` stitch a tenant's
+    /// trajectory across the failover.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Protocol`] when the store bootstrap fails,
+    /// [`WireError::Io`] when binding fails and [`WireError::Runtime`] when
+    /// the serve configuration is invalid.
+    pub fn promote_observed<T, F>(
+        registry: &LearnerRegistry,
+        store: &ofscil_store::Store,
+        config: &WireConfig,
+        obs: Option<&ofscil_obs::Obs>,
+        body: F,
+    ) -> Result<T, WireError>
+    where
+        F: FnOnce(&WireHandle) -> T,
+    {
         store.bootstrap(registry).map_err(|e| {
             WireError::Protocol(format!("promotion bootstrap failed: {e}"))
         })?;
+        if let Some(obs) = obs {
+            for name in registry.names() {
+                let seq = registry.replication_seq(&name).unwrap_or(0);
+                obs.sink().emit(
+                    ofscil_obs::Event::new(ofscil_obs::EventKind::Promotion, &name)
+                        .with_seq(seq),
+                );
+            }
+        }
         let mut wire = config.clone();
         wire.serve.read_only = false;
-        WireServer::run_with_store(registry, &wire, Some(store), body)
+        WireServer::run_observed(registry, &wire, Some(store), obs, body)
     }
 }
 

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"OFWR"
-//! 4       2     wire format version, little-endian u16 (currently 4)
+//! 4       2     wire format version, little-endian u16 (currently 5)
 //! 6       1     message kind (see `codec`)
 //! 7       1     reserved (zero)
 //! 8       4     payload length, little-endian u32
@@ -33,8 +33,11 @@ pub const WIRE_MAGIC: [u8; 4] = *b"OFWR";
 /// per-request-type `rejected_infer` / `rejected_learn` counters — so a
 /// mismatched peer fails fast with a clean
 /// [`FrameError::UnsupportedVersion`] instead of a confusing `BadTag` deep
-/// inside a payload.
-pub const WIRE_VERSION: u16 = 4;
+/// inside a payload; v5 added the observability query (`ObsQuery` kind
+/// `0x0A`, answered with an `ObsResult` response `0x49`) — the first
+/// scatter-gather request a router fans out to every shard instead of
+/// forwarding to one.
+pub const WIRE_VERSION: u16 = 5;
 
 /// Fixed frame header length in bytes.
 pub const HEADER_LEN: usize = 12;

@@ -21,6 +21,7 @@ use crate::codec::{decode_request, encode_response, ReplEvent, WireRequest, Wire
 use crate::error::WireError;
 use crate::frame::{read_frame, ReadEvent, DEFAULT_MAX_PAYLOAD};
 use crate::net::{BoundAddr, WireBind, WireListener, WireStream};
+use ofscil_obs::{Event, EventKind, Obs};
 use ofscil_serve::{LearnCommit, LearnerRegistry, ServeClient, ServeConfig, ServeError, ServeRuntime};
 use ofscil_store::Store;
 use std::collections::HashMap;
@@ -227,6 +228,36 @@ impl WireServer {
     where
         F: FnOnce(&WireHandle) -> T,
     {
+        WireServer::run_observed(registry, config, store, None, body)
+    }
+
+    /// Like [`WireServer::run_with_store`], but with an observability handle
+    /// attached:
+    ///
+    /// * the serving runtime emits `Infer`/`Learn`/`Reject`/`TopUp` events
+    ///   into the handle's non-blocking [`EventSink`](ofscil_obs::EventSink)
+    ///   (the hot path never waits on the collector; overflow is counted,
+    ///   not blocked on),
+    /// * the store maintenance thread emits a `Checkpoint` event whenever a
+    ///   deployment's latest-checkpoint sequence number advances,
+    /// * the `ObsQuery` wire request is answered from the handle's columnar
+    ///   store. Without a handle that request gets a typed
+    ///   [`InvalidRequest`](ofscil_serve::ServeError::InvalidRequest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] when binding fails and
+    /// [`WireError::Runtime`] when the serve configuration is invalid.
+    pub fn run_observed<T, F>(
+        registry: &LearnerRegistry,
+        config: &WireConfig,
+        store: Option<&Store>,
+        obs: Option<&Obs>,
+        body: F,
+    ) -> Result<T, WireError>
+    where
+        F: FnOnce(&WireHandle) -> T,
+    {
         let (listener, addr) = WireListener::bind(&config.bind)?;
         listener.set_nonblocking(true)?;
         let (sink, commits) = mpsc::channel::<LearnCommit>();
@@ -234,7 +265,8 @@ impl WireServer {
         let hub = ReplHub::new();
 
         let journal = store.map(|s| s as &dyn ofscil_serve::CommitJournal);
-        let value = ServeRuntime::run_journaled(registry, &config.serve, Some(sink), journal, |client| {
+        let serve_obs = obs.map(|o| o.sink());
+        let value = ServeRuntime::run_observed(registry, &config.serve, Some(sink), journal, serve_obs, |client| {
             std::thread::scope(|scope| {
                 let hub = &hub;
                 let shutdown = &shutdown;
@@ -244,12 +276,13 @@ impl WireServer {
                 };
                 scope.spawn(move || hub_loop(hub, commits, shutdown));
                 if let Some(store) = store {
-                    scope.spawn(move || maintenance_loop(store, shutdown));
+                    scope.spawn(move || maintenance_loop(store, registry, obs, shutdown));
                 }
                 let accept_client = client.clone();
                 scope.spawn(move || {
                     accept_loop(
-                        scope, &listener, accept_client, registry, hub, store, shutdown, options,
+                        scope, &listener, accept_client, registry, hub, store, obs, shutdown,
+                        options,
                     );
                 });
 
@@ -286,14 +319,58 @@ struct ConnOptions {
 /// (and the store skips logs with no appends since the last attempt).
 /// Maintenance failures are tolerated: compaction is an optimization, and
 /// the next sweep retries.
-fn maintenance_loop(store: &Store, shutdown: &AtomicBool) {
+///
+/// With an observability handle attached, each sweep also compares every
+/// deployment's latest-checkpoint sequence number against the last sweep and
+/// emits a `Checkpoint` event when it advanced. The first sweep seeds the
+/// baseline silently, so checkpoints that predate the server do not appear
+/// as fresh timeline events.
+fn maintenance_loop(
+    store: &Store,
+    registry: &LearnerRegistry,
+    obs: Option<&Obs>,
+    shutdown: &AtomicBool,
+) {
     let mut tick: u32 = 0;
+    let mut checkpoint_seqs: HashMap<String, u64> = HashMap::new();
+    let mut seeded = false;
     while !shutdown.load(Ordering::Acquire) {
         if tick % 16 == 0 {
             let _ = store.maintenance();
+            if let Some(obs) = obs {
+                observe_checkpoints(store, registry, obs, &mut checkpoint_seqs, seeded);
+                seeded = true;
+            }
         }
         tick = tick.wrapping_add(1);
         std::thread::sleep(POLL);
+    }
+}
+
+/// One checkpoint-watch sweep: emits a `Checkpoint` event for every
+/// deployment whose latest-checkpoint sequence number moved past the
+/// recorded baseline (carrying the new sequence number and the current WAL
+/// size), then advances the baseline. With `emit` false the sweep only
+/// records baselines.
+fn observe_checkpoints(
+    store: &Store,
+    registry: &LearnerRegistry,
+    obs: &Obs,
+    checkpoint_seqs: &mut HashMap<String, u64>,
+    emit: bool,
+) {
+    use ofscil_serve::CommitJournal;
+    for name in registry.names() {
+        let Some(stats) = store.durability_stats(&name) else { continue };
+        let seen = checkpoint_seqs.entry(name.clone()).or_insert(0);
+        if emit && stats.last_checkpoint_seq > *seen {
+            obs.sink().emit(
+                Event::new(EventKind::Checkpoint, &name)
+                    .with_seq(stats.last_checkpoint_seq)
+                    .with_wal_bytes(stats.wal_bytes),
+            );
+        }
+        *seen = stats.last_checkpoint_seq;
     }
 }
 
@@ -306,6 +383,7 @@ fn accept_loop<'scope, 'env>(
     registry: &'env LearnerRegistry,
     hub: &'scope ReplHub,
     store: Option<&'scope Store>,
+    obs: Option<&'scope Obs>,
     shutdown: &'scope AtomicBool,
     options: ConnOptions,
 ) {
@@ -317,7 +395,9 @@ fn accept_loop<'scope, 'env>(
                 }
                 let client = client.clone();
                 scope.spawn(move || {
-                    serve_connection(stream, &client, registry, hub, store, shutdown, options);
+                    serve_connection(
+                        stream, &client, registry, hub, store, obs, shutdown, options,
+                    );
                 });
             }
             Err(e)
@@ -338,12 +418,14 @@ fn accept_loop<'scope, 'env>(
 
 /// Serves one connection: a request/response loop that hands off to
 /// replication streaming on `Subscribe`.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     mut stream: WireStream,
     client: &ServeClient,
     registry: &LearnerRegistry,
     hub: &ReplHub,
     store: Option<&Store>,
+    obs: Option<&Obs>,
     shutdown: &AtomicBool,
     options: ConnOptions,
 ) {
@@ -406,6 +488,14 @@ fn serve_connection(
                     }
                 }
             }
+            // Answered from the local columnar event store; a router fans
+            // this request out to every shard instead (see `ofscil_router`).
+            Ok(WireRequest::ObsQuery(query)) => match obs {
+                Some(obs) => WireResponse::Obs(obs.query(&query)),
+                None => WireResponse::Error(ServeError::InvalidRequest(
+                    "observability is not enabled on this server".into(),
+                )),
+            },
             // A one-shot anchor: the cheap checkpoint-served snapshot when a
             // store is attached, a live snapshot otherwise.
             Ok(WireRequest::ReAnchor { deployment }) => match anchor_for(

@@ -1,0 +1,185 @@
+//! Cluster timeline walkthrough: a sharded serving run with a mid-burst
+//! live migration, reconstructed afterwards from **one** routed
+//! observability query.
+//!
+//! Every shard records its serving events (`Infer`, `Learn`, `Reject`,
+//! `TopUp`) into its own columnar event store through a non-blocking sink —
+//! the hot path never waits on observability. The router records the
+//! cluster events (`Migration`, breaker transitions) into its own store.
+//! A single `ObsQuery` sent to the router is scatter-gathered across every
+//! shard, merged with the router's timeline, and comes back time-ordered:
+//! the tenant's accuracy/energy/latency trajectory is whole again even
+//! though a live migration split its history across two processes.
+//!
+//! ```text
+//! cargo run --release -p ofscil --example timeline
+//! ```
+
+use ofscil::prelude::*;
+use ofscil::router::harness::ShardProcess;
+use ofscil::serve::traffic;
+use std::error::Error;
+use std::sync::Arc;
+
+const IMAGE: usize = 8;
+const TENANT: &str = "wildlife-cam";
+const OTHER: &str = "doorbell";
+const BURSTS: usize = 4;
+const INFERS_PER_BURST: usize = 3;
+
+/// Every shard loads the same pretrained weights per tenant; what migrates
+/// is the explicit memory.
+fn shard_registry(seed: u64) -> Result<Arc<LearnerRegistry>, ServeError> {
+    let registry = LearnerRegistry::new();
+    for (i, tenant) in [TENANT, OTHER].iter().enumerate() {
+        let mut rng = SeedRng::new(seed + i as u64);
+        registry.register(
+            DeploymentSpec::new(tenant, (IMAGE, IMAGE)),
+            OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+        )?;
+    }
+    Ok(Arc::new(registry))
+}
+
+/// One burst of traffic for the tenant: learn two fresh classes, then infer.
+fn burst(client: &mut WireClient, step: usize) -> Result<(), Box<dyn Error>> {
+    client.call(ServeRequest::LearnOnline {
+        deployment: TENANT.into(),
+        batch: traffic::support_batch(IMAGE, &[2 * step, 2 * step + 1], 3),
+    })?;
+    for _ in 0..INFERS_PER_BURST {
+        client.call(ServeRequest::Infer {
+            deployment: TENANT.into(),
+            image: traffic::class_image(IMAGE, 2 * step, 0.01),
+        })?;
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Two observed backend "processes": each shard's WireServer feeds its
+    // own event store. The caller keeps clones of the handles — clones
+    // share the store, so the example could also query each shard directly.
+    let shard_obs: Vec<Obs> = (0..2).map(|_| Obs::new(ObsConfig::default())).collect();
+    let shards: Vec<ShardProcess> = shard_obs
+        .iter()
+        .enumerate()
+        .map(|(i, obs)| {
+            ShardProcess::spawn_observed(
+                shard_registry(100 + i as u64)?,
+                WireConfig::tcp_loopback(),
+                Some(obs.clone()),
+            )
+            .map_err(Into::into)
+        })
+        .collect::<Result<_, Box<dyn Error>>>()?;
+    let addrs: Vec<BoundAddr> = shards.iter().map(|s| s.addr().clone()).collect();
+
+    // The router gets its own store for cluster events and a scatter-gather
+    // answer path for ObsQuery frames.
+    let router_obs = Obs::new(ObsConfig::default());
+    let config = RouterConfig::tcp_loopback(addrs)
+        .with_deployments(&[TENANT, OTHER])
+        .with_obs(router_obs.clone());
+    RouterServer::run(&config, move |router| -> Result<(), Box<dyn Error>> {
+        println!("router serving on {}", router.addr());
+        let mut client = WireClient::connect(router.addr())?;
+
+        // First half of the run on the tenant's home shard...
+        for step in 0..BURSTS / 2 {
+            burst(&mut client, step)?;
+        }
+
+        // ...then a live migration mid-run: explicit memory moves shards,
+        // routing remaps atomically, and the router stamps a Migration
+        // event into its own timeline.
+        let home = router.shard_for(TENANT)?;
+        let target = (home + 1) % 2;
+        let report = router.migrate(TENANT, target)?;
+        println!(
+            "migrated {TENANT:?} shard {} -> {} ({} classes at seq {})",
+            report.from, report.to, report.classes, report.seq
+        );
+
+        // Second half of the run lands on the new shard.
+        for step in BURSTS / 2..BURSTS {
+            burst(&mut client, step)?;
+        }
+
+        // ONE routed query reconstructs the whole trajectory. The router
+        // fans it out to every shard, merges the slices with its own
+        // cluster events, and returns a single time-ordered timeline.
+        let result = client.obs_query(&ObsQuery::deployment(TENANT))?;
+        assert_eq!(result.shards_err, 0, "every shard answered");
+        assert_eq!(result.dropped, 0, "nothing was shed in the non-adversarial path");
+        assert!(
+            result.events.windows(2).all(|w| w[0].order_key() <= w[1].order_key()),
+            "merged timeline must be time-ordered"
+        );
+
+        println!("\n{TENANT} timeline ({} shards answered):", result.shards_ok);
+        let start = result.events.first().map(|e| e.time_us).unwrap_or(0);
+        for event in &result.events {
+            let mut line = format!(
+                "  +{:>7} us  {:<12}", event.time_us.saturating_sub(start),
+                format!("{:?}", event.kind),
+            );
+            if event.seq != 0 {
+                line.push_str(&format!("  seq {:<4}", event.seq));
+            }
+            if event.energy_mj > 0.0 {
+                line.push_str(&format!("  {:.4} mJ", event.energy_mj));
+            }
+            if event.latency_us > 0 {
+                line.push_str(&format!("  {} us", event.latency_us));
+            }
+            if event.accuracy.is_finite() {
+                line.push_str(&format!("  sim {:.3}", event.accuracy));
+            }
+            println!("{line}");
+        }
+
+        let learns = result.events.iter().filter(|e| e.kind == EventKind::Learn).count();
+        let infers = result.events.iter().filter(|e| e.kind == EventKind::Infer).count();
+        let migrations =
+            result.events.iter().filter(|e| e.kind == EventKind::Migration).count();
+        assert_eq!(learns, BURSTS, "one learn per burst");
+        assert_eq!(infers, BURSTS * INFERS_PER_BURST, "every inference recorded");
+        assert_eq!(migrations, 1, "the migration marker survived the merge");
+
+        let agg = &result.aggregates;
+        println!("\naggregates over {} matched events:", agg.matched);
+        println!(
+            "  energy : {:.4} mJ total ({:.4}..{:.4} per event)",
+            agg.energy_mj.sum, agg.energy_mj.min, agg.energy_mj.max
+        );
+        println!(
+            "  latency: {:.0}..{:.0} us (mean {:.1})",
+            agg.latency_us.min,
+            agg.latency_us.max,
+            agg.latency_us.mean()
+        );
+        println!(
+            "  accuracy (similarity): mean {:.3} over {} inferences",
+            agg.accuracy.mean(),
+            agg.accuracy.count
+        );
+
+        // A kind-masked pure-aggregate query (limit 0) answers "what did
+        // inference cost this tenant" without materializing any rows.
+        let infer_only = client.obs_query(
+            &ObsQuery::deployment(TENANT).with_kinds(&[EventKind::Infer]).with_limit(0),
+        )?;
+        assert!(infer_only.events.is_empty() && infer_only.truncated);
+        println!(
+            "\ninference-only aggregate query: {} rows, {:.4} mJ total, 0 events shipped",
+            infer_only.aggregates.matched, infer_only.aggregates.energy_mj.sum
+        );
+
+        println!("\nobs dropped events: {}", result.dropped);
+        Ok(())
+    })??;
+
+    println!("done: timeline stitched across a live migration");
+    Ok(())
+}
