@@ -206,8 +206,35 @@ fn run_mixed(
     .expect("runtime")
 }
 
+/// One journaled mixed burst under a given WAL [`SyncPolicy`]: fresh
+/// registry, fresh store, warmup, timed run, bit-exact replay assertion.
+/// Returns elapsed seconds.
+fn run_durable_with_policy(seed: u64, requests: &[Tensor], sync: SyncPolicy, tag: &str) -> f64 {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("ofscil-durable-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = registry_with_tenant(seed);
+    let store = Store::open_with(&dir, StoreConfig::default().with_sync_policy(sync))
+        .expect("store open");
+    store.bootstrap(&registry).expect("store bootstrap");
+    run_mixed(&registry, &requests[..requests.len().min(32)], Some(&store));
+    let elapsed = run_mixed(&registry, requests, Some(&store));
+    // Group commit trades sync frequency, never correctness: every policy
+    // must still replay to exactly the live state.
+    let state = store.latest_state("tenant").expect("replay");
+    assert_eq!(
+        state.snapshot,
+        registry.snapshot("tenant").expect("snapshot"),
+        "recovered state diverged from the live registry under {sync:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    elapsed
+}
+
 /// The durable-serving benchmark: the same mixed burst, in-memory vs
-/// journaled to a WAL + checkpoint store, with recovery asserted bit-exact.
+/// journaled to a WAL + checkpoint store, with recovery asserted bit-exact —
+/// then the WAL group-commit sweep (`SyncPolicy` flush / per-record /
+/// every-8 / 5 ms interval) over the identical burst.
 fn run_durable(seed: u64, requests_total: usize) {
     let learns = requests_total.div_ceil(LEARN_EVERY);
     println!(
@@ -253,21 +280,46 @@ fn run_durable(seed: u64, requests_total: usize) {
     let overhead = durable_s / plain_s;
     let wal = store.durability_stats("tenant").expect("attached tenant");
 
+    // The group-commit sweep: how much durability *strength* costs. Flush
+    // (OS page cache only) is the baseline the run above used; per-record
+    // fsync is the upper bound; every-N and interval group commit are the
+    // middle ground `SyncPolicy` exists for.
+    let sweep = [
+        (SyncPolicy::PerRecord, "fsync/record", "per_record"),
+        (SyncPolicy::EveryN(8), "fsync/8", "every8"),
+        (SyncPolicy::Interval(std::time::Duration::from_millis(5)), "fsync/5ms", "interval5ms"),
+    ];
+    let sweep_rps: Vec<(&str, &str, f64)> = sweep
+        .iter()
+        .map(|&(sync, label, key)| {
+            let elapsed = run_durable_with_policy(seed, &requests, sync, key);
+            (label, key, total as f64 / elapsed)
+        })
+        .collect();
+
     println!("{:<26} {:>12} {:>14}", "mode", "time [ms]", "throughput [req/s]");
     println!("{:<26} {:>12.1} {:>14.0}", "in-memory (mixed)", 1e3 * plain_s, plain_rps);
-    println!("{:<26} {:>12.1} {:>14.0}", "journaled (mixed)", 1e3 * durable_s, durable_rps);
+    println!("{:<26} {:>12.1} {:>14.0}", "journaled (flush)", 1e3 * durable_s, durable_rps);
+    for &(label, _, rps) in &sweep_rps {
+        println!("{:<26} {:>12.1} {:>14.0}", format!("journaled ({label})"), 1e3 * total as f64 / rps, rps);
+    }
     rule(78);
     println!(
         "durable burst took {overhead:.2}x the in-memory time; wal_records {}, \
-         wal_bytes {}, last_checkpoint_seq {}; recovery bit-exact",
+         wal_bytes {}, last_checkpoint_seq {}; recovery bit-exact under every sync policy",
         wal.wal_records, wal.wal_bytes, wal.last_checkpoint_seq
     );
+    let sweep_json: Vec<String> = sweep_rps
+        .iter()
+        .map(|&(_, key, rps)| format!("\"sync_{key}_rps\":{rps:.1}"))
+        .collect();
     println!(
         "{{\"bench\":\"serve_throughput\",\"mode\":\"durable\",\"seed\":{seed},\
          \"requests\":{requests_total},\"learns\":{learns},\"max_batch\":{MAX_BATCH},\
          \"plain_rps\":{plain_rps:.1},\"durable_rps\":{durable_rps:.1},\
-         \"durable_overhead\":{overhead:.3},\"wal_bytes\":{}}}",
-        wal.wal_bytes
+         \"durable_overhead\":{overhead:.3},\"wal_bytes\":{},{}}}",
+        wal.wal_bytes,
+        sweep_json.join(",")
     );
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,127 @@
+//! The control loop: observe → plan → execute, one tick at a time.
+//!
+//! [`Controller::tick`] is synchronous and deterministic in its decision
+//! making (the planner sees only the captured snapshot); calling it on a
+//! timer from the process that owns the
+//! [`RouterHandle`](ofscil_router::RouterHandle) is the whole deployment
+//! story. Every action the executor carries out is stamped back into the
+//! router's observability store, so the recovery timeline — breaker-open,
+//! promotion, migrations — reconstructs from one routed
+//! [`ObsQuery`](ofscil_obs::ObsQuery).
+
+use crate::action::{ControlAction, CtrlError};
+use crate::config::CtrlConfig;
+use crate::executor::{ClusterOps, Executor, RecoveryDriver};
+use crate::health::ClusterSnapshot;
+use crate::planner::Planner;
+use ofscil_obs::{Event, EventKind};
+use ofscil_router::RouterHandle;
+use ofscil_wire::BoundAddr;
+
+impl ClusterOps for RouterHandle<'_> {
+    fn migrate(&self, deployment: &str, target: usize) -> Result<(), String> {
+        RouterHandle::migrate(self, deployment, target)
+            .map(|_| ())
+            .map_err(|error| error.to_string())
+    }
+
+    fn replace_shard(&self, shard: usize, addr: BoundAddr) -> Result<(), String> {
+        RouterHandle::replace_shard(self, shard, addr).map_err(|error| error.to_string())
+    }
+}
+
+/// What one [`Controller::tick`] did.
+#[derive(Debug)]
+pub struct TickReport {
+    /// The tick number (monotonic from 1).
+    pub tick: u64,
+    /// The cluster state the decisions were made from.
+    pub snapshot: ClusterSnapshot,
+    /// Everything the planner asked for this tick.
+    pub planned: Vec<ControlAction>,
+    /// The subset that executed successfully.
+    pub executed: Vec<ControlAction>,
+    /// Typed failures for the rest (retries already exhausted).
+    pub failures: Vec<CtrlError>,
+}
+
+impl TickReport {
+    /// `true` when every shard answered and nothing needed doing — the
+    /// steady state a recovery loop waits for.
+    pub fn quiescent(&self) -> bool {
+        self.planned.is_empty()
+            && self.snapshot.shards.iter().all(|s| s.reachable && s.breaker_dwell.is_none())
+    }
+}
+
+/// The self-driving loop: watches the cluster through a
+/// [`RouterHandle`], plans with a [`Planner`], executes with an
+/// [`Executor`] against a caller-supplied [`RecoveryDriver`].
+pub struct Controller<'a, D: RecoveryDriver> {
+    router: &'a RouterHandle<'a>,
+    driver: D,
+    planner: Planner,
+    executor: Executor,
+    config: CtrlConfig,
+    tick: u64,
+}
+
+impl<'a, D: RecoveryDriver> Controller<'a, D> {
+    /// A controller at tick zero. The driver supplies the process-side
+    /// recovery operations (e.g. a
+    /// [`StandbyFleet`](crate::harness::StandbyFleet)).
+    pub fn new(router: &'a RouterHandle<'a>, driver: D, config: CtrlConfig) -> Self {
+        Controller {
+            router,
+            driver,
+            planner: Planner::new(config.clone()),
+            executor: Executor::new(&config),
+            config,
+            tick: 0,
+        }
+    }
+
+    /// The recovery driver, for inspecting what it holds after a run.
+    pub fn driver(&self) -> &D {
+        &self.driver
+    }
+
+    /// Runs one control tick: capture a [`ClusterSnapshot`], plan, execute
+    /// each action (with retries), and stamp the successful ones into the
+    /// observability timeline.
+    pub fn tick(&mut self) -> TickReport {
+        self.tick += 1;
+        let snapshot = ClusterSnapshot::capture(self.router, &self.config, self.tick);
+        let planned = self.planner.plan(&snapshot);
+        let mut executed = Vec::new();
+        let mut failures = Vec::new();
+        for action in &planned {
+            match self.executor.execute(action, self.router, &mut self.driver) {
+                Ok(()) => {
+                    self.stamp(action);
+                    executed.push(action.clone());
+                }
+                Err(error) => failures.push(error),
+            }
+        }
+        TickReport { tick: self.tick, snapshot, planned, executed, failures }
+    }
+
+    /// Stamps an executed action into the router's obs store. Migrations
+    /// already emit their own `Migration` event inside the router's
+    /// `migrate`; the recovery actions add a shard-level `Promotion` row
+    /// (deployment `shard:N`, seq = tick) next to the per-deployment
+    /// `Promotion` rows the promoted server emits itself.
+    fn stamp(&self, action: &ControlAction) {
+        match action {
+            ControlAction::RebalanceHot { .. } => {}
+            ControlAction::PromoteFollower { shard, .. }
+            | ControlAction::RestartFromStore { shard } => {
+                self.router.observe(
+                    Event::new(EventKind::Promotion, &format!("shard:{shard}"))
+                        .with_seq(self.tick),
+                );
+            }
+        }
+    }
+}

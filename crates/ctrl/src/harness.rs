@@ -1,0 +1,321 @@
+//! Process harness for the recovery side: follower replicas and the
+//! store-backed primaries they turn into, each on its own thread with a
+//! stop switch — the same shape as the router crate's `ShardProcess`, so a
+//! single binary can stand a whole self-healing cluster up and kill
+//! members mid-run.
+
+use crate::executor::RecoveryDriver;
+use ofscil_obs::Obs;
+use ofscil_serve::LearnerRegistry;
+use ofscil_store::Store;
+use ofscil_wire::{
+    BoundAddr, Follower, FollowerConfig, WireConfig, WireError, WireServer,
+};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Joins a harness thread's bind failure out of it.
+fn bind_error(join: JoinHandle<Result<(), WireError>>, what: &str) -> WireError {
+    match join.join() {
+        Ok(Err(error)) => error,
+        Ok(Ok(())) => {
+            WireError::Protocol(format!("{what} exited before reporting its address"))
+        }
+        Err(_) => WireError::Protocol(format!("{what} thread panicked")),
+    }
+}
+
+/// A follower replica on its own thread: tails a primary, serves read-only
+/// traffic, and (when configured with
+/// [`FollowerConfig::with_advertise`]) announces itself to the router as a
+/// promotion candidate.
+#[derive(Debug)]
+pub struct FollowerProcess {
+    registry: Arc<LearnerRegistry>,
+    addr: BoundAddr,
+    stop: Option<mpsc::Sender<()>>,
+    join: Option<JoinHandle<Result<(), WireError>>>,
+}
+
+impl FollowerProcess {
+    /// Boots the replica: binds its read-only server, starts the tails, and
+    /// keeps serving until [`FollowerProcess::promote`], `stop`, or drop.
+    /// The registry is shared — the caller keeps an `Arc` clone to inspect
+    /// replicated state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's bind error when the replica never came up.
+    pub fn spawn(
+        registry: Arc<LearnerRegistry>,
+        config: FollowerConfig,
+    ) -> Result<Self, WireError> {
+        let (addr_tx, addr_rx) = mpsc::channel();
+        let (stop_tx, stop_rx) = mpsc::channel::<()>();
+        let thread_registry = Arc::clone(&registry);
+        let join = std::thread::spawn(move || {
+            Follower::run(&thread_registry, &config, |handle| {
+                let _ = addr_tx.send(handle.addr().clone());
+                let _ = stop_rx.recv();
+            })
+        });
+        match addr_rx.recv() {
+            Ok(addr) => {
+                Ok(FollowerProcess { registry, addr, stop: Some(stop_tx), join: Some(join) })
+            }
+            Err(_) => Err(bind_error(join, "follower server")),
+        }
+    }
+
+    /// The replica's own bound address — what it advertised to the router.
+    pub fn addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+
+    /// Stops the replica's tails and server.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    /// Promotes the replica: stops the tail (the primary it followed is
+    /// presumed dead), then boots a **writable** store-backed primary over
+    /// the replicated registry via
+    /// [`Follower::promote_observed`] — bootstrapping `store_dir` so the
+    /// new primary adopts the replica's sequence numbers and emits one
+    /// `Promotion` event per deployment into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the promoted server's bind or bootstrap error.
+    pub fn promote(
+        mut self,
+        store_dir: &Path,
+        obs: Option<Obs>,
+    ) -> Result<PrimaryProcess, WireError> {
+        self.shutdown();
+        let registry = Arc::clone(&self.registry);
+        PrimaryProcess::spawn(registry, store_dir.to_path_buf(), obs, true)
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(stop) = self.stop.take() {
+            let _ = stop.send(());
+            drop(stop);
+        }
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for FollowerProcess {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A writable, store-backed primary on its own thread — what a promotion
+/// or a store restart produces. Serves on an ephemeral loopback TCP port
+/// until stopped or dropped.
+#[derive(Debug)]
+pub struct PrimaryProcess {
+    addr: BoundAddr,
+    stop: Option<mpsc::Sender<()>>,
+    join: Option<JoinHandle<Result<(), WireError>>>,
+}
+
+impl PrimaryProcess {
+    /// Restarts a shard from its durable store: recovers `store_dir` into
+    /// `registry` (which must have the shard's deployments registered) and
+    /// serves it writable and journaled.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's bind error or the store's recovery error.
+    pub fn restart(
+        registry: Arc<LearnerRegistry>,
+        store_dir: &Path,
+        obs: Option<Obs>,
+    ) -> Result<Self, WireError> {
+        PrimaryProcess::spawn(registry, store_dir.to_path_buf(), obs, false)
+    }
+
+    /// Common spawn path; `promoting` picks between
+    /// [`Follower::promote_observed`] (emits per-deployment `Promotion`
+    /// events) and a plain bootstrap + observed serve (restart).
+    fn spawn(
+        registry: Arc<LearnerRegistry>,
+        store_dir: PathBuf,
+        obs: Option<Obs>,
+        promoting: bool,
+    ) -> Result<Self, WireError> {
+        let (addr_tx, addr_rx) = mpsc::channel();
+        let (stop_tx, stop_rx) = mpsc::channel::<()>();
+        let join = std::thread::spawn(move || {
+            let store = Store::open(&store_dir).map_err(|error| {
+                WireError::Protocol(format!("store open failed: {error}"))
+            })?;
+            let wire = WireConfig::tcp_loopback();
+            let body = |addr: &BoundAddr| {
+                let _ = addr_tx.send(addr.clone());
+                let _ = stop_rx.recv();
+            };
+            if promoting {
+                Follower::promote_observed(&registry, &store, &wire, obs.as_ref(), |handle| {
+                    body(handle.addr())
+                })
+            } else {
+                store.bootstrap(&registry).map_err(|error| {
+                    WireError::Protocol(format!("restart bootstrap failed: {error}"))
+                })?;
+                WireServer::run_observed(&registry, &wire, Some(&store), obs.as_ref(), |handle| {
+                    body(handle.addr())
+                })
+            }
+        });
+        match addr_rx.recv() {
+            Ok(addr) => Ok(PrimaryProcess { addr, stop: Some(stop_tx), join: Some(join) }),
+            Err(_) => Err(bind_error(join, "promoted primary")),
+        }
+    }
+
+    /// The primary's bound address — what the ring slot gets re-pointed at.
+    pub fn addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+
+    /// Shuts the primary down and waits for it to drain.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(stop) = self.stop.take() {
+            let _ = stop.send(());
+            drop(stop);
+        }
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for PrimaryProcess {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-shard standby resources.
+#[derive(Debug, Default)]
+struct Standby {
+    follower: Option<FollowerProcess>,
+    store_dir: Option<PathBuf>,
+    /// Standby registry for the restart path (same deployments registered
+    /// as the dead shard, state recovered from the store).
+    registry: Option<Arc<LearnerRegistry>>,
+}
+
+/// The environment half of the control plane: owns each shard's standby
+/// resources (an advertised follower replica, a durable store directory, a
+/// standby registry) and turns [`Planner`](crate::Planner) decisions into
+/// processes. Implements [`RecoveryDriver`], idempotently — a shard
+/// promoted or restarted once hands the same address back on retries.
+#[derive(Debug, Default)]
+pub struct StandbyFleet {
+    shards: HashMap<usize, Standby>,
+    obs: Option<Obs>,
+    /// The primaries brought up so far; kept alive here (dropping the fleet
+    /// stops them).
+    primaries: Vec<PrimaryProcess>,
+    /// Idempotency map: shard → the address its recovery already produced.
+    recovered: HashMap<usize, BoundAddr>,
+}
+
+impl StandbyFleet {
+    /// An empty fleet whose spawned primaries record into `obs`.
+    pub fn new(obs: Option<Obs>) -> StandbyFleet {
+        StandbyFleet { obs, ..StandbyFleet::default() }
+    }
+
+    /// Registers `shard`'s follower replica (the promotion candidate).
+    pub fn add_follower(&mut self, shard: usize, follower: FollowerProcess) {
+        self.shards.entry(shard).or_default().follower = Some(follower);
+    }
+
+    /// Registers `shard`'s durable store directory — used to bootstrap a
+    /// promotion and to recover a restart.
+    pub fn add_store(&mut self, shard: usize, dir: impl Into<PathBuf>) {
+        self.shards.entry(shard).or_default().store_dir = Some(dir.into());
+    }
+
+    /// Registers `shard`'s standby registry for the restart path.
+    pub fn add_standby_registry(&mut self, shard: usize, registry: Arc<LearnerRegistry>) {
+        self.shards.entry(shard).or_default().registry = Some(registry);
+    }
+
+    /// How many primaries this fleet has brought up.
+    pub fn recovered(&self) -> usize {
+        self.primaries.len()
+    }
+}
+
+impl RecoveryDriver for StandbyFleet {
+    fn promote(&mut self, shard: usize, follower_addr: &str) -> Result<BoundAddr, String> {
+        if let Some(addr) = self.recovered.get(&shard) {
+            return Ok(addr.clone());
+        }
+        let standby = self
+            .shards
+            .get_mut(&shard)
+            .ok_or_else(|| format!("no standby resources for shard {shard}"))?;
+        let dir = standby
+            .store_dir
+            .clone()
+            .ok_or_else(|| format!("no store directory for shard {shard}"))?;
+        let follower = standby
+            .follower
+            .take()
+            .ok_or_else(|| format!("no follower registered for shard {shard}"))?;
+        if follower.addr().to_string() != follower_addr {
+            let actual = follower.addr().clone();
+            standby.follower = Some(follower);
+            return Err(format!(
+                "shard {shard}'s registered follower is {actual}, not {follower_addr}"
+            ));
+        }
+        let primary = follower
+            .promote(&dir, self.obs.clone())
+            .map_err(|error| format!("promotion failed: {error}"))?;
+        let addr = primary.addr().clone();
+        self.primaries.push(primary);
+        self.recovered.insert(shard, addr.clone());
+        Ok(addr)
+    }
+
+    fn restart(&mut self, shard: usize) -> Result<BoundAddr, String> {
+        if let Some(addr) = self.recovered.get(&shard) {
+            return Ok(addr.clone());
+        }
+        let standby = self
+            .shards
+            .get_mut(&shard)
+            .ok_or_else(|| format!("no standby resources for shard {shard}"))?;
+        let dir = standby
+            .store_dir
+            .clone()
+            .ok_or_else(|| format!("no store directory for shard {shard}"))?;
+        let registry = standby
+            .registry
+            .clone()
+            .ok_or_else(|| format!("no standby registry for shard {shard}"))?;
+        let primary = PrimaryProcess::restart(registry, &dir, self.obs.clone())
+            .map_err(|error| format!("restart failed: {error}"))?;
+        let addr = primary.addr().clone();
+        self.primaries.push(primary);
+        self.recovered.insert(shard, addr.clone());
+        Ok(addr)
+    }
+}

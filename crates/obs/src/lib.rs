@@ -57,7 +57,9 @@ mod sink;
 mod store;
 
 pub use event::{Event, EventKind};
-pub use query::{ObsAggregates, ObsQuery, ObsResult, Summary, DEFAULT_EVENT_LIMIT};
+pub use query::{
+    DeploymentRate, ObsAggregates, ObsQuery, ObsResult, Summary, DEFAULT_EVENT_LIMIT,
+};
 pub use sink::{EventSink, ObsClock};
 pub use store::{ObsConfig, ObsCounters, ObsStore, EVENT_BYTES};
 

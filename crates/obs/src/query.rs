@@ -235,6 +235,60 @@ impl ObsResult {
     }
 }
 
+/// Per-deployment load inside one trailing window of an [`ObsResult`] —
+/// what a control plane reads to find hot tenants and shard skew.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentRate {
+    /// The deployment.
+    pub deployment: String,
+    /// `Infer` + `Learn` events inside the window.
+    pub requests: u64,
+    /// Millijoules those events spent.
+    pub energy_mj: f64,
+}
+
+impl ObsResult {
+    /// Folds the result's request events (`Infer` + `Learn`) into
+    /// per-deployment counts and energy totals over the **trailing**
+    /// `window_us` microseconds, measured backwards from the latest event in
+    /// the result — not from the wall clock, so the same events always yield
+    /// the same rates (a determinism a tick-driven control plane's planner
+    /// depends on). Returns deployments sorted by descending request count,
+    /// then name, hottest first. Empty results yield an empty vector.
+    pub fn trailing_rates(&self, window_us: u64) -> Vec<DeploymentRate> {
+        let Some(latest) = self.events.iter().map(|e| e.time_us).max() else {
+            return Vec::new();
+        };
+        let cutoff = latest.saturating_sub(window_us);
+        let mut by_name: std::collections::HashMap<&str, (u64, f64)> =
+            std::collections::HashMap::new();
+        for event in &self.events {
+            if event.time_us < cutoff
+                || !matches!(event.kind, EventKind::Infer | EventKind::Learn)
+            {
+                continue;
+            }
+            let entry = by_name.entry(event.deployment.as_str()).or_insert((0, 0.0));
+            entry.0 += 1;
+            if event.energy_mj.is_finite() {
+                entry.1 += event.energy_mj;
+            }
+        }
+        let mut rates: Vec<DeploymentRate> = by_name
+            .into_iter()
+            .map(|(name, (requests, energy_mj))| DeploymentRate {
+                deployment: name.to_string(),
+                requests,
+                energy_mj,
+            })
+            .collect();
+        rates.sort_by(|a, b| {
+            b.requests.cmp(&a.requests).then_with(|| a.deployment.cmp(&b.deployment))
+        });
+        rates
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,5 +351,32 @@ mod tests {
         assert_eq!(merged.aggregates.matched, 5);
         assert_eq!((merged.appended, merged.dropped), (5, 1));
         assert_eq!((merged.shards_ok, merged.shards_err), (2, 0));
+    }
+
+    #[test]
+    fn trailing_rates_window_kinds_and_order() {
+        let mut result = ObsResult { shards_ok: 1, ..ObsResult::default() };
+        result.events = vec![
+            // Outside the trailing window (latest is 10_000, window 2_000 →
+            // cutoff 8_000).
+            Event::new(EventKind::Infer, "old").with_time_us(1_000).with_energy_mj(9.0),
+            // Non-request kinds never count, even in-window.
+            Event::new(EventKind::Migration, "cold").with_time_us(9_000),
+            Event::new(EventKind::Infer, "warm").with_time_us(8_000).with_energy_mj(0.5),
+            Event::new(EventKind::Learn, "hot").with_time_us(9_000).with_energy_mj(1.5),
+            Event::new(EventKind::Infer, "hot").with_time_us(10_000).with_energy_mj(0.25),
+            // NaN energy counts the request but not the energy.
+            Event::new(EventKind::Infer, "warm").with_time_us(9_500),
+        ];
+        let rates = result.trailing_rates(2_000);
+        assert_eq!(rates.len(), 2);
+        assert_eq!((rates[0].deployment.as_str(), rates[0].requests), ("hot", 2));
+        assert!((rates[0].energy_mj - 1.75).abs() < 1e-12);
+        assert_eq!((rates[1].deployment.as_str(), rates[1].requests), ("warm", 2));
+        assert!((rates[1].energy_mj - 0.5).abs() < 1e-12);
+        // Ties break by name, and the same events always give the same
+        // answer (no wall clock involved).
+        assert_eq!(result.trailing_rates(2_000), rates);
+        assert!(ObsResult::default().trailing_rates(1_000).is_empty());
     }
 }

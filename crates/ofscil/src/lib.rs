@@ -32,7 +32,13 @@
 //!   one client-facing wire address in front of N backend serving
 //!   processes, with pooled connections, shard health probing,
 //!   scatter-gather cluster statistics and live explicit-memory migration
-//!   between shards.
+//!   between shards,
+//! * [`ctrl`] — the self-driving control plane above the router: a
+//!   deterministic, tick-driven loop that watches breaker dwell times,
+//!   advertised followers and trailing request rates, and auto-heals
+//!   (follower promotion, store restart) and auto-rebalances (hot
+//!   deployment migration) with hysteresis, cooldowns and bounded retries —
+//!   no operator calls.
 //!
 //! # Quickstart
 //!
@@ -56,6 +62,7 @@
 
 pub use ofscil_baselines as baselines;
 pub use ofscil_core as core;
+pub use ofscil_ctrl as ctrl;
 pub use ofscil_data as data;
 pub use ofscil_gap9 as gap9;
 pub use ofscil_nn as nn;
@@ -77,6 +84,10 @@ pub mod prelude {
         finetune_fcr, metalearn, pretrain, run_ablation, run_experiment, run_fscil_protocol,
         AblationVariant, EvalPrecision, ExperimentConfig, ExplicitMemory, Fcr, FinetuneConfig,
         MetaLoss, MetalearnConfig, OFscilModel, PretrainConfig, SessionResults,
+    };
+    pub use ofscil_ctrl::{
+        ClusterSnapshot, ControlAction, Controller, CtrlConfig, CtrlError, FollowerProcess,
+        Planner, ShardState, StandbyFleet,
     };
     pub use ofscil_data::{
         Augmenter, AugmenterConfig, Batch, CutMix, Dataset, FscilBenchmark, FscilConfig, Mixup,
@@ -103,7 +114,7 @@ pub mod prelude {
         LearnerRegistry, PendingResponse, ServeClient, ServeConfig, ServeError, ServeRequest,
         ServeResponse, ServeRuntime,
     };
-    pub use ofscil_store::{RecoveryReport, Store, StoreConfig, StoreError};
+    pub use ofscil_store::{RecoveryReport, Store, StoreConfig, StoreError, SyncPolicy};
     pub use ofscil_tensor::{SeedRng, Tensor};
     pub use ofscil_wire::{
         BoundAddr, Follower, FollowerConfig, ReplEvent, WireBind, WireClient, WireConfig,

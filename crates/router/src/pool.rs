@@ -67,6 +67,11 @@ struct SlotState {
     consecutive_failures: u32,
     down_until: Option<Instant>,
     last_error: Option<String>,
+    /// When the breaker last transitioned closed → open; `None` while
+    /// closed. Repeat failures extend `down_until` but keep this anchor, so
+    /// its age is the breaker's total open **dwell** — what a control plane
+    /// compares against its promotion threshold.
+    opened_at: Option<Instant>,
 }
 
 /// One shard's address, idle connections and failure state.
@@ -106,6 +111,7 @@ impl ShardSlot {
         state.consecutive_failures = 0;
         state.down_until = None;
         state.last_error = None;
+        state.opened_at = None;
         closed
     }
 
@@ -120,7 +126,16 @@ impl ShardSlot {
         state.consecutive_failures += 1;
         state.down_until = Some(Instant::now() + cooldown);
         state.last_error = Some(error.to_string());
+        if state.opened_at.is_none() {
+            state.opened_at = Some(Instant::now());
+        }
         opened
+    }
+
+    /// How long the breaker has been open; `None` while closed.
+    fn open_dwell(&self) -> Option<Duration> {
+        let state = self.state.lock().expect("pool state lock poisoned");
+        state.opened_at.map(|at| at.elapsed())
     }
 
     /// The cached failure if the shard is still inside its cooldown window.
@@ -209,6 +224,34 @@ impl ShardPool {
         let mut slots = self.slots.write().expect("pool lock poisoned");
         slots.push(ShardSlot::new(addr).into());
         slots.len() - 1
+    }
+
+    /// How long a shard's circuit breaker has been **open** — the time since
+    /// its closed → open transition, not since the latest repeat failure.
+    /// `None` while the breaker is closed. The dwell a control plane
+    /// compares against its promotion threshold: a flap that recovers resets
+    /// it, only a persistently dead shard grows it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::UnknownShard`] for out-of-range ids.
+    pub fn breaker_dwell(&self, shard: usize) -> Result<Option<Duration>, RouterError> {
+        Ok(self.slot(shard)?.open_dwell())
+    }
+
+    /// Re-points a shard id at a new address — the failover edge after a
+    /// follower promotion. The slot is replaced wholesale: idle connections
+    /// to the dead primary are dropped and the failure state (breaker,
+    /// dwell) starts fresh, so traffic tries the new address immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::UnknownShard`] for out-of-range ids.
+    pub fn replace_addr(&self, shard: usize, addr: BoundAddr) -> Result<(), RouterError> {
+        let mut slots = self.slots.write().expect("pool lock poisoned");
+        let slot = slots.get_mut(shard).ok_or(RouterError::UnknownShard(shard))?;
+        *slot = ShardSlot::new(addr).into();
+        Ok(())
     }
 
     /// The address of a shard.
@@ -428,5 +471,42 @@ mod tests {
         assert_eq!(pool.add_shard(dead_addr()), 1);
         assert_eq!(pool.add_shard(dead_addr()), 2);
         assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn breaker_dwell_anchors_at_the_open_transition_and_replace_resets() {
+        let config = PoolConfig {
+            connect_attempts: 1,
+            backoff: Duration::from_millis(1),
+            cooldown: Duration::from_millis(1),
+            max_idle: 4,
+        };
+        let pool = ShardPool::new(vec![dead_addr()], config);
+        assert_eq!(pool.breaker_dwell(0).unwrap(), None);
+
+        let _ = pool.probe(0);
+        let first = pool.breaker_dwell(0).unwrap().expect("breaker open");
+        // A repeat failure after the 1ms cooldown elapsed must NOT re-anchor
+        // the dwell: it keeps growing from the first open.
+        std::thread::sleep(Duration::from_millis(10));
+        let _ = pool.probe(0);
+        let second = pool.breaker_dwell(0).unwrap().expect("still open");
+        assert!(second >= first + Duration::from_millis(10), "{second:?} vs {first:?}");
+
+        // Re-pointing the shard at a live address clears the failure state…
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let live = BoundAddr::Tcp(listener.local_addr().unwrap());
+        pool.replace_addr(0, live.clone()).unwrap();
+        assert_eq!(pool.breaker_dwell(0).unwrap(), None);
+        assert_eq!(pool.addr(0).unwrap(), live);
+        // …and out-of-range ids stay typed.
+        assert!(matches!(
+            pool.replace_addr(7, dead_addr()).unwrap_err(),
+            RouterError::UnknownShard(7)
+        ));
+        assert!(matches!(
+            pool.breaker_dwell(7).unwrap_err(),
+            RouterError::UnknownShard(7)
+        ));
     }
 }

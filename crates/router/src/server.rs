@@ -181,6 +181,11 @@ struct Shared {
     placement_log: Option<Mutex<OpLog>>,
     /// The router's own observability handle, when configured.
     obs: Option<Obs>,
+    /// Follower addresses advertised per shard id — the promotion
+    /// candidates a control plane reads. Populated by `AdvertiseFollower`
+    /// frames; cleared for a shard when its id is re-pointed at a new
+    /// primary.
+    followers: Mutex<HashMap<usize, Vec<String>>>,
 }
 
 /// Record kind of a placement override in the journal.
@@ -295,6 +300,82 @@ impl RouterHandle<'_> {
     /// probe clears a shard's failure cooldown early.
     pub fn probe(&self) -> Vec<ShardHealth> {
         self.shared.pool.probe_all()
+    }
+
+    /// How long a shard's circuit breaker has been open (`None` while
+    /// closed) — see [`ShardPool::breaker_dwell`]. The hysteresis input a
+    /// control plane compares against its promotion threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::UnknownShard`] for out-of-range ids.
+    pub fn breaker_dwell(&self, shard: usize) -> Result<Option<Duration>, RouterError> {
+        self.shared.pool.breaker_dwell(shard)
+    }
+
+    /// The wire address a shard id currently points at.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::UnknownShard`] for out-of-range ids.
+    pub fn shard_addr(&self, shard: usize) -> Result<BoundAddr, RouterError> {
+        self.shared.pool.addr(shard)
+    }
+
+    /// Sorted names of the deployments the router manages (the placement
+    /// map's keys — routing itself hashes any name).
+    pub fn deployments(&self) -> Vec<String> {
+        let placement = self.shared.placement.read().expect("placement lock poisoned");
+        let mut names: Vec<String> = placement.location.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Follower addresses advertised for a shard (sorted), as received via
+    /// `AdvertiseFollower` frames — the promotion candidates a control plane
+    /// picks from when the shard's breaker stays open.
+    pub fn followers(&self, shard: usize) -> Vec<String> {
+        let followers = self.shared.followers.lock().expect("follower registry poisoned");
+        let mut list = followers.get(&shard).cloned().unwrap_or_default();
+        list.sort_unstable();
+        list
+    }
+
+    /// Re-points a shard id at a new primary address — the failover edge
+    /// after a follower promotion. The pool slot is replaced (idle
+    /// connections to the dead primary dropped, breaker state reset so
+    /// traffic tries the new address immediately) and the shard's advertised
+    /// followers are cleared: the promoted one is the primary now and any
+    /// siblings were tailing a corpse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::UnknownShard`] for out-of-range ids.
+    pub fn replace_shard(&self, shard: usize, addr: BoundAddr) -> Result<(), RouterError> {
+        self.shared.pool.replace_addr(shard, addr)?;
+        self.shared
+            .followers
+            .lock()
+            .expect("follower registry poisoned")
+            .remove(&shard);
+        Ok(())
+    }
+
+    /// Runs an observability query through the router's scatter-gather path
+    /// in process — every ring shard plus the router's own store, merged
+    /// time-ordered — without a socket round trip. What a co-located control
+    /// plane watches the cluster through.
+    pub fn obs_query(&self, query: &ofscil_obs::ObsQuery) -> ObsResult {
+        obs_scatter_query(self.shared, query)
+    }
+
+    /// Emits one event into the router's own observability store, if one is
+    /// attached (no-op otherwise) — how a control plane stamps the actions
+    /// it takes into the same timeline a routed `ObsQuery` reconstructs.
+    pub fn observe(&self, event: Event) {
+        if let Some(obs) = &self.shared.obs {
+            obs.sink().emit(event);
+        }
     }
 
     /// Scatter-gather statistics: every shard is queried concurrently for
@@ -615,6 +696,7 @@ impl RouterServer {
             placement: RwLock::new(Placement { ring, location }),
             placement_log,
             obs: config.obs.clone(),
+            followers: Mutex::new(HashMap::new()),
         };
 
         let (listener, addr) = WireListener::bind(&config.bind)?;
@@ -713,6 +795,11 @@ fn route_one(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
         // migration. Fan it out and stitch the answers back together.
         return obs_scatter(shared, frame);
     }
+    if peek.advertise {
+        // A follower announcing itself is addressed to the router, not to
+        // any shard: record the candidate and answer directly.
+        return register_follower(shared, frame);
+    }
     let shard = {
         let placement = shared.placement.read().expect("placement lock poisoned");
         match placement.shard_for(&peek.deployment) {
@@ -742,6 +829,40 @@ fn route_one(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
     }
 }
 
+/// Records a follower advertisement in the router's follower registry: the
+/// advertised upstream address is matched against the shard table (by its
+/// canonical `BoundAddr` display form) and the follower's address stored
+/// under that shard id, deduplicated. An upstream the router does not front
+/// is a typed refusal — the follower was pointed at the wrong cluster.
+fn register_follower(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
+    let (upstream, follower) = match decode_request(frame.kind, frame.payload()) {
+        Ok(WireRequest::AdvertiseFollower { upstream, follower }) => (upstream, follower),
+        _ => {
+            return encode_response(&WireResponse::Error(ServeError::InvalidRequest(
+                "undecodable follower advertisement".into(),
+            )));
+        }
+    };
+    let shard = (0..shared.pool.len()).find(|&shard| {
+        shared
+            .pool
+            .addr(shard)
+            .map(|addr| addr.to_string() == upstream)
+            .unwrap_or(false)
+    });
+    let Some(shard) = shard else {
+        return encode_response(&WireResponse::Error(ServeError::InvalidRequest(format!(
+            "advertised upstream {upstream:?} is not a shard of this router"
+        ))));
+    };
+    let mut followers = shared.followers.lock().expect("follower registry poisoned");
+    let entry = followers.entry(shard).or_default();
+    if !entry.contains(&follower) {
+        entry.push(follower);
+    }
+    encode_response(&WireResponse::Advertised { registered: entry.len() as u64 })
+}
+
 /// Scatter-gathers one observability query across every ring shard and the
 /// router's own event store, merging the slices into a single time-ordered
 /// timeline. Shards that cannot be reached (or have observability disabled)
@@ -756,6 +877,13 @@ fn obs_scatter(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
             )));
         }
     };
+    encode_response(&WireResponse::Obs(obs_scatter_query(shared, &query)))
+}
+
+/// The scatter itself, on a decoded query — shared between the wire path
+/// above and [`RouterHandle::obs_query`] (the in-process path a co-located
+/// control plane reads the cluster through without a socket round trip).
+fn obs_scatter_query(shared: &Shared, query: &ofscil_obs::ObsQuery) -> ObsResult {
     let shard_ids = {
         let placement = shared.placement.read().expect("placement lock poisoned");
         placement.ring.shard_ids()
@@ -765,7 +893,6 @@ fn obs_scatter(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
         let handles: Vec<_> = shard_ids
             .iter()
             .map(|&shard| {
-                let query = &query;
                 scope.spawn(move || {
                     pool.with_conn(shard, true, |conn| conn.obs_query(query))
                 })
@@ -792,7 +919,7 @@ fn obs_scatter(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
         // The router's own timeline carries the cluster events (migrations,
         // breaker transitions) that explain the per-shard slices. Its source
         // counters are zeroed so only real shards count in the totals below.
-        let mut local = obs.query(&query);
+        let mut local = obs.query(query);
         local.shards_ok = 0;
         local.shards_err = 0;
         parts.push(local);
@@ -800,7 +927,7 @@ fn obs_scatter(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
     let mut merged = ObsResult::merge(parts, query.limit as usize);
     merged.shards_ok = shards_ok;
     merged.shards_err = shards_err;
-    encode_response(&WireResponse::Obs(merged))
+    merged
 }
 
 #[cfg(test)]

@@ -174,11 +174,37 @@ fn derive_batched_infer_mj(
     Ok(workload_energy_mj(&backbone, basis)? + workload_energy_mj(&fcr, basis)?)
 }
 
+/// Throughput counters carried inside a [`DeploymentExport`], mirroring the
+/// per-deployment statistics: a migration adopts them on the target so the
+/// tenant's accepted/rejected history survives the move instead of resetting
+/// to zero (the same zero-loss property the energy meter gets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExportStats {
+    /// Individual `Infer` requests served.
+    pub infer_requests: u64,
+    /// Batched forward passes those requests were coalesced into.
+    pub infer_batches: u64,
+    /// Largest coalesced batch observed.
+    pub largest_batch: u64,
+    /// `LearnOnline` requests served.
+    pub learn_requests: u64,
+    /// Snapshots taken.
+    pub snapshots: u64,
+    /// `Infer` requests refused by admission control.
+    pub rejected_infer: u64,
+    /// `LearnOnline` requests refused by admission control.
+    pub rejected_learn: u64,
+    /// Requests deferred by admission control.
+    pub deferred: u64,
+}
+
 /// A deployment's migratable serving state, as produced by
 /// [`LearnerRegistry::export_deployment`] and consumed by
 /// [`LearnerRegistry::import_deployment`]: the bit-exact explicit-memory
-/// snapshot and the replication sequence number it was taken at.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// snapshot, the replication sequence number it was taken at, and the
+/// billing state (energy meter + throughput counters) so a migrated tenant
+/// keeps its spend history and budget on the new shard.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DeploymentExport {
     /// Deployment name (must be registered on the importing side).
     pub name: String,
@@ -186,6 +212,12 @@ pub struct DeploymentExport {
     pub seq: u64,
     /// `ofscil_serve::snapshot` codec bytes.
     pub snapshot: Vec<u8>,
+    /// Energy admitted against the budget at export time, in millijoules.
+    pub spent_mj: f64,
+    /// The configured energy budget in millijoules, if any.
+    pub budget_mj: Option<f64>,
+    /// Throughput/admission counters at export time.
+    pub stats: ExportStats,
 }
 
 /// Point-in-time statistics of one deployment.
@@ -437,6 +469,35 @@ impl Deployment {
         (self.pricing().learn_sample_mj * n as f64 - self.batched_learn_mj(n)).max(0.0)
     }
 
+    /// The throughput counters in exportable form (migration payload).
+    pub fn export_stats(&self) -> ExportStats {
+        let stats = self.stats.lock().expect("stats lock poisoned");
+        ExportStats {
+            infer_requests: stats.infer_requests,
+            infer_batches: stats.infer_batches,
+            largest_batch: stats.largest_batch as u64,
+            learn_requests: stats.learn_requests,
+            snapshots: stats.snapshots,
+            rejected_infer: stats.rejected_infer,
+            rejected_learn: stats.rejected_learn,
+            deferred: stats.deferred,
+        }
+    }
+
+    /// Overwrites the throughput counters with exported ones — the import
+    /// side of a migration adopting the tenant's history.
+    pub fn adopt_stats(&self, exported: &ExportStats) {
+        let mut stats = self.stats.lock().expect("stats lock poisoned");
+        stats.infer_requests = exported.infer_requests;
+        stats.infer_batches = exported.infer_batches;
+        stats.largest_batch = usize::try_from(exported.largest_batch).unwrap_or(usize::MAX);
+        stats.learn_requests = exported.learn_requests;
+        stats.snapshots = exported.snapshots;
+        stats.rejected_infer = exported.rejected_infer;
+        stats.rejected_learn = exported.rejected_learn;
+        stats.deferred = exported.deferred;
+    }
+
     pub fn stats_snapshot(&self) -> DeploymentStats {
         let classes = self.model.lock().expect("model lock poisoned").em().num_classes();
         let stats = self.stats.lock().expect("stats lock poisoned");
@@ -641,8 +702,17 @@ impl LearnerRegistry {
     ///
     /// Returns [`ServeError::UnknownDeployment`] for unknown names.
     pub fn export_deployment(&self, name: &str) -> Result<DeploymentExport> {
+        let deployment = self.resolve(name)?;
         let (seq, snapshot) = self.snapshot_with_seq(name)?;
-        Ok(DeploymentExport { name: name.to_string(), seq, snapshot })
+        let (spent_mj, budget_mj) = deployment.meter.spent_and_budget();
+        Ok(DeploymentExport {
+            name: name.to_string(),
+            seq,
+            snapshot,
+            spent_mj,
+            budget_mj,
+            stats: deployment.export_stats(),
+        })
     }
 
     /// Installs an exported deployment state: the snapshot is restored
@@ -654,7 +724,10 @@ impl LearnerRegistry {
     /// (like [`LearnerRegistry::restore`]). Either way a subscriber that
     /// was already tailing this deployment observes a forward sequence jump
     /// on the next commit and resyncs from a fresh anchor instead of
-    /// silently skipping deltas. Returns the number of restored classes.
+    /// silently skipping deltas. The export's billing state (energy meter +
+    /// throughput counters) is adopted exactly, so a migration carries the
+    /// tenant's spend history with it. Returns the number of restored
+    /// classes.
     ///
     /// # Errors
     ///
@@ -699,6 +772,11 @@ impl LearnerRegistry {
             *seq = export.seq.max(*seq + 1);
             *seq
         };
+        // Billing state rides the export: the meter and throughput counters
+        // are adopted exactly, so a controller-driven migration preserves the
+        // tenant's spend history and budget instead of resetting them.
+        deployment.meter.recover(export.spent_mj, export.budget_mj);
+        deployment.adopt_stats(&export.stats);
         let (spent_mj, budget_mj) = deployment.meter.spent_and_budget();
         let value = f(seq, spent_mj, budget_mj);
         Ok((classes, value))
@@ -1123,11 +1201,55 @@ mod tests {
             name: "b".into(),
             seq: 9,
             snapshot: encode_explicit_memory(&foreign),
+            ..DeploymentExport::default()
         };
         assert!(matches!(
             registry.import_deployment(&bad).unwrap_err(),
             ServeError::InvalidRequest(_)
         ));
+    }
+
+    #[test]
+    fn export_import_preserves_billing_state() {
+        let registry = LearnerRegistry::new();
+        registry
+            .register(
+                DeploymentSpec::new("a", (8, 8)).with_energy_budget(80.0, BudgetPolicy::Reject),
+                micro_model(0),
+            )
+            .unwrap();
+        registry
+            .register(DeploymentSpec::new("b", (8, 8)), micro_model(0))
+            .unwrap();
+        let source = registry.resolve("a").unwrap();
+        source.meter.try_spend(12.25).unwrap();
+        {
+            let mut stats = source.stats.lock().unwrap();
+            stats.infer_requests = 7;
+            stats.learn_requests = 3;
+            stats.rejected_infer = 2;
+            stats.largest_batch = 4;
+        }
+
+        let export = registry.export_deployment("a").unwrap();
+        assert_eq!(export.spent_mj.to_bits(), 12.25f64.to_bits());
+        assert_eq!(export.budget_mj.map(f64::to_bits), Some(80.0f64.to_bits()));
+        assert_eq!(export.stats.infer_requests, 7);
+        assert_eq!(export.stats.largest_batch, 4);
+
+        registry
+            .import_deployment(&DeploymentExport { name: "b".into(), ..export })
+            .unwrap();
+        // The target adopts the exported meter and counters exactly: the
+        // tenant's billing history survives the migration.
+        let (spent, budget) = registry.energy_state("b").unwrap();
+        assert_eq!(spent.to_bits(), 12.25f64.to_bits());
+        assert_eq!(budget.map(f64::to_bits), Some(80.0f64.to_bits()));
+        let stats = registry.stats("b").unwrap();
+        assert_eq!(stats.infer_requests, 7);
+        assert_eq!(stats.learn_requests, 3);
+        assert_eq!(stats.rejected_infer, 2);
+        assert_eq!(stats.largest_batch, 4);
     }
 
     #[test]

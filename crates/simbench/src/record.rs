@@ -313,8 +313,9 @@ pub fn read_last_line(path: &Path) -> Result<Option<Json>, String> {
 /// How the regression gate treats one recorded metric.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Gate {
-    /// Not gated — informational only (timing fields, raw counts whose value
-    /// legitimately changes when scenarios are retuned).
+    /// Not gated — informational only (timing fields in deterministic mode,
+    /// raw counts whose value legitimately changes when scenarios are
+    /// retuned).
     None,
     /// Must match the committed value exactly (invariant counts: e.g. every
     /// hostile frame rejected).

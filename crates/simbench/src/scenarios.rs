@@ -10,7 +10,7 @@
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ofscil::prelude::*;
 use ofscil::serve::traffic;
@@ -757,6 +757,244 @@ pub fn budget_exhaustion(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
     for shard in shards {
         shard.stop();
     }
+    Ok(outcome)
+}
+
+/// Scratch directory for the chaos-recovery standby store (wiped on entry so
+/// reruns in the same process tree start clean).
+fn chaos_store_dir() -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ofscil-simbench-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+/// Chaos recovery through the self-driving control plane: three shards
+/// behind the router, a follower tailing (and advertised for) the shard
+/// that owns the first tenant, a Zipf-skewed mixed burst — and then that
+/// shard is killed mid-burst. Nobody calls `migrate` or `promote`: the
+/// controller has to notice the breaker dwell crossing its threshold,
+/// promote the advertised follower and re-point the ring on its own. The
+/// scenario then proves every deployment serves reads AND writes again and
+/// that the recovery timeline (breaker-open before the stamped promotion)
+/// reconstructs from a single routed observability query.
+pub fn chaos_recovery(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
+    const TENANTS: [&str; 4] = ["cam-0", "cam-1", "cam-2", "cam-3"];
+    const BURST: usize = 60;
+
+    // One shared observability pipeline: shards, router, the promoted
+    // primary and the controller all stamp into the same timeline.
+    let obs = Obs::new(ObsConfig::default());
+    let mut shards: Vec<Option<ShardProcess>> = Vec::new();
+    for _ in 0..3 {
+        let shard = ShardProcess::spawn_observed(
+            registry_with(&TENANTS)?,
+            WireConfig::tcp_loopback(),
+            Some(obs.clone()),
+        )
+        .ctx("spawn shard")?;
+        shards.push(Some(shard));
+    }
+    let addrs = shards.iter().map(|s| s.as_ref().expect("live").addr().clone()).collect();
+    let config = RouterConfig::tcp_loopback(addrs)
+        .with_deployments(&TENANTS)
+        .with_obs(obs.clone());
+
+    let zipf = Zipfian::new(TENANTS.len(), 1.1);
+    let mut rng = SeedRng::new(ctx.rng_seed());
+    let outcome = RouterServer::run(&config, |router| -> SimResult<ScenarioReport> {
+        // The victim is whichever shard serves the first tenant; a replica
+        // tails its tenants and advertises itself as a promotion candidate.
+        let victim = router.shard_for(TENANTS[0]).ctx("victim shard")?;
+        let tailed: Vec<&str> = TENANTS
+            .iter()
+            .copied()
+            .filter(|t| router.shard_for(t).map(|s| s == victim).unwrap_or(false))
+            .collect();
+        let replica_registry = registry_with(&TENANTS)?;
+        let follower = FollowerProcess::spawn(
+            Arc::clone(&replica_registry),
+            FollowerConfig::new(router.shard_addr(victim).ctx("victim addr")?, &tailed)
+                .with_advertise(router.addr().clone()),
+        )
+        .ctx("spawn follower")?;
+
+        // Seed every tenant, then the first half of the burst.
+        let mut client = WireClient::connect(router.addr()).ctx("connect")?;
+        let mut learns_per = [0u64; 4];
+        let mut burst_requests = 0u64;
+        for (i, tenant) in TENANTS.iter().enumerate() {
+            ctx.timed(|| {
+                client.call(ServeRequest::LearnOnline {
+                    deployment: (*tenant).into(),
+                    batch: traffic::support_batch(SIDE, &[0, 1, 2], 3),
+                })
+            })
+            .ctx("seed tenant")?;
+            learns_per[i] += 1;
+            burst_requests += 1;
+        }
+        let mut infers = 0u64;
+        let mut correct = 0u64;
+        for _ in 0..BURST {
+            let tenant = zipf.sample(&mut rng);
+            let deployment = TENANTS[tenant].to_string();
+            if rng.chance(0.25) {
+                let class = rng.below(3);
+                ctx.timed(|| {
+                    client.call(ServeRequest::LearnOnline {
+                        deployment,
+                        batch: traffic::support_batch(SIDE, &[class], 2),
+                    })
+                })
+                .ctx("burst learn")?;
+                learns_per[tenant] += 1;
+            } else {
+                let class = rng.below(3);
+                let response = ctx
+                    .timed(|| {
+                        client.call(ServeRequest::Infer {
+                            deployment,
+                            image: traffic::class_image(SIDE, class, 0.01),
+                        })
+                    })
+                    .ctx("burst infer")?;
+                infers += 1;
+                if predicted(response)? == class {
+                    correct += 1;
+                }
+            }
+            burst_requests += 1;
+        }
+
+        // The replica must have caught up on the victim's tenants before
+        // the murder, or the promoted primary would serve stale memory.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        for tenant in &tailed {
+            let idx = TENANTS.iter().position(|t| t == tenant).expect("known tenant");
+            while replica_registry.replication_seq(tenant).unwrap_or(0) < learns_per[idx] {
+                if Instant::now() >= deadline {
+                    return Err(sim_err(format!("replica never caught up on {tenant}")));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+
+        // Hand the standby resources to the control plane and kill the
+        // shard mid-burst. No migrate/promote calls below this line.
+        let mut fleet = StandbyFleet::new(Some(obs.clone()));
+        fleet.add_follower(victim, follower);
+        fleet.add_store(victim, chaos_store_dir());
+        let mut controller = Controller::new(
+            router,
+            fleet,
+            CtrlConfig::default()
+                .with_dwell_threshold(Duration::from_millis(50))
+                .with_cooldown_ticks(2)
+                // Recovery only: rebalancing would make the executed-action
+                // trace load-dependent, and this trace must stay exact.
+                .with_rebalance_floor(u64::MAX)
+                .with_retries(3, Duration::from_millis(5)),
+        );
+        shards[victim].take().expect("victim still alive").stop();
+
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut promoted = false;
+        loop {
+            let report = controller.tick();
+            for action in &report.executed {
+                match action {
+                    ControlAction::PromoteFollower { shard, .. } if *shard == victim => {
+                        promoted = true;
+                    }
+                    other => {
+                        return Err(sim_err(format!("unexpected control action {other}")))
+                    }
+                }
+            }
+            if !report.failures.is_empty() {
+                return Err(sim_err(format!("executor failures: {:?}", report.failures)));
+            }
+            if promoted && report.quiescent() {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(sim_err("cluster never converged back to serving"));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let promotions = controller.driver().recovered() as i64;
+
+        // Second half of the burst: every tenant must serve reads AND
+        // writes again, with predictions still correct.
+        let mut client = WireClient::connect(router.addr()).ctx("reconnect")?;
+        let mut tenants_serving = 0u64;
+        for tenant in TENANTS {
+            let class = rng.below(3);
+            let response = ctx
+                .timed(|| {
+                    client.call(ServeRequest::Infer {
+                        deployment: tenant.into(),
+                        image: traffic::class_image(SIDE, class, 0.01),
+                    })
+                })
+                .ctx("post-recovery infer")?;
+            infers += 1;
+            if predicted(response)? == class {
+                correct += 1;
+            }
+            ctx.timed(|| {
+                client.call(ServeRequest::LearnOnline {
+                    deployment: tenant.into(),
+                    batch: traffic::support_batch(SIDE, &[3], 2),
+                })
+            })
+            .ctx("post-recovery learn")?;
+            burst_requests += 2;
+            tenants_serving += 1;
+        }
+
+        // One routed query reconstructs the whole recovery.
+        if !obs.flush(Duration::from_secs(5)) {
+            return Err(sim_err("obs collector failed to drain"));
+        }
+        let timeline = router.obs_query(&ObsQuery::deployment(&format!("shard:{victim}")));
+        let open_at = timeline
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::BreakerOpen)
+            .map(|e| e.time_us);
+        let promo_at = timeline
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Promotion)
+            .map(|e| e.time_us);
+        let ordered = matches!((open_at, promo_at), (Some(o), Some(p)) if o <= p);
+        if !ordered {
+            return Err(sim_err(format!(
+                "recovery timeline incoherent: breaker-open {open_at:?}, promotion {promo_at:?}"
+            )));
+        }
+
+        let mut report = ScenarioReport::new("chaos_recovery");
+        report.int("tenants", TENANTS.len() as i64, Gate::Exact);
+        report.int("burst_requests", burst_requests as i64, Gate::Exact);
+        report.int("promotions", promotions, Gate::Exact);
+        report.int("manual_recovery_calls", 0, Gate::Exact);
+        report.int("breaker_open_seen", i64::from(open_at.is_some()), Gate::Exact);
+        report.int("timeline_ordered", i64::from(ordered), Gate::Exact);
+        report.int("tenants_serving_after", tenants_serving as i64, Gate::Exact);
+        report.float("accuracy", correct as f64 / infers as f64, Gate::AtLeast { slack: 0.05 });
+        Ok(report)
+    })
+    .ctx("router")??;
+    for shard in shards.into_iter().flatten() {
+        shard.stop();
+    }
+
+    // Nothing shed by the bounded sinks across the whole storm + recovery.
+    let mut outcome = outcome;
+    outcome.int("obs_dropped", obs.counters().dropped as i64, Gate::Exact);
     Ok(outcome)
 }
 

@@ -66,7 +66,7 @@ mod store;
 mod wal;
 
 pub use error::StoreError;
-pub use oplog::{OpLog, RawRecord, LOG_MAGIC, LOG_VERSION};
+pub use oplog::{OpLog, RawRecord, SyncPolicy, LOG_MAGIC, LOG_VERSION};
 pub use store::{RecoveryReport, Store, StoreConfig};
 pub use wal::{
     compact_records, replay, Checkpoint, DeploymentState, WalRecord, CHECKPOINT_MAGIC,

@@ -2,7 +2,7 @@
 //! directory, with journaling, recovery, delta compaction and checkpointing.
 
 use crate::error::StoreError;
-use crate::oplog::OpLog;
+use crate::oplog::{OpLog, SyncPolicy};
 use crate::wal::{compact_records, decode_record, encode_record, replay, Checkpoint, DeploymentState, WalRecord};
 use ofscil_serve::{CommitJournal, DurabilityStats, LearnCommit, LearnerRegistry};
 use std::collections::HashMap;
@@ -20,11 +20,18 @@ pub struct StoreConfig {
     /// [`Store::maintenance`] — the hook a background maintenance thread
     /// polls (the wire server runs one; see `WireServer::run_with_store`).
     pub compact_min_records: u64,
+    /// When WAL appends are pushed to stable storage — see [`SyncPolicy`].
+    /// Applied to every deployment's log as it is opened or attached.
+    pub sync: SyncPolicy,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { checkpoint_interval: 64, compact_min_records: 16 }
+        StoreConfig {
+            checkpoint_interval: 64,
+            compact_min_records: 16,
+            sync: SyncPolicy::default(),
+        }
     }
 }
 
@@ -40,6 +47,13 @@ impl StoreConfig {
     #[must_use]
     pub fn with_compact_min_records(mut self, records: u64) -> Self {
         self.compact_min_records = records.max(1);
+        self
+    }
+
+    /// Sets the WAL sync policy (builder style).
+    #[must_use]
+    pub fn with_sync_policy(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
         self
     }
 }
@@ -191,6 +205,7 @@ impl Store {
             })?;
             let wal_path = path.with_extension("wal");
             let (mut wal, raw) = OpLog::open(&wal_path)?;
+            wal.set_sync_policy(config.sync);
             let mut records = Vec::with_capacity(raw.len());
             if wal.epoch() != checkpoint.epoch {
                 // A crash landed between the checkpoint rename and the log
@@ -334,7 +349,8 @@ impl Store {
             let stem = encode_name(&name);
             let ckpt_path = self.root.join(format!("{stem}.ckpt"));
             checkpoint.write_to(&ckpt_path)?;
-            let (wal, _) = OpLog::open(&self.root.join(format!("{stem}.wal")))?;
+            let (mut wal, _) = OpLog::open(&self.root.join(format!("{stem}.wal")))?;
+            wal.set_sync_policy(self.config.sync);
             let log = Arc::new(Mutex::new(DeploymentLog {
                 ckpt_path,
                 checkpoint,

@@ -197,6 +197,37 @@ impl WireClient {
         }
     }
 
+    /// Announces a follower to a routing frontend as a promotion candidate:
+    /// `upstream` is the shard address the follower replicates, `follower`
+    /// the address it listens on. Returns how many followers the router now
+    /// has registered for that shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Remote`] when the peer is a plain shard (a typed
+    /// `InvalidRequest` — advertisement is a router operation) or does not
+    /// know the upstream address, and a transport/codec error when the
+    /// connection broke.
+    pub fn advertise_follower(
+        &mut self,
+        upstream: &str,
+        follower: &str,
+    ) -> Result<u64, WireError> {
+        self.stream.write_all(&encode_request(&WireRequest::AdvertiseFollower {
+            upstream: upstream.to_string(),
+            follower: follower.to_string(),
+        }))?;
+        self.stream.flush()?;
+        match self.read_response(None)? {
+            Some(WireResponse::Advertised { registered }) => Ok(registered),
+            Some(WireResponse::Error(error)) => Err(WireError::Remote(error)),
+            Some(other) => Err(WireError::Protocol(format!(
+                "server answered a follower advertisement with {other:?}"
+            ))),
+            None => Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+        }
+    }
+
     /// Fetches a fresh full-snapshot anchor `(seq, snapshot-codec bytes)`
     /// for one deployment. A durably-backed server answers straight from its
     /// store's latest checkpoint (plus the compacted WAL tail) without

@@ -40,7 +40,9 @@ use crate::error::PayloadError;
 use crate::frame::frame_bytes;
 use ofscil_data::Batch;
 use ofscil_obs::{Event, EventKind, ObsAggregates, ObsQuery, ObsResult, Summary};
-use ofscil_serve::{DeploymentExport, DeploymentStats, ServeError, ServeRequest, ServeResponse};
+use ofscil_serve::{
+    DeploymentExport, DeploymentStats, ExportStats, ServeError, ServeRequest, ServeResponse,
+};
 use ofscil_tensor::Tensor;
 
 // Message kind bytes. Requests live below 0x40, responses in 0x41..0x60,
@@ -55,6 +57,7 @@ const KIND_REQ_EXPORT: u8 = 0x07;
 const KIND_REQ_IMPORT: u8 = 0x08;
 const KIND_REQ_REANCHOR: u8 = 0x09;
 const KIND_REQ_OBS_QUERY: u8 = 0x0A;
+const KIND_REQ_ADVERTISE: u8 = 0x0B;
 const KIND_RESP_PREDICTION: u8 = 0x41;
 const KIND_RESP_LEARNED: u8 = 0x42;
 const KIND_RESP_SNAPSHOT: u8 = 0x43;
@@ -64,6 +67,7 @@ const KIND_RESP_ERROR: u8 = 0x46;
 const KIND_RESP_EXPORT: u8 = 0x47;
 const KIND_RESP_IMPORTED: u8 = 0x48;
 const KIND_RESP_OBS: u8 = 0x49;
+const KIND_RESP_ADVERTISED: u8 = 0x4A;
 const KIND_REPL_FULL: u8 = 0x61;
 const KIND_REPL_DELTA: u8 = 0x62;
 
@@ -109,6 +113,20 @@ pub enum WireRequest {
     /// instead of forwarding to a single owner — a migrated tenant's history
     /// lives on both its old and new shard.
     ObsQuery(ObsQuery),
+    /// A follower announcing itself to the cluster front door as a promotion
+    /// candidate for the shard at `upstream`. Routers record the mapping in
+    /// their follower registry (the control plane reads it to pick a
+    /// `PromoteFollower` target); a plain shard answers with a typed error —
+    /// advertisement is a router operation. Answered with
+    /// [`WireResponse::Advertised`].
+    AdvertiseFollower {
+        /// Address of the primary the follower replicates (`host:port` or
+        /// unix path) — the routing key, matched against the router's shard
+        /// table.
+        upstream: String,
+        /// Address the follower itself listens on.
+        follower: String,
+    },
 }
 
 /// A response as it travels over a wire connection.
@@ -130,6 +148,12 @@ pub enum WireResponse {
     /// Answer to [`WireRequest::ObsQuery`]: matching events plus aggregates
     /// and completeness counters, from one shard or merged across a cluster.
     Obs(ObsResult),
+    /// Answer to [`WireRequest::AdvertiseFollower`]: how many followers the
+    /// router now has registered for the advertised upstream shard.
+    Advertised {
+        /// Followers registered for the shard after this advertisement.
+        registered: u64,
+    },
 }
 
 /// One event on a deployment's snapshot-replication stream.
@@ -378,9 +402,7 @@ pub fn encode_request(request: &WireRequest) -> Vec<u8> {
             KIND_REQ_EXPORT
         }
         WireRequest::Import(export) => {
-            put_string(&mut payload, &export.name);
-            put_u64(&mut payload, export.seq);
-            put_bytes(&mut payload, &export.snapshot);
+            put_export(&mut payload, export);
             KIND_REQ_IMPORT
         }
         WireRequest::ReAnchor { deployment } => {
@@ -397,8 +419,54 @@ pub fn encode_request(request: &WireRequest) -> Vec<u8> {
             put_u32(&mut payload, query.limit);
             KIND_REQ_OBS_QUERY
         }
+        WireRequest::AdvertiseFollower { upstream, follower } => {
+            put_string(&mut payload, upstream);
+            put_string(&mut payload, follower);
+            KIND_REQ_ADVERTISE
+        }
     };
     frame_bytes(kind, &payload)
+}
+
+// The migratable-deployment payload, shared by `Import` requests and `Export`
+// responses: name + replication seq + snapshot bytes, then the billing state
+// (spent/budget millijoules) and the lifetime request counters, so a live
+// migration moves the meter and stats along with the model.
+fn put_export(out: &mut Vec<u8>, export: &DeploymentExport) {
+    put_string(out, &export.name);
+    put_u64(out, export.seq);
+    put_bytes(out, &export.snapshot);
+    put_f64(out, export.spent_mj);
+    put_option_f64(out, export.budget_mj);
+    let stats = &export.stats;
+    put_u64(out, stats.infer_requests);
+    put_u64(out, stats.infer_batches);
+    put_u64(out, stats.largest_batch);
+    put_u64(out, stats.learn_requests);
+    put_u64(out, stats.snapshots);
+    put_u64(out, stats.rejected_infer);
+    put_u64(out, stats.rejected_learn);
+    put_u64(out, stats.deferred);
+}
+
+fn read_export(r: &mut Reader<'_>) -> Result<DeploymentExport, PayloadError> {
+    Ok(DeploymentExport {
+        name: r.string()?,
+        seq: r.u64()?,
+        snapshot: r.bytes_field("snapshot")?,
+        spent_mj: r.f64()?,
+        budget_mj: r.option_f64()?,
+        stats: ExportStats {
+            infer_requests: r.u64()?,
+            infer_batches: r.u64()?,
+            largest_batch: r.u64()?,
+            learn_requests: r.u64()?,
+            snapshots: r.u64()?,
+            rejected_infer: r.u64()?,
+            rejected_learn: r.u64()?,
+            deferred: r.u64()?,
+        },
+    })
 }
 
 /// What [`peek_request`] saw in a request frame.
@@ -419,6 +487,11 @@ pub struct RequestPeek {
     /// scatter the request to the whole cluster and merge the results rather
     /// than forward to the ring owner.
     pub scatter: bool,
+    /// `true` for `AdvertiseFollower`: the request is addressed to the
+    /// routing frontend itself (its "deployment" is the upstream shard
+    /// address), so a router answers it from its follower registry instead
+    /// of forwarding it anywhere.
+    pub advertise: bool,
 }
 
 /// Reads a request frame's routing key (the leading deployment string)
@@ -434,13 +507,14 @@ pub fn peek_request(kind: u8, payload: &[u8]) -> Result<RequestPeek, PayloadErro
     match kind {
         KIND_REQ_INFER | KIND_REQ_LEARN | KIND_REQ_SNAPSHOT | KIND_REQ_STATS
         | KIND_REQ_TOP_UP | KIND_REQ_SUBSCRIBE | KIND_REQ_EXPORT | KIND_REQ_IMPORT
-        | KIND_REQ_REANCHOR | KIND_REQ_OBS_QUERY => {
+        | KIND_REQ_REANCHOR | KIND_REQ_OBS_QUERY | KIND_REQ_ADVERTISE => {
             let mut r = Reader::new(payload);
             Ok(RequestPeek {
                 deployment: r.string()?,
                 streaming: kind == KIND_REQ_SUBSCRIBE,
                 write: matches!(kind, KIND_REQ_LEARN | KIND_REQ_TOP_UP | KIND_REQ_IMPORT),
                 scatter: kind == KIND_REQ_OBS_QUERY,
+                advertise: kind == KIND_REQ_ADVERTISE,
             })
         }
         other => Err(PayloadError::UnknownKind(other)),
@@ -483,11 +557,7 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<WireRequest, PayloadEr
         }),
         KIND_REQ_SUBSCRIBE => WireRequest::Subscribe { deployment: r.string()? },
         KIND_REQ_EXPORT => WireRequest::Export { deployment: r.string()? },
-        KIND_REQ_IMPORT => WireRequest::Import(DeploymentExport {
-            name: r.string()?,
-            seq: r.u64()?,
-            snapshot: r.bytes_field("snapshot")?,
-        }),
+        KIND_REQ_IMPORT => WireRequest::Import(read_export(&mut r)?),
         KIND_REQ_REANCHOR => WireRequest::ReAnchor { deployment: r.string()? },
         KIND_REQ_OBS_QUERY => {
             let deployment = r.string()?;
@@ -509,6 +579,10 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<WireRequest, PayloadEr
                 limit,
             })
         }
+        KIND_REQ_ADVERTISE => WireRequest::AdvertiseFollower {
+            upstream: r.string()?,
+            follower: r.string()?,
+        },
         other => return Err(PayloadError::UnknownKind(other)),
     };
     r.finish()?;
@@ -761,14 +835,16 @@ pub fn encode_response(response: &WireResponse) -> Vec<u8> {
             KIND_REPL_DELTA
         }
         WireResponse::Export(export) => {
-            put_string(&mut payload, &export.name);
-            put_u64(&mut payload, export.seq);
-            put_bytes(&mut payload, &export.snapshot);
+            put_export(&mut payload, export);
             KIND_RESP_EXPORT
         }
         WireResponse::Imported { classes } => {
             put_u64(&mut payload, *classes);
             KIND_RESP_IMPORTED
+        }
+        WireResponse::Advertised { registered } => {
+            put_u64(&mut payload, *registered);
+            KIND_RESP_ADVERTISED
         }
         WireResponse::Obs(result) => {
             put_u32(&mut payload, result.events.len() as u32);
@@ -844,12 +920,9 @@ pub fn decode_response(kind: u8, payload: &[u8]) -> Result<WireResponse, Payload
             }
             WireResponse::Repl(ReplEvent::Delta { seq, total_classes, updates })
         }
-        KIND_RESP_EXPORT => WireResponse::Export(DeploymentExport {
-            name: r.string()?,
-            seq: r.u64()?,
-            snapshot: r.bytes_field("snapshot")?,
-        }),
+        KIND_RESP_EXPORT => WireResponse::Export(read_export(&mut r)?),
         KIND_RESP_IMPORTED => WireResponse::Imported { classes: r.u64()? },
+        KIND_RESP_ADVERTISED => WireResponse::Advertised { registered: r.u64()? },
         KIND_RESP_OBS => {
             let count = r.checked_count("obs events", OBS_EVENT_MIN_BYTES)?;
             let mut events = Vec::with_capacity(count);
@@ -928,6 +1001,18 @@ mod tests {
             name: "mover".into(),
             seq: 17,
             snapshot: vec![0xde, 0xad, 0xbe, 0xef],
+            spent_mj: 3.625,
+            budget_mj: Some(80.0),
+            stats: ExportStats {
+                infer_requests: 100,
+                infer_batches: 25,
+                largest_batch: 8,
+                learn_requests: 3,
+                snapshots: 1,
+                rejected_infer: 2,
+                rejected_learn: 1,
+                deferred: 4,
+            },
         }));
         roundtrip_request(WireRequest::ReAnchor { deployment: "lagging".into() });
         roundtrip_request(WireRequest::ObsQuery(
@@ -938,6 +1023,10 @@ mod tests {
                 .with_limit(128),
         ));
         roundtrip_request(WireRequest::ObsQuery(ObsQuery::all()));
+        roundtrip_request(WireRequest::AdvertiseFollower {
+            upstream: "127.0.0.1:9001".into(),
+            follower: "127.0.0.1:9101".into(),
+        });
     }
 
     #[test]
@@ -990,6 +1079,7 @@ mod tests {
                     name: "tenant-a".into(),
                     seq: 3,
                     snapshot: vec![1, 2],
+                    ..DeploymentExport::default()
                 }),
                 false,
                 true,
@@ -997,6 +1087,17 @@ mod tests {
             ),
             (WireRequest::ReAnchor { deployment: "tenant-a".into() }, false, false, false),
             (WireRequest::ObsQuery(ObsQuery::deployment("tenant-a")), false, false, true),
+            // The advertisement's routing key is the *upstream* shard address
+            // — the string a router matches against its shard table.
+            (
+                WireRequest::AdvertiseFollower {
+                    upstream: "tenant-a".into(),
+                    follower: "127.0.0.1:9101".into(),
+                },
+                false,
+                false,
+                false,
+            ),
         ];
         for (request, streaming, write, scatter) in requests {
             let frame = encode_request(&request);
@@ -1006,6 +1107,11 @@ mod tests {
             assert_eq!(peek.streaming, streaming, "for {request:?}");
             assert_eq!(peek.write, write, "for {request:?}");
             assert_eq!(peek.scatter, scatter, "for {request:?}");
+            assert_eq!(
+                peek.advertise,
+                matches!(request, WireRequest::AdvertiseFollower { .. }),
+                "for {request:?}"
+            );
         }
         // A response kind is not peekable, and a truncated deployment string
         // is a typed error.
@@ -1049,8 +1155,12 @@ mod tests {
                 name: "mover".into(),
                 seq: 5,
                 snapshot: vec![7; 12],
+                spent_mj: 12.25,
+                budget_mj: None,
+                stats: ExportStats { infer_requests: 9, deferred: 1, ..ExportStats::default() },
             }),
             WireResponse::Imported { classes: 4 },
+            WireResponse::Advertised { registered: 2 },
             WireResponse::Obs(ObsResult::default()),
             WireResponse::Obs({
                 let mut result = ObsResult {

@@ -60,6 +60,14 @@ pub struct FollowerConfig {
     /// dropped for lagging) before the error is surfaced. Zero restores the
     /// old halt-on-gap behaviour.
     pub resync_limit: u64,
+    /// Routing frontend to announce this follower to, if any. When set,
+    /// [`Follower::run`] sends one best-effort
+    /// [`AdvertiseFollower`](crate::codec::WireRequest::AdvertiseFollower)
+    /// (upstream address + the follower's own bound address) right after the
+    /// local server binds, so a control plane watching the router knows this
+    /// replica is a promotion candidate. Failures are swallowed — an
+    /// unreachable router must not stop the replica from serving.
+    pub advertise: Option<BoundAddr>,
 }
 
 impl FollowerConfig {
@@ -71,6 +79,7 @@ impl FollowerConfig {
             deployments: deployments.iter().map(|d| d.to_string()).collect(),
             wire: WireConfig::tcp_loopback(),
             resync_limit: 3,
+            advertise: None,
         }
     }
 
@@ -78,6 +87,14 @@ impl FollowerConfig {
     #[must_use]
     pub fn with_resync_limit(mut self, resync_limit: u64) -> Self {
         self.resync_limit = resync_limit;
+        self
+    }
+
+    /// Announces the follower to a routing frontend at `router` (builder
+    /// style) — see [`FollowerConfig::advertise`].
+    #[must_use]
+    pub fn with_advertise(mut self, router: BoundAddr) -> Self {
+        self.advertise = Some(router);
         self
     }
 }
@@ -250,6 +267,18 @@ impl Follower {
         let stop = AtomicBool::new(false);
 
         WireServer::run(registry, &wire, |server| {
+            // Best-effort advertisement: tell the routing frontend (if any)
+            // that this replica tails `upstream` and where it listens, so a
+            // control plane can pick it as a promotion candidate. A dead or
+            // absent router is not a reason to refuse to serve.
+            if let Some(router) = &config.advertise {
+                let _ = WireClient::connect(router).and_then(|mut client| {
+                    client.advertise_follower(
+                        &config.upstream.to_string(),
+                        &server.addr().to_string(),
+                    )
+                });
+            }
             std::thread::scope(|scope| {
                 for deployment in &config.deployments {
                     let progress = &progress;

@@ -36,8 +36,12 @@ pub const WIRE_MAGIC: [u8; 4] = *b"OFWR";
 /// inside a payload; v5 added the observability query (`ObsQuery` kind
 /// `0x0A`, answered with an `ObsResult` response `0x49`) — the first
 /// scatter-gather request a router fans out to every shard instead of
-/// forwarding to one.
-pub const WIRE_VERSION: u16 = 5;
+/// forwarding to one; v6 extended the `Export`/`Import` payload with the
+/// deployment's billing state (spent/budget millijoules plus lifetime request
+/// counters, so a live migration moves the meter with the model) and added
+/// follower advertisement (`AdvertiseFollower` kind `0x0B`, answered with
+/// `Advertised` `0x4A`) so the control plane learns its promotion candidates.
+pub const WIRE_VERSION: u16 = 6;
 
 /// Fixed frame header length in bytes.
 pub const HEADER_LEN: usize = 12;

@@ -496,6 +496,14 @@ fn serve_connection(
                     "observability is not enabled on this server".into(),
                 )),
             },
+            // Follower advertisement is consumed by routers (which intercept
+            // the frame before forwarding); reaching a plain shard means the
+            // follower was pointed at the wrong address.
+            Ok(WireRequest::AdvertiseFollower { .. }) => WireResponse::Error(
+                ServeError::InvalidRequest(
+                    "follower advertisement is a router operation".into(),
+                ),
+            ),
             // A one-shot anchor: the cheap checkpoint-served snapshot when a
             // store is attached, a live snapshot otherwise.
             Ok(WireRequest::ReAnchor { deployment }) => match anchor_for(

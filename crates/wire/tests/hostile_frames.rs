@@ -70,6 +70,7 @@ fn templates() -> Vec<Vec<u8>> {
             name: "tenant".into(),
             seq: 9,
             snapshot: vec![1, 2, 3, 4],
+            ..DeploymentExport::default()
         })),
         encode_request(&WireRequest::ReAnchor { deployment: "tenant".into() }),
     ]

@@ -1,0 +1,187 @@
+//! Self-healing walkthrough: a sharded cluster that survives losing a
+//! shard **with zero operator calls**.
+//!
+//! Three backend shards serve four tenants behind the consistent-hash
+//! router. A follower replica tails one shard and advertises itself to the
+//! router as a promotion candidate. Then the shard is killed mid-run — and
+//! nobody calls `migrate` or `promote`:
+//!
+//! 1. the router's circuit breaker opens and its dwell time starts growing,
+//! 2. the control loop ([`Controller`]) notices the dwell crossing its
+//!    hysteresis threshold on a tick,
+//! 3. the planner emits a typed `PromoteFollower` action; the executor
+//!    promotes the replica into a durable writable primary and re-points
+//!    the ring slot at it,
+//! 4. traffic flows again — including writes — and the whole recovery
+//!    (breaker-open → promotion → per-deployment adoption) reads back from
+//!    one routed observability query.
+//!
+//! Everything crosses real sockets (loopback TCP with ephemeral ports).
+//!
+//! ```text
+//! cargo run --release -p ofscil --example self_healing
+//! ```
+
+use ofscil::ctrl::harness::FollowerProcess;
+use ofscil::prelude::*;
+use ofscil::router::harness::ShardProcess;
+use ofscil::serve::traffic;
+use std::error::Error;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const IMAGE: usize = 8;
+const TENANTS: [&str; 4] = ["wildlife-cam", "doorbell", "warehouse-bot", "greenhouse"];
+
+/// Every process loads the same pretrained weights per tenant; replication
+/// and promotion then only move the explicit memory.
+fn cluster_registry() -> Result<Arc<LearnerRegistry>, ServeError> {
+    let registry = LearnerRegistry::new();
+    for (i, tenant) in TENANTS.iter().enumerate() {
+        let mut rng = SeedRng::new(100 + i as u64);
+        registry.register(
+            DeploymentSpec::new(tenant, (IMAGE, IMAGE)),
+            OFscilModel::new(BackboneKind::Micro, 16, &mut rng),
+        )?;
+    }
+    Ok(Arc::new(registry))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ofscil-self-healing-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // One shared observability pipeline: shards, router, the promoted
+    // primary and the controller all stamp into the same timeline.
+    let obs = Obs::new(ObsConfig::default());
+    let shards: Vec<ShardProcess> = (0..3)
+        .map(|_| {
+            ShardProcess::spawn_observed(
+                cluster_registry().unwrap(),
+                WireConfig::tcp_loopback(),
+                Some(obs.clone()),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<BoundAddr> = shards.iter().map(|s| s.addr().clone()).collect();
+    let config = RouterConfig::tcp_loopback(addrs)
+        .with_deployments(&TENANTS)
+        .with_obs(obs.clone());
+
+    RouterServer::run(&config, |router| -> Result<(), Box<dyn Error>> {
+        println!("router serving on {}", router.addr());
+        for tenant in TENANTS {
+            println!("  {tenant:>14} -> shard {}", router.shard_for(tenant)?);
+        }
+
+        // The victim is whichever shard serves the first tenant. A replica
+        // tails it and announces itself to the router.
+        let victim = router.shard_for(TENANTS[0])?;
+        let tailed: Vec<&str> = TENANTS
+            .iter()
+            .copied()
+            .filter(|t| router.shard_for(t).unwrap() == victim)
+            .collect();
+        let follower = FollowerProcess::spawn(
+            cluster_registry()?,
+            FollowerConfig::new(router.shard_addr(victim)?, &tailed)
+                .with_advertise(router.addr().clone()),
+        )?;
+        println!(
+            "follower {} tails shard {victim} ({} tenant(s)) and advertised itself",
+            follower.addr(),
+            tailed.len()
+        );
+
+        // Load the cluster so there is real state to lose.
+        let mut client = WireClient::connect(router.addr())?;
+        for tenant in TENANTS {
+            client.call(ServeRequest::LearnOnline {
+                deployment: tenant.into(),
+                batch: traffic::support_batch(IMAGE, &[0, 1, 2], 5),
+            })?;
+            for class in 0..3 {
+                client.call(ServeRequest::Infer {
+                    deployment: tenant.into(),
+                    image: traffic::class_image(IMAGE, class, 0.01),
+                })?;
+            }
+        }
+
+        // Hand the standby resources to the control plane and start it.
+        let mut fleet = StandbyFleet::new(Some(obs.clone()));
+        fleet.add_follower(victim, follower);
+        fleet.add_store(victim, scratch_dir("promote"));
+        let mut controller = Controller::new(
+            router,
+            fleet,
+            CtrlConfig::default()
+                .with_dwell_threshold(Duration::from_millis(80))
+                .with_cooldown_ticks(2)
+                .with_retries(3, Duration::from_millis(10)),
+        );
+
+        // Murder. From here on, no operator calls — only controller ticks.
+        println!("\nkilling shard {victim} mid-run...");
+        let mut shards = shards;
+        shards.remove(victim).stop();
+
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let recovered = loop {
+            let report = controller.tick();
+            for action in &report.executed {
+                println!("tick {:>2}: executed {action}", report.tick);
+            }
+            for failure in &report.failures {
+                println!("tick {:>2}: {failure}", report.tick);
+            }
+            if controller.driver().recovered() > 0 && report.quiescent() {
+                break report.tick;
+            }
+            if Instant::now() >= deadline {
+                return Err("cluster never converged back to serving".into());
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        println!("cluster quiescent again after {recovered} tick(s)");
+        println!("shard {victim} now serves from {}", router.shard_addr(victim)?);
+
+        // Full service is back: reads AND writes on every tenant.
+        let mut client = WireClient::connect(router.addr())?;
+        for tenant in TENANTS {
+            client.call(ServeRequest::Infer {
+                deployment: tenant.into(),
+                image: traffic::class_image(IMAGE, 0, 0.01),
+            })?;
+            client.call(ServeRequest::LearnOnline {
+                deployment: tenant.into(),
+                batch: traffic::support_batch(IMAGE, &[3], 5),
+            })?;
+        }
+        println!("all {} tenants serving reads and writes again", TENANTS.len());
+
+        // The recovery timeline reconstructs from one routed query.
+        let timeline = router.obs_query(&ObsQuery::deployment(&format!("shard:{victim}")));
+        println!("\nshard:{victim} timeline:");
+        for event in &timeline.events {
+            println!("  t={:>12}us {:>13} seq={}", event.time_us, event.kind.label(), event.seq);
+        }
+        let opened = timeline.events.iter().find(|e| e.kind == EventKind::BreakerOpen);
+        let promoted = timeline.events.iter().find(|e| e.kind == EventKind::Promotion);
+        match (opened, promoted) {
+            (Some(open), Some(promo)) if open.time_us <= promo.time_us => {
+                println!("breaker-open precedes the promotion: timeline is coherent");
+            }
+            other => return Err(format!("incoherent recovery timeline: {other:?}").into()),
+        }
+        let counters = obs.counters();
+        println!("obs dropped events: {}", counters.dropped);
+        Ok(())
+    })??;
+    Ok(())
+}
