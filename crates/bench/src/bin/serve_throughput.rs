@@ -14,6 +14,11 @@
 //!   observability sink attached, so the per-event emission cost on the hot
 //!   path is tracked release over release (`obs_overhead` in the JSON line;
 //!   the sink never blocks, and the run asserts zero dropped events),
+//! * **batched + durable obs** — the same observed burst with sealed event
+//!   chunks additionally spilling through the store record codec to disk
+//!   (`obs_spill_rps` / `obs_spill_overhead` in the JSON line, measured
+//!   against the in-RAM obs pass; the spill rides the collector thread, so
+//!   the tracked target is a <5% regression vs in-RAM obs),
 //! * **wire loopback** — the same burst through `WireServer`/`WireClient`
 //!   over loopback TCP with several connections, measuring what the frame
 //!   codec + socket hop cost on top of the in-process runtime (coalescing
@@ -41,7 +46,7 @@ use ofscil::router::harness::ShardProcess;
 use ofscil::serve::traffic;
 use ofscil_bench::{full_profile_requested, rule, seed_from_env};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const IMAGE: usize = 8;
 const MAX_BATCH: usize = 32;
@@ -523,6 +528,24 @@ fn main() {
     run_batched_observed(&observed_registry, &requests[..requests.len().min(32)], &obs);
     let obs_s = run_batched_observed(&observed_registry, &requests, &obs);
 
+    // The durable-obs pass: the same observed burst, but sealed chunks
+    // spill through the store record codec to an on-disk log as they seal.
+    // Small chunks force the spill hook to fire mid-burst (not only at
+    // shutdown); the spill runs on the collector thread, so any slowdown
+    // measured here is queue backpressure, not hot-path I/O.
+    let mut spill_dir = std::env::temp_dir();
+    spill_dir.push(format!("ofscil-obs-spill-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    std::fs::create_dir_all(&spill_dir).expect("spill dir");
+    let (spill, _) = ObsSpill::open(&spill_dir.join("obs.spill")).expect("spill open");
+    let spill_registry = registry_with_tenant(seed);
+    let spill_obs = Obs::new(
+        ObsConfig::default().with_queue_depth(4 * requests_total).with_chunk_events(64),
+    );
+    spill_obs.store().set_spill(Arc::new(spill));
+    run_batched_observed(&spill_registry, &requests[..requests.len().min(32)], &spill_obs);
+    let obs_spill_s = run_batched_observed(&spill_registry, &requests, &spill_obs);
+
     let wire_registry = registry_with_tenant(seed);
     run_wire(&wire_registry, &requests[..requests.len().min(32)]);
     let wire_s = run_wire(&wire_registry, &requests);
@@ -530,9 +553,11 @@ fn main() {
     let sequential_rps = requests_total as f64 / sequential_s;
     let batched_rps = requests_total as f64 / batched_s;
     let obs_rps = requests_total as f64 / obs_s;
+    let obs_spill_rps = requests_total as f64 / obs_spill_s;
     let wire_rps = requests_total as f64 / wire_s;
     let speedup = batched_rps / sequential_rps;
     let obs_overhead = obs_s / batched_s;
+    let obs_spill_overhead = obs_spill_s / obs_s;
     let wire_overhead = sequential_s / wire_s;
 
     println!("{:<26} {:>12} {:>14}", "mode", "time [ms]", "throughput [req/s]");
@@ -556,17 +581,28 @@ fn main() {
     );
     println!(
         "{:<26} {:>12.1} {:>14.0}",
+        "coalesced + durable obs",
+        1e3 * obs_spill_s,
+        obs_spill_rps
+    );
+    println!(
+        "{:<26} {:>12.1} {:>14.0}",
         format!("wire loopback ({WIRE_CLIENTS} conns)"),
         1e3 * wire_s,
         wire_rps
     );
     rule(78);
     let obs_counters = obs.counters();
+    // Drain the spill pipeline before reading its counters — the collector
+    // thread may still be sealing the burst's tail.
+    assert!(spill_obs.flush(Duration::from_secs(5)), "spill obs collector failed to drain");
+    let spill_counters = spill_obs.counters();
     println!(
         "speedup {speedup:.2}x; coalesced batches: mean {mean_batch:.1}, largest {largest_batch}; \
          obs overhead {obs_overhead:.2}x ({} events, {} dropped); \
+         durable obs {obs_spill_overhead:.2}x vs in-RAM ({} chunks spilled); \
          wire vs sequential {wire_overhead:.2}x",
-        obs_counters.sent, obs_counters.dropped
+        obs_counters.sent, obs_counters.dropped, spill_counters.spilled_chunks
     );
 
     // Machine-readable trajectory line (kept grep-friendly and append-only).
@@ -576,7 +612,11 @@ fn main() {
          \"batched_rps\":{batched_rps:.1},\"speedup\":{speedup:.3},\
          \"mean_batch\":{mean_batch:.2},\"largest_batch\":{largest_batch},\
          \"obs_rps\":{obs_rps:.1},\"obs_overhead\":{obs_overhead:.3},\
-         \"wire_clients\":{WIRE_CLIENTS},\"wire_rps\":{wire_rps:.1}}}"
+         \"obs_spill_rps\":{obs_spill_rps:.1},\
+         \"obs_spill_overhead\":{obs_spill_overhead:.3},\
+         \"obs_spilled_chunks\":{},\
+         \"wire_clients\":{WIRE_CLIENTS},\"wire_rps\":{wire_rps:.1}}}",
+        spill_counters.spilled_chunks
     );
 
     assert!(
@@ -593,4 +633,16 @@ fn main() {
         obs_overhead < 1.25,
         "observability must stay off the hot path (got {obs_overhead:.3}x over batched)"
     );
+    // Durable spill: same <5% tracked target against the in-RAM obs pass,
+    // same noise-tolerant hard gate — and the spill must actually have run.
+    assert!(
+        spill_counters.spilled_chunks > 0,
+        "the durable-obs pass never spilled a chunk (chunk size vs burst mismatch)"
+    );
+    assert_eq!(spill_counters.dropped, 0, "the durable-obs pass shed events");
+    assert!(
+        obs_spill_overhead < 1.25,
+        "durable spill must stay off the hot path (got {obs_spill_overhead:.3}x over in-RAM obs)"
+    );
+    let _ = std::fs::remove_dir_all(&spill_dir);
 }

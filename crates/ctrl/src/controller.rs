@@ -12,7 +12,7 @@
 use crate::action::{ControlAction, CtrlError};
 use crate::config::CtrlConfig;
 use crate::executor::{ClusterOps, Executor, RecoveryDriver};
-use crate::health::ClusterSnapshot;
+use crate::health::{ClusterSnapshot, ShardState};
 use crate::planner::Planner;
 use ofscil_obs::{Event, EventKind};
 use ofscil_router::RouterHandle;
@@ -98,7 +98,7 @@ impl<'a, D: RecoveryDriver> Controller<'a, D> {
         for action in &planned {
             match self.executor.execute(action, self.router, &mut self.driver) {
                 Ok(()) => {
-                    self.stamp(action);
+                    self.stamp(action, &snapshot);
                     executed.push(action.clone());
                 }
                 Err(error) => failures.push(error),
@@ -107,16 +107,66 @@ impl<'a, D: RecoveryDriver> Controller<'a, D> {
         TickReport { tick: self.tick, snapshot, planned, executed, failures }
     }
 
-    /// Stamps an executed action into the router's obs store. Migrations
-    /// already emit their own `Migration` event inside the router's
-    /// `migrate`; the recovery actions add a shard-level `Promotion` row
-    /// (deployment `shard:N`, seq = tick) next to the per-deployment
-    /// `Promotion` rows the promoted server emits itself.
-    fn stamp(&self, action: &ControlAction) {
+    /// Stamps an executed action into the router's obs store — the
+    /// control-plane audit trail. Every planner decision gets a dedicated
+    /// `Ctrl*` row carrying the evidence it was made from, so a
+    /// `chaos_recovery`-style incident reconstructs from one routed query:
+    ///
+    /// * [`PromoteFollower`](ControlAction::PromoteFollower) →
+    ///   [`CtrlPromote`](EventKind::CtrlPromote) and
+    ///   [`RestartFromStore`](ControlAction::RestartFromStore) →
+    ///   [`CtrlRestart`](EventKind::CtrlRestart), both on deployment
+    ///   `shard:N` with seq = tick, latency = the breaker dwell that
+    ///   triggered recovery (µs), energy = the shard's trailing-window
+    ///   energy and wal_bytes = its trailing-window request count,
+    /// * [`RebalanceHot`](ControlAction::RebalanceHot) →
+    ///   [`CtrlRebalance`](EventKind::CtrlRebalance) on the moved tenant,
+    ///   seq = tick, latency = source shard id, wal_bytes = target shard
+    ///   id, energy = the tenant's trailing-window energy.
+    ///
+    /// The recovery actions additionally keep the legacy shard-level
+    /// `Promotion` row (deployment `shard:N`, seq = tick) that recovery
+    /// loops and the failover scenarios key on, next to the per-deployment
+    /// `Promotion` rows the promoted server emits itself. Migrations the
+    /// rebalance performs also still emit their own `Migration` event
+    /// inside the router's `migrate`.
+    fn stamp(&self, action: &ControlAction, snapshot: &ClusterSnapshot) {
         match action {
-            ControlAction::RebalanceHot { .. } => {}
+            ControlAction::RebalanceHot { deployment, from, to } => {
+                let energy_mj = snapshot
+                    .shards
+                    .iter()
+                    .flat_map(|s| &s.deployments)
+                    .find(|d| &d.name == deployment)
+                    .map_or(0.0, |d| d.energy_mj);
+                self.router.observe(
+                    Event::new(EventKind::CtrlRebalance, deployment)
+                        .with_seq(self.tick)
+                        .with_latency_us(*from as u64)
+                        .with_wal_bytes(*to as u64)
+                        .with_energy_mj(energy_mj),
+                );
+            }
             ControlAction::PromoteFollower { shard, .. }
             | ControlAction::RestartFromStore { shard } => {
+                let kind = match action {
+                    ControlAction::PromoteFollower { .. } => EventKind::CtrlPromote,
+                    _ => EventKind::CtrlRestart,
+                };
+                let state = snapshot.shards.iter().find(|s| s.shard == *shard);
+                let dwell_us = state
+                    .and_then(|s| s.breaker_dwell)
+                    .map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64);
+                let energy_mj =
+                    state.map_or(0.0, |s| s.deployments.iter().map(|d| d.energy_mj).sum());
+                let requests = state.map_or(0, ShardState::load);
+                self.router.observe(
+                    Event::new(kind, &format!("shard:{shard}"))
+                        .with_seq(self.tick)
+                        .with_latency_us(dwell_us)
+                        .with_energy_mj(energy_mj)
+                        .with_wal_bytes(requests),
+                );
                 self.router.observe(
                     Event::new(EventKind::Promotion, &format!("shard:{shard}"))
                         .with_seq(self.tick),

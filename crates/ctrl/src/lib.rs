@@ -19,8 +19,11 @@
 //! * [`Executor`] — carries actions out through two narrow traits
 //!   ([`ClusterOps`], [`RecoveryDriver`]) with bounded, backoff-spaced
 //!   retries and typed failures; tests drive it entirely with mocks,
-//! * [`Controller`] — observe → plan → execute, stamping every recovery
-//!   back into the observability timeline,
+//! * [`Controller`] — observe → plan → execute, stamping every planner
+//!   decision back into the observability timeline as a typed audit event
+//!   (`CtrlPromote`/`CtrlRestart`/`CtrlRebalance`) carrying the snapshot
+//!   evidence — breaker dwell, trailing energy and request rates — that
+//!   justified it,
 //! * [`harness`] — thread-per-process stand-ins ([`FollowerProcess`],
 //!   [`PrimaryProcess`]) and the [`StandbyFleet`] recovery driver that
 //!   turns planner decisions into running replacements.

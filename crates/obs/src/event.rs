@@ -24,11 +24,31 @@ pub enum EventKind {
     BreakerClose,
     /// A follower was promoted to a writable primary.
     Promotion,
+    /// A follower fell behind its replication stream and re-anchored from a
+    /// fresh snapshot (`seq` is the sequence it re-anchored to).
+    Resync,
+    /// A follower applied one replicated commit (`seq` is the commit's
+    /// replication sequence number) — the heartbeat a replication-lag
+    /// timeline is read from.
+    ReplApply,
+    /// The control plane executed a `PromoteFollower` action (the
+    /// "deployment" is the pseudo-name `shard:N`; `seq` is the controller
+    /// tick, `latency_us` the breaker dwell that triggered it, and
+    /// `energy_mj` the shard's trailing request load at decision time).
+    CtrlPromote,
+    /// The control plane executed a `RestartFromStore` action (same field
+    /// encoding as [`EventKind::CtrlPromote`]).
+    CtrlRestart,
+    /// The control plane executed a `RebalanceHot` action (the "deployment"
+    /// is the migrated tenant; `seq` is the controller tick, `latency_us`
+    /// the source shard id, `wal_bytes` the target shard id, and
+    /// `energy_mj` the tenant's trailing request load at decision time).
+    CtrlRebalance,
 }
 
 impl EventKind {
     /// Every kind, in code order.
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::Infer,
         EventKind::Learn,
         EventKind::Reject,
@@ -38,6 +58,11 @@ impl EventKind {
         EventKind::BreakerOpen,
         EventKind::BreakerClose,
         EventKind::Promotion,
+        EventKind::Resync,
+        EventKind::ReplApply,
+        EventKind::CtrlPromote,
+        EventKind::CtrlRestart,
+        EventKind::CtrlRebalance,
     ];
 
     /// The stable storage/wire code of this kind.
@@ -52,6 +77,11 @@ impl EventKind {
             EventKind::BreakerOpen => 6,
             EventKind::BreakerClose => 7,
             EventKind::Promotion => 8,
+            EventKind::Resync => 9,
+            EventKind::ReplApply => 10,
+            EventKind::CtrlPromote => 11,
+            EventKind::CtrlRestart => 12,
+            EventKind::CtrlRebalance => 13,
         }
     }
 
@@ -77,6 +107,11 @@ impl EventKind {
             EventKind::BreakerOpen => "breaker-open",
             EventKind::BreakerClose => "breaker-close",
             EventKind::Promotion => "promotion",
+            EventKind::Resync => "resync",
+            EventKind::ReplApply => "repl-apply",
+            EventKind::CtrlPromote => "ctrl-promote",
+            EventKind::CtrlRestart => "ctrl-restart",
+            EventKind::CtrlRebalance => "ctrl-rebalance",
         }
     }
 }
@@ -194,7 +229,7 @@ mod tests {
             mask |= kind.bit();
             assert!(!kind.label().is_empty());
         }
-        assert_eq!(EventKind::from_code(9), None);
+        assert_eq!(EventKind::from_code(14), None);
         assert_eq!(EventKind::from_code(255), None);
     }
 

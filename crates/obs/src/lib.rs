@@ -26,6 +26,14 @@
 //!   over energy, latency and accuracy. Results merge
 //!   ([`ObsResult::merge`]), which is how a router stitches one tenant's
 //!   timeline back together across the shards a migration spread it over,
+//! * [`Rollup`] / [`Resolution`] — per-minute downsampled cells folded from
+//!   every sealed chunk (and never GC'd), so long-horizon queries are
+//!   answered from a handful of cells with aggregates exactly equal to a
+//!   raw scan's; [`Resolution::Auto`] serves rollups for history and raw
+//!   events for the trailing window, split at a bucket boundary,
+//! * [`ChunkSpill`] — the durability seam: a hook handed every sealed
+//!   chunk, implemented by `ofscil_store`'s `ObsSpill` so timelines survive
+//!   kill-and-recover ([`ObsStore::adopt_chunk`] rehydrates them),
 //! * [`Obs`] — the handle gluing the three together: a sink, a store, and a
 //!   detached collector thread draining one into the other.
 //!
@@ -53,15 +61,18 @@
 
 mod event;
 mod query;
+mod rollup;
 mod sink;
 mod store;
 
 pub use event::{Event, EventKind};
 pub use query::{
-    DeploymentRate, ObsAggregates, ObsQuery, ObsResult, Summary, DEFAULT_EVENT_LIMIT,
+    DeploymentRate, ObsAggregates, ObsQuery, ObsResult, Resolution, Summary,
+    AUTO_RAW_WINDOW_US, DEFAULT_EVENT_LIMIT,
 };
+pub use rollup::{Rollup, ROLLUP_BUCKET_US};
 pub use sink::{EventSink, ObsClock};
-pub use store::{ObsConfig, ObsCounters, ObsStore, EVENT_BYTES};
+pub use store::{ChunkSpill, ObsConfig, ObsCounters, ObsStore, EVENT_BYTES};
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};

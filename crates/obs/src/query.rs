@@ -1,11 +1,57 @@
 //! Range scans and aggregates over the columnar store.
 
 use crate::event::{Event, EventKind};
+use crate::rollup::{Rollup, ROLLUP_BUCKET_US};
 
 /// Default cap on the number of events a query materializes. Aggregates are
 /// always computed over **every** matching row; the cap only bounds the
 /// returned event list.
 pub const DEFAULT_EVENT_LIMIT: u32 = 4096;
+
+/// How wide an [`Resolution::Auto`] query's trailing raw window is: the
+/// last 10 rollup buckets are served as raw events, everything older as
+/// rollup rows.
+pub const AUTO_RAW_WINDOW_US: u64 = 10 * ROLLUP_BUCKET_US;
+
+/// What granularity a query wants its matches materialized at.
+///
+/// Aggregates are identical at every resolution (rollup cells fold the same
+/// values through the same [`Summary::observe`] path); the resolution only
+/// decides whether the result carries raw [`Event`] rows, per-minute
+/// [`Rollup`] rows, or a time-partitioned mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Resolution {
+    /// Raw events only (the default, and the only pre-v7 wire behavior).
+    #[default]
+    Raw,
+    /// Per-minute rollup rows only; `events` stays empty.
+    Rollup,
+    /// Rollups for history, raw events for the trailing
+    /// [`AUTO_RAW_WINDOW_US`] — split at a bucket boundary so no row is
+    /// counted twice.
+    Auto,
+}
+
+impl Resolution {
+    /// The stable wire code of this resolution.
+    pub fn code(self) -> u8 {
+        match self {
+            Resolution::Raw => 0,
+            Resolution::Rollup => 1,
+            Resolution::Auto => 2,
+        }
+    }
+
+    /// Inverse of [`Resolution::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Resolution> {
+        match code {
+            0 => Some(Resolution::Raw),
+            1 => Some(Resolution::Rollup),
+            2 => Some(Resolution::Auto),
+            _ => None,
+        }
+    }
+}
 
 /// A range scan: deployment, time window, sequence window, kind mask.
 ///
@@ -30,6 +76,11 @@ pub struct ObsQuery {
     /// the aggregates and set [`ObsResult::truncated`]. 0 is a pure
     /// aggregate query.
     pub limit: u32,
+    /// Granularity of the materialized rows. Sequence windows apply to raw
+    /// events only — rollup cells no longer carry per-event sequence
+    /// numbers, so a narrowed `seq` window should be paired with
+    /// [`Resolution::Raw`].
+    pub resolution: Resolution,
 }
 
 impl ObsQuery {
@@ -43,6 +94,7 @@ impl ObsQuery {
             seq_max: u64::MAX,
             kinds: 0,
             limit: DEFAULT_EVENT_LIMIT,
+            resolution: Resolution::Raw,
         }
     }
 
@@ -78,6 +130,13 @@ impl ObsQuery {
     #[must_use]
     pub fn with_limit(mut self, limit: u32) -> ObsQuery {
         self.limit = limit;
+        self
+    }
+
+    /// Sets the materialization granularity (builder style).
+    #[must_use]
+    pub fn with_resolution(mut self, resolution: Resolution) -> ObsQuery {
+        self.resolution = resolution;
         self
     }
 
@@ -195,6 +254,9 @@ pub struct ObsResult {
     /// Matching events in `(time_us, seq)` order, capped at the query's
     /// limit (earliest first).
     pub events: Vec<Event>,
+    /// Downsampled rows for the query's rollup-resolution span, in
+    /// `(bucket, deployment, kind)` order; empty at [`Resolution::Raw`].
+    pub rollups: Vec<Rollup>,
     /// Aggregates over **all** matching rows, capped by nothing.
     pub aggregates: ObsAggregates,
     /// `true` when `events` was cut short by the limit.
@@ -213,10 +275,19 @@ pub struct ObsResult {
 impl ObsResult {
     /// Merges per-shard results into one timeline: events re-sorted by
     /// `(time_us, seq)` and re-capped at `limit`, aggregates and counters
-    /// summed. This is the stitch that makes a migrated tenant's history
-    /// whole again.
+    /// summed, rollup cells absorbed by `(bucket, deployment, kind)` key.
+    /// This is the stitch that makes a migrated tenant's history whole
+    /// again.
+    ///
+    /// Identical `(deployment, time_us, seq, kind)` event rows — the
+    /// signature of a retried scatter-gather leg answering twice — are
+    /// deduplicated, and the duplicate's contribution is retracted from the
+    /// aggregates so a retry cannot double-count. Duplicates hidden past a
+    /// part's truncated event list are undetectable; `truncated` flags that
+    /// the guarantee weakened.
     pub fn merge(parts: Vec<ObsResult>, limit: usize) -> ObsResult {
         let mut merged = ObsResult::default();
+        let mut cells: Vec<Rollup> = Vec::new();
         for part in parts {
             merged.aggregates.merge(&part.aggregates);
             merged.truncated |= part.truncated;
@@ -225,13 +296,75 @@ impl ObsResult {
             merged.shards_ok += part.shards_ok;
             merged.shards_err += part.shards_err;
             merged.events.extend(part.events);
+            cells.extend(part.rollups);
         }
-        merged.events.sort_by_key(Event::order_key);
+        // Sort groups duplicate rows adjacently: the (time_us, seq) order
+        // callers rely on, with deployment and kind only breaking ties.
+        merged.events.sort_by(|a, b| {
+            a.order_key()
+                .cmp(&b.order_key())
+                .then_with(|| a.deployment.cmp(&b.deployment))
+                .then_with(|| a.kind.code().cmp(&b.kind.code()))
+                // Payload bits last, purely so identical rows end up
+                // adjacent for the dedup pass below.
+                .then_with(|| a.energy_mj.to_bits().cmp(&b.energy_mj.to_bits()))
+                .then_with(|| a.latency_us.cmp(&b.latency_us))
+                .then_with(|| a.accuracy.to_bits().cmp(&b.accuracy.to_bits()))
+                .then_with(|| a.wal_bytes.cmp(&b.wal_bytes))
+        });
+        let mut deduped: Vec<Event> = Vec::with_capacity(merged.events.len());
+        for event in merged.events.drain(..) {
+            // A retried leg's rows are identical in every field, so the
+            // payload is compared bit-exactly too (NaN accuracy included) —
+            // distinct same-microsecond events differing in any field
+            // survive.
+            if deduped.last().is_some_and(|prev| {
+                prev.time_us == event.time_us
+                    && prev.seq == event.seq
+                    && prev.kind == event.kind
+                    && prev.deployment == event.deployment
+                    && prev.energy_mj.to_bits() == event.energy_mj.to_bits()
+                    && prev.latency_us == event.latency_us
+                    && prev.accuracy.to_bits() == event.accuracy.to_bits()
+                    && prev.wal_bytes == event.wal_bytes
+            }) {
+                merged.aggregates.matched -= 1;
+                retract(&mut merged.aggregates.energy_mj, event.energy_mj);
+                retract(&mut merged.aggregates.latency_us, event.latency_us as f64);
+                retract(&mut merged.aggregates.accuracy, f64::from(event.accuracy));
+            } else {
+                deduped.push(event);
+            }
+        }
+        merged.events = deduped;
         if merged.events.len() > limit {
             merged.events.truncate(limit);
             merged.truncated = true;
         }
+        // Rollup cells with the same key from different shards are
+        // complementary slices of the same minute — absorb, don't drop.
+        cells.sort_by_key(|a| a.key());
+        for cell in cells {
+            match merged.rollups.last_mut() {
+                Some(prev) if prev.key() == cell.key() => prev.absorb(&cell),
+                _ => merged.rollups.push(cell),
+            }
+        }
+        if merged.rollups.len() > limit {
+            merged.rollups.truncate(limit);
+            merged.truncated = true;
+        }
         merged
+    }
+}
+
+/// Removes one previously-observed value from a summary's sum and count.
+/// Min/max stay valid because the retracted row was identical to one that
+/// remains.
+fn retract(summary: &mut Summary, value: f64) {
+    if value.is_finite() {
+        summary.sum -= value;
+        summary.count -= 1;
     }
 }
 
@@ -351,6 +484,56 @@ mod tests {
         assert_eq!(merged.aggregates.matched, 5);
         assert_eq!((merged.appended, merged.dropped), (5, 1));
         assert_eq!((merged.shards_ok, merged.shards_err), (2, 0));
+    }
+
+    #[test]
+    fn merge_dedups_retried_legs_but_keeps_distinct_twins() {
+        let row = Event::new(EventKind::Learn, "t")
+            .with_time_us(5)
+            .with_seq(3)
+            .with_energy_mj(0.5)
+            .with_latency_us(40);
+        let mut part = ObsResult { shards_ok: 1, appended: 1, ..ObsResult::default() };
+        part.events = vec![row.clone()];
+        part.aggregates.observe(&row);
+        let mut cell = Rollup::new(0, "t", EventKind::Learn);
+        cell.observe(&row);
+        part.rollups = vec![cell];
+
+        // The same leg answering twice: one event row survives and its
+        // duplicate's contribution is retracted from the aggregates.
+        let retried = part.clone();
+        let merged = ObsResult::merge(vec![part.clone(), retried], 16);
+        assert_eq!(merged.events.len(), 1);
+        assert_eq!(merged.aggregates.matched, 1);
+        assert_eq!(merged.aggregates.energy_mj.sum, 0.5);
+        assert_eq!(merged.aggregates.energy_mj.count, 1);
+        assert_eq!(merged.aggregates.latency_us.sum, 40.0);
+        // NaN accuracy rows never entered the accuracy summary.
+        assert_eq!(merged.aggregates.accuracy.count, 0);
+        assert_eq!((merged.shards_ok, merged.appended), (2, 2));
+        // Rollup cells with one key collapse into one absorbed cell.
+        assert_eq!(merged.rollups.len(), 1);
+
+        // A *distinct* event colliding on (deployment, time, seq, kind) but
+        // differing in payload is not a retry — both rows survive.
+        let mut twin_part = ObsResult { shards_ok: 1, appended: 1, ..ObsResult::default() };
+        let twin = row.clone().with_energy_mj(0.25);
+        twin_part.events = vec![twin.clone()];
+        twin_part.aggregates.observe(&twin);
+        let merged = ObsResult::merge(vec![part, twin_part], 16);
+        assert_eq!(merged.events.len(), 2);
+        assert_eq!(merged.aggregates.matched, 2);
+        assert_eq!(merged.aggregates.energy_mj.sum, 0.75);
+    }
+
+    #[test]
+    fn resolution_codes_roundtrip() {
+        for resolution in [Resolution::Raw, Resolution::Rollup, Resolution::Auto] {
+            assert_eq!(Resolution::from_code(resolution.code()), Some(resolution));
+        }
+        assert_eq!(Resolution::from_code(3), None);
+        assert_eq!(ObsQuery::all().resolution, Resolution::Raw);
     }
 
     #[test]

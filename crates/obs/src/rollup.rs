@@ -1,0 +1,121 @@
+//! Downsampled per-minute rollup rows for long-horizon timelines.
+//!
+//! A [`Rollup`] is one `(minute bucket, deployment, kind)` cell holding the
+//! count and the min/max/sum summaries of every event folded into it. The
+//! store folds each chunk it seals into these cells, so a query over a long
+//! horizon can be answered from a handful of rollup rows instead of a raw
+//! scan — with aggregates **exactly** equal to the raw scan's (summaries
+//! fold the same values through the same [`Summary::observe`] path, just
+//! grouped differently).
+
+use crate::event::{Event, EventKind};
+use crate::query::Summary;
+
+/// Width of one rollup bucket: a minute of microseconds.
+pub const ROLLUP_BUCKET_US: u64 = 60_000_000;
+
+/// One downsampled cell: every event of one kind, for one deployment,
+/// inside one minute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rollup {
+    /// Start of the minute bucket (`time_us - time_us % ROLLUP_BUCKET_US`).
+    pub bucket_us: u64,
+    /// Deployment the cell belongs to.
+    pub deployment: String,
+    /// Event kind the cell counts.
+    pub kind: EventKind,
+    /// Events folded in.
+    pub count: u64,
+    /// Energy column, millijoules.
+    pub energy_mj: Summary,
+    /// Latency column, microseconds.
+    pub latency_us: Summary,
+    /// Accuracy column; NaN rows are skipped, so `accuracy.count` can be
+    /// below `count`.
+    pub accuracy: Summary,
+}
+
+impl Rollup {
+    /// The bucket a timestamp falls into.
+    pub fn bucket_of(time_us: u64) -> u64 {
+        time_us - time_us % ROLLUP_BUCKET_US
+    }
+
+    /// An empty cell.
+    pub fn new(bucket_us: u64, deployment: &str, kind: EventKind) -> Rollup {
+        Rollup {
+            bucket_us,
+            deployment: deployment.to_string(),
+            kind,
+            count: 0,
+            energy_mj: Summary::empty(),
+            latency_us: Summary::empty(),
+            accuracy: Summary::empty(),
+        }
+    }
+
+    /// Folds one event in. The caller is responsible for routing the event
+    /// to the right cell; the fold itself mirrors
+    /// [`ObsAggregates::observe`](crate::ObsAggregates::observe) so rollup
+    /// aggregates stay exactly equal to raw-scan aggregates.
+    pub fn observe(&mut self, event: &Event) {
+        self.count += 1;
+        self.energy_mj.observe(event.energy_mj);
+        self.latency_us.observe(event.latency_us as f64);
+        self.accuracy.observe(f64::from(event.accuracy));
+    }
+
+    /// Folds another cell with the same key in (for merging shard results
+    /// or epoch-compacted spill rows).
+    pub fn absorb(&mut self, other: &Rollup) {
+        self.count += other.count;
+        self.energy_mj.merge(&other.energy_mj);
+        self.latency_us.merge(&other.latency_us);
+        self.accuracy.merge(&other.accuracy);
+    }
+
+    /// The grouping key: bucket, then deployment, then kind code — the sort
+    /// order rollup rows are returned in.
+    pub fn key(&self) -> (u64, String, u8) {
+        (self.bucket_us, self.deployment.clone(), self.kind.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_floors_to_the_minute() {
+        assert_eq!(Rollup::bucket_of(0), 0);
+        assert_eq!(Rollup::bucket_of(ROLLUP_BUCKET_US - 1), 0);
+        assert_eq!(Rollup::bucket_of(ROLLUP_BUCKET_US), ROLLUP_BUCKET_US);
+        assert_eq!(Rollup::bucket_of(3 * ROLLUP_BUCKET_US + 17), 3 * ROLLUP_BUCKET_US);
+    }
+
+    #[test]
+    fn observe_and_absorb_match_a_flat_fold() {
+        let events = [
+            Event::new(EventKind::Infer, "t").with_energy_mj(0.5).with_latency_us(10),
+            Event::new(EventKind::Infer, "t")
+                .with_energy_mj(0.25)
+                .with_latency_us(30)
+                .with_accuracy(0.5),
+        ];
+        let mut split_a = Rollup::new(0, "t", EventKind::Infer);
+        split_a.observe(&events[0]);
+        let mut split_b = Rollup::new(0, "t", EventKind::Infer);
+        split_b.observe(&events[1]);
+        split_a.absorb(&split_b);
+
+        let mut flat = Rollup::new(0, "t", EventKind::Infer);
+        for event in &events {
+            flat.observe(event);
+        }
+        assert_eq!(split_a, flat);
+        assert_eq!(flat.count, 2);
+        assert_eq!(flat.energy_mj.sum, 0.75);
+        assert_eq!(flat.accuracy.count, 1);
+        assert_eq!(flat.key(), (0, "t".to_string(), 0));
+    }
+}

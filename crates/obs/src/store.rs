@@ -1,11 +1,32 @@
 //! The columnar store: an active chunk absorbing appends, sealed time-sorted
 //! chunks behind it, and a byte budget enforced by evicting the oldest.
+//!
+//! Two things outlive the raw chunks. Every seal folds the chunk's rows into
+//! per-minute [`Rollup`] cells that are never GC'd, so long-horizon
+//! aggregates survive eviction. And an optional [`ChunkSpill`] hook hands
+//! each sealed chunk to a durable writer (`ofscil_store`'s `ObsSpill`), so a
+//! restarted process can adopt the spilled chunks back and answer timeline
+//! queries as if it never died.
 
 use crate::event::{Event, EventKind};
-use crate::query::{ObsQuery, ObsResult};
-use std::collections::HashMap;
+use crate::query::{ObsQuery, ObsResult, Resolution, Summary, AUTO_RAW_WINDOW_US};
+use crate::rollup::{Rollup, ROLLUP_BUCKET_US};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// A durability hook the store calls with every chunk it seals (inside the
+/// append path, so spills happen in seal order). Implementations must not
+/// block on anything slower than a local append, and must swallow their own
+/// errors into counters — observability never fails the caller.
+///
+/// Chunks *adopted* from a previous life ([`ObsStore::adopt_chunk`]) are
+/// never re-spilled, so a rehydrate-then-serve cycle does not duplicate the
+/// spill file.
+pub trait ChunkSpill: Send + Sync + std::fmt::Debug {
+    /// Persists one sealed, time-sorted chunk.
+    fn spill_chunk(&self, events: &[Event]);
+}
 
 /// Bytes one event occupies across the eight columns: deployment id (4) +
 /// kind (1) + seq (8) + time (8) + energy (8) + latency (8) + accuracy (4) +
@@ -83,6 +104,11 @@ pub struct ObsCounters {
     pub gc_chunks: u64,
     /// Rows those evictions removed.
     pub gc_events: u64,
+    /// Sealed chunks handed to the [`ChunkSpill`] hook so far (0 when no
+    /// hook is attached; adopted chunks are not re-spilled and not counted).
+    pub spilled_chunks: u64,
+    /// Per-minute rollup cells currently held (these survive GC).
+    pub rollup_rows: u64,
 }
 
 /// The eight parallel columns of one chunk.
@@ -155,6 +181,27 @@ struct SealedChunk {
     max_time: u64,
 }
 
+/// One in-memory rollup cell: the value columns of a [`Rollup`], keyed
+/// externally by `(bucket, deployment id, kind code)`.
+#[derive(Debug, Clone, Default)]
+struct RollupCell {
+    count: u64,
+    energy_mj: Summary,
+    latency_us: Summary,
+    accuracy: Summary,
+}
+
+impl RollupCell {
+    /// Mirrors [`ObsAggregates::observe`](crate::ObsAggregates::observe) so
+    /// rollup aggregates stay exactly equal to raw-scan aggregates.
+    fn observe_row(&mut self, energy_mj: f64, latency_us: u64, accuracy: f32) {
+        self.count += 1;
+        self.energy_mj.observe(energy_mj);
+        self.latency_us.observe(latency_us as f64);
+        self.accuracy.observe(f64::from(accuracy));
+    }
+}
+
 #[derive(Debug, Default)]
 struct StoreInner {
     /// Interned deployment names; column values index into this.
@@ -162,8 +209,18 @@ struct StoreInner {
     ids: HashMap<String, u32>,
     active: Columns,
     sealed: Vec<SealedChunk>,
+    /// Per-minute cells folded from every sealed chunk, keyed by
+    /// `(bucket, deployment id, kind code)`. Never GC'd — this is the
+    /// downsampled history that outlives the raw chunks.
+    rollups: BTreeMap<(u64, u32, u8), RollupCell>,
+    /// Durability hook; sealed (not adopted) chunks are handed to it.
+    spill: Option<Arc<dyn ChunkSpill>>,
+    /// Latest event timestamp ever seen (appends and adoptions); anchors
+    /// [`Resolution::Auto`]'s raw/rollup split.
+    latest_time: u64,
     gc_chunks: u64,
     gc_events: u64,
+    spilled_chunks: u64,
 }
 
 impl StoreInner {
@@ -181,6 +238,18 @@ impl StoreInner {
         self.active.len() + self.sealed.iter().map(|c| c.cols.len()).sum::<usize>()
     }
 
+    /// Folds a sealed chunk's rows into the per-minute rollup cells.
+    fn fold_rollups(&mut self, cols: &Columns) {
+        for i in 0..cols.len() {
+            let key = (Rollup::bucket_of(cols.time_us[i]), cols.deployment[i], cols.kind[i]);
+            self.rollups.entry(key).or_default().observe_row(
+                cols.energy_mj[i],
+                cols.latency_us[i],
+                cols.accuracy[i],
+            );
+        }
+    }
+
     fn seal_active(&mut self) {
         if self.active.len() == 0 {
             return;
@@ -189,6 +258,13 @@ impl StoreInner {
         cols.sort_by_time();
         let min_time = *cols.time_us.first().expect("non-empty chunk");
         let max_time = *cols.time_us.last().expect("non-empty chunk");
+        self.fold_rollups(&cols);
+        if let Some(spill) = self.spill.clone() {
+            let events: Vec<Event> =
+                (0..cols.len()).map(|i| cols.event(i, &self.names)).collect();
+            spill.spill_chunk(&events);
+            self.spilled_chunks += 1;
+        }
         self.sealed.push(SealedChunk { cols, min_time, max_time });
     }
 
@@ -246,12 +322,60 @@ impl ObsStore {
         let mut inner = self.inner.lock().expect("obs store lock");
         let id = inner.intern(&event.deployment);
         inner.active.push(id, event);
+        inner.latest_time = inner.latest_time.max(event.time_us);
         if inner.active.len() >= self.config.chunk_events {
             inner.seal_active();
             inner.gc(self.config.byte_budget);
         }
         drop(inner);
         self.appended.fetch_add(1, Ordering::Release);
+    }
+
+    /// Attaches the durability hook. Every chunk sealed **after** this call
+    /// is handed to `spill` (inside the append path, so spills happen in
+    /// seal order). Attach after rehydrating so adopted history is not
+    /// written twice.
+    pub fn set_spill(&self, spill: Arc<dyn ChunkSpill>) {
+        let mut inner = self.inner.lock().expect("obs store lock");
+        inner.spill = Some(spill);
+    }
+
+    /// Adopts one chunk spilled by a previous life: rows are re-sorted,
+    /// folded into the rollup cells, and installed as a sealed chunk (then
+    /// GC'd under the normal budget). Adopted chunks are **not** re-spilled.
+    pub fn adopt_chunk(&self, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("obs store lock");
+        let mut cols = Columns::default();
+        for event in events {
+            let id = inner.intern(&event.deployment);
+            cols.push(id, event);
+            inner.latest_time = inner.latest_time.max(event.time_us);
+        }
+        cols.sort_by_time();
+        let min_time = *cols.time_us.first().expect("non-empty chunk");
+        let max_time = *cols.time_us.last().expect("non-empty chunk");
+        inner.fold_rollups(&cols);
+        inner.sealed.push(SealedChunk { cols, min_time, max_time });
+        inner.gc(self.config.byte_budget);
+        drop(inner);
+        self.appended.fetch_add(events.len() as u64, Ordering::Release);
+    }
+
+    /// Adopts one rollup cell compacted by a previous life's spill GC —
+    /// history whose raw rows are gone but whose aggregates survive.
+    pub fn adopt_rollup(&self, rollup: &Rollup) {
+        let mut inner = self.inner.lock().expect("obs store lock");
+        let id = inner.intern(&rollup.deployment);
+        let key = (rollup.bucket_us, id, rollup.kind.code());
+        let cell = inner.rollups.entry(key).or_default();
+        cell.count += rollup.count;
+        cell.energy_mj.merge(&rollup.energy_mj);
+        cell.latency_us.merge(&rollup.latency_us);
+        cell.accuracy.merge(&rollup.accuracy);
+        inner.latest_time = inner.latest_time.max(rollup.bucket_us);
     }
 
     /// Seals the active chunk now (tests and shutdown paths; queries see the
@@ -281,13 +405,22 @@ impl ObsStore {
             resident_bytes: resident * EVENT_BYTES as u64,
             gc_chunks: inner.gc_chunks,
             gc_events: inner.gc_events,
+            spilled_chunks: inner.spilled_chunks,
+            rollup_rows: inner.rollups.len() as u64,
         }
     }
 
-    /// Runs `query` against every resident chunk: sealed chunks outside the
-    /// time window are skipped by their bounds without scanning; matching
-    /// rows are aggregated (all of them) and materialized (up to
-    /// `query.limit`, earliest first).
+    /// Runs `query` against every resident chunk and rollup cell.
+    ///
+    /// The query's resolution partitions its time window: a raw span is
+    /// scanned row-by-row (sealed chunks outside it are skipped by their
+    /// bounds; matching rows are all aggregated and materialized up to
+    /// `query.limit`, earliest first), and a rollup span is answered from
+    /// the per-minute cells — at **bucket granularity**, so a cell whose
+    /// minute intersects the span contributes whole. [`Resolution::Auto`]
+    /// splits at a bucket boundary [`AUTO_RAW_WINDOW_US`] behind the latest
+    /// event, so no row is ever counted twice; the sequence window applies
+    /// to the raw span only.
     pub fn query(&self, query: &ObsQuery) -> ObsResult {
         let inner = self.inner.lock().expect("obs store lock");
         // Resolve the deployment filter to an interned id once. A name this
@@ -308,38 +441,113 @@ impl ObsStore {
             }
         };
 
-        let mut result = ObsResult { shards_ok: 1, ..ObsResult::default() };
-        let mut scan = |cols: &Columns| {
-            for i in 0..cols.len() {
-                if let Some(id) = want_id {
-                    if cols.deployment[i] != id {
-                        continue;
-                    }
+        // Inclusive spans; None means "nothing at this granularity".
+        let (raw_span, roll_span) = match query.resolution {
+            Resolution::Raw => (Some((query.time_min, query.time_max)), None),
+            Resolution::Rollup => (None, Some((query.time_min, query.time_max))),
+            Resolution::Auto => {
+                let effective_max = query.time_max.min(inner.latest_time);
+                let split = Rollup::bucket_of(effective_max.saturating_sub(AUTO_RAW_WINDOW_US));
+                if split <= query.time_min {
+                    (Some((query.time_min, query.time_max)), None)
+                } else {
+                    (Some((split, query.time_max)), Some((query.time_min, split - 1)))
                 }
-                if !query.matches_windows(cols.time_us[i], cols.seq[i]) {
-                    continue;
-                }
-                if !query.matches_kind_code(cols.kind[i]) {
-                    continue;
-                }
-                let event = cols.event(i, &inner.names);
-                result.aggregates.observe(&event);
-                result.events.push(event);
             }
         };
-        for chunk in &inner.sealed {
-            if chunk.max_time < query.time_min || chunk.min_time > query.time_max {
-                continue;
+
+        let mut result = ObsResult { shards_ok: 1, ..ObsResult::default() };
+
+        if let Some((raw_min, raw_max)) = raw_span {
+            let mut scan = |cols: &Columns| {
+                for i in 0..cols.len() {
+                    if let Some(id) = want_id {
+                        if cols.deployment[i] != id {
+                            continue;
+                        }
+                    }
+                    if cols.time_us[i] < raw_min
+                        || cols.time_us[i] > raw_max
+                        || cols.seq[i] < query.seq_min
+                        || cols.seq[i] > query.seq_max
+                    {
+                        continue;
+                    }
+                    if !query.matches_kind_code(cols.kind[i]) {
+                        continue;
+                    }
+                    let event = cols.event(i, &inner.names);
+                    result.aggregates.observe(&event);
+                    result.events.push(event);
+                }
+            };
+            for chunk in &inner.sealed {
+                if chunk.max_time < raw_min || chunk.min_time > raw_max {
+                    continue;
+                }
+                scan(&chunk.cols);
             }
-            scan(&chunk.cols);
+            scan(&inner.active);
         }
-        scan(&inner.active);
+
+        if let Some((roll_min, roll_max)) = roll_span {
+            let in_span = |bucket: u64| {
+                bucket.saturating_add(ROLLUP_BUCKET_US - 1) >= roll_min && bucket <= roll_max
+            };
+            let mut cells: BTreeMap<(u64, u32, u8), RollupCell> = BTreeMap::new();
+            for (&(bucket, dep, kind), cell) in &inner.rollups {
+                if !in_span(bucket) || !query.matches_kind_code(kind) {
+                    continue;
+                }
+                if want_id.is_some_and(|id| id != dep) {
+                    continue;
+                }
+                cells.insert((bucket, dep, kind), cell.clone());
+            }
+            // The active chunk has not been folded yet — fold its in-span
+            // rows on the fly so a rollup answer never lags the raw one.
+            for i in 0..inner.active.len() {
+                let bucket = Rollup::bucket_of(inner.active.time_us[i]);
+                if !in_span(bucket) || !query.matches_kind_code(inner.active.kind[i]) {
+                    continue;
+                }
+                if want_id.is_some_and(|id| id != inner.active.deployment[i]) {
+                    continue;
+                }
+                let key = (bucket, inner.active.deployment[i], inner.active.kind[i]);
+                cells.entry(key).or_default().observe_row(
+                    inner.active.energy_mj[i],
+                    inner.active.latency_us[i],
+                    inner.active.accuracy[i],
+                );
+            }
+            for ((bucket, dep, kind), cell) in cells {
+                result.aggregates.matched += cell.count;
+                result.aggregates.energy_mj.merge(&cell.energy_mj);
+                result.aggregates.latency_us.merge(&cell.latency_us);
+                result.aggregates.accuracy.merge(&cell.accuracy);
+                result.rollups.push(Rollup {
+                    bucket_us: bucket,
+                    deployment: inner.names.get(dep as usize).cloned().unwrap_or_default(),
+                    kind: EventKind::from_code(kind).unwrap_or(EventKind::Infer),
+                    count: cell.count,
+                    energy_mj: cell.energy_mj,
+                    latency_us: cell.latency_us,
+                    accuracy: cell.accuracy,
+                });
+            }
+        }
         drop(inner);
 
         result.events.sort_by_key(Event::order_key);
         let limit = query.limit as usize;
         if result.events.len() > limit {
             result.events.truncate(limit);
+            result.truncated = true;
+        }
+        result.rollups.sort_by_key(|a| a.key());
+        if result.rollups.len() > limit {
+            result.rollups.truncate(limit);
             result.truncated = true;
         }
         result.appended = self.appended();
@@ -426,6 +634,106 @@ mod tests {
         assert_eq!(result.events[0].time_us, 0);
         assert_eq!(result.aggregates.matched, 10);
         assert_eq!(result.aggregates.energy_mj.sum, 10.0);
+    }
+
+    #[derive(Debug, Default)]
+    struct MemSpill {
+        chunks: Mutex<Vec<Vec<Event>>>,
+    }
+
+    impl ChunkSpill for MemSpill {
+        fn spill_chunk(&self, events: &[Event]) {
+            self.chunks.lock().unwrap().push(events.to_vec());
+        }
+    }
+
+    #[test]
+    fn seal_spills_sorted_chunks_but_adopt_does_not() {
+        let spill = Arc::new(MemSpill::default());
+        let store = ObsStore::new(ObsConfig::default().with_chunk_events(2));
+        store.set_spill(Arc::clone(&spill) as Arc<dyn ChunkSpill>);
+        store.append(&event("t", 20, 1));
+        store.append(&event("t", 10, 0));
+        let spilled = spill.chunks.lock().unwrap().clone();
+        assert_eq!(spilled.len(), 1);
+        assert_eq!(
+            spilled[0].iter().map(|e| e.time_us).collect::<Vec<_>>(),
+            vec![10, 20],
+            "chunks are spilled time-sorted"
+        );
+        assert_eq!(store.counters().spilled_chunks, 1);
+
+        // A second store adopting the spilled chunk answers identically —
+        // and does not write the history back out.
+        let reborn = ObsStore::new(ObsConfig::default().with_chunk_events(2));
+        reborn.adopt_chunk(&spilled[0]);
+        reborn.set_spill(Arc::clone(&spill) as Arc<dyn ChunkSpill>);
+        let key = |r: &ObsResult| {
+            r.events.iter().map(|e| (e.time_us, e.seq, e.deployment.clone())).collect::<Vec<_>>()
+        };
+        assert_eq!(key(&reborn.query(&ObsQuery::all())), key(&store.query(&ObsQuery::all())));
+        assert_eq!(reborn.appended(), 2);
+        assert_eq!(reborn.counters().spilled_chunks, 0);
+        assert_eq!(spill.chunks.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rollup_resolution_matches_raw_aggregates_and_survives_gc() {
+        let store = ObsStore::new(ObsConfig::default().with_chunk_events(3));
+        // Rows across two minute buckets, some still in the active chunk.
+        for i in 0..8u64 {
+            store.append(
+                &event("t", i * ROLLUP_BUCKET_US / 4, i).with_energy_mj(0.25 * (i + 1) as f64),
+            );
+        }
+        let raw = store.query(&ObsQuery::deployment("t"));
+        let rolled = store
+            .query(&ObsQuery::deployment("t").with_resolution(Resolution::Rollup));
+        assert!(rolled.events.is_empty());
+        assert!(!rolled.rollups.is_empty());
+        assert_eq!(rolled.aggregates, raw.aggregates);
+        assert_eq!(
+            rolled.rollups.iter().map(|r| r.count).sum::<u64>(),
+            raw.aggregates.matched
+        );
+        assert_eq!(store.counters().rollup_rows as usize, 2);
+
+        // Evict every raw chunk: the rollup answer is unchanged.
+        let tight = ObsStore::new(
+            ObsConfig::default().with_chunk_events(2).with_byte_budget(EVENT_BYTES),
+        );
+        for i in 0..6u64 {
+            tight.append(&event("t", i, i));
+        }
+        assert!(tight.counters().gc_chunks > 0);
+        let rolled = tight
+            .query(&ObsQuery::deployment("t").with_resolution(Resolution::Rollup));
+        assert_eq!(rolled.aggregates.matched, 6, "rollups outlive GC'd chunks");
+    }
+
+    #[test]
+    fn auto_resolution_partitions_exactly_at_a_bucket_boundary() {
+        let store = ObsStore::new(ObsConfig::default().with_chunk_events(4));
+        // 20 minutes of one event per minute: the trailing AUTO_RAW_WINDOW_US
+        // (10 buckets) comes back raw, older minutes as rollup cells.
+        for i in 0..20u64 {
+            store.append(&event("t", i * ROLLUP_BUCKET_US + 7, i));
+        }
+        let auto = store
+            .query(&ObsQuery::deployment("t").with_resolution(Resolution::Auto));
+        let raw = store.query(&ObsQuery::deployment("t"));
+        assert_eq!(auto.aggregates, raw.aggregates, "no row lost or double-counted");
+        assert!(!auto.events.is_empty() && !auto.rollups.is_empty());
+        let split = auto.events.first().unwrap().time_us;
+        assert!(auto.rollups.iter().all(|r| r.bucket_us + ROLLUP_BUCKET_US <= split + 7));
+        // A short window stays fully raw.
+        let recent = store.query(
+            &ObsQuery::deployment("t")
+                .with_resolution(Resolution::Auto)
+                .with_time_range(19 * ROLLUP_BUCKET_US, u64::MAX),
+        );
+        assert!(recent.rollups.is_empty());
+        assert_eq!(recent.events.len(), 1);
     }
 
     #[test]

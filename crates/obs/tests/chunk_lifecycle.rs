@@ -103,7 +103,10 @@ impl Model {
 const DEPLOYMENTS: [&str; 3] = ["tenant-a", "tenant-b", "shard:0"];
 
 fn random_event(rng: &mut Rng, seq: u64) -> Event {
-    let kind = ofscil_obs::EventKind::from_code(rng.below(9) as u8).unwrap();
+    let kind = ofscil_obs::EventKind::from_code(
+        rng.below(ofscil_obs::EventKind::ALL.len() as u64) as u8,
+    )
+    .unwrap();
     let deployment = DEPLOYMENTS[rng.below(3) as usize];
     // Clustered timestamps with deliberate collisions: unique seqs (the
     // append index) make `(time, seq)` a total order regardless.

@@ -16,8 +16,9 @@
 //!   calibration),
 //! * [`obs`] — the columnar time-series event store for cluster
 //!   observability: non-blocking event sinks on the serving hot path,
-//!   chunked time-sorted storage with a byte budget, and range/aggregate
-//!   timeline queries that merge across shards,
+//!   chunked time-sorted storage with a byte budget, per-minute rollups
+//!   that remember what GC forgot, and range/aggregate timeline queries
+//!   (raw, rollup or auto resolution) that merge across shards,
 //! * [`serve`] — the multi-tenant serving runtime: request batching,
 //!   energy-budget admission and explicit-memory snapshots for long-lived
 //!   deployments,
@@ -101,7 +102,8 @@ pub mod prelude {
     pub use ofscil_nn::profile::{profile_backbone, profile_with_fcr};
     pub use ofscil_nn::{Layer, Mode};
     pub use ofscil_obs::{
-        Event, EventKind, EventSink, Obs, ObsConfig, ObsQuery, ObsResult,
+        ChunkSpill, Event, EventKind, EventSink, Obs, ObsConfig, ObsQuery, ObsResult,
+        ObsStore, Resolution, Rollup,
     };
     pub use ofscil_quant::{ExplicitMemoryFootprint, FakeQuant, PrototypePrecision, QuantTensor};
     pub use ofscil_router::{
@@ -114,7 +116,9 @@ pub mod prelude {
         LearnerRegistry, PendingResponse, ServeClient, ServeConfig, ServeError, ServeRequest,
         ServeResponse, ServeRuntime,
     };
-    pub use ofscil_store::{RecoveryReport, Store, StoreConfig, StoreError, SyncPolicy};
+    pub use ofscil_store::{
+        ObsSpill, RecoveryReport, SpillRecovery, Store, StoreConfig, StoreError, SyncPolicy,
+    };
     pub use ofscil_tensor::{SeedRng, Tensor};
     pub use ofscil_wire::{
         BoundAddr, Follower, FollowerConfig, ReplEvent, WireBind, WireClient, WireConfig,

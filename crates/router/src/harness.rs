@@ -11,6 +11,7 @@
 
 use ofscil_obs::Obs;
 use ofscil_serve::LearnerRegistry;
+use ofscil_store::Store;
 use ofscil_wire::{BoundAddr, WireConfig, WireError, WireServer};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -52,10 +53,37 @@ impl ShardProcess {
         config: WireConfig,
         obs: Option<Obs>,
     ) -> Result<Self, WireError> {
+        ShardProcess::spawn_durable_observed(registry, config, None, obs)
+    }
+
+    /// Like [`ShardProcess::spawn_observed`], but additionally backed by a
+    /// durable [`Store`]: commits are journaled, and with an observability
+    /// handle attached the server also opens the store's obs spill log —
+    /// rehydrating any previously spilled timeline before serving, writing
+    /// sealed chunks through while serving. Kill this shard (drop or
+    /// [`ShardProcess::stop`]) and respawn it over the same store directory
+    /// with a *fresh* obs handle, and its timeline picks up where it left
+    /// off — the restart-survival path `examples/timeline.rs` demonstrates.
+    ///
+    /// The store is owned by the shard's thread for the server's lifetime,
+    /// mirroring a real process owning its data directory. Call
+    /// [`Store::bootstrap`](ofscil_store::Store::bootstrap) before handing
+    /// the store in, exactly as with `WireServer::run_with_store`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's bind (or spill-open) error when the shard never
+    /// came up.
+    pub fn spawn_durable_observed(
+        registry: Arc<LearnerRegistry>,
+        config: WireConfig,
+        store: Option<Store>,
+        obs: Option<Obs>,
+    ) -> Result<Self, WireError> {
         let (addr_tx, addr_rx) = mpsc::channel();
         let (stop_tx, stop_rx) = mpsc::channel::<()>();
         let join = std::thread::spawn(move || {
-            WireServer::run_observed(&registry, &config, None, obs.as_ref(), |handle| {
+            WireServer::run_observed(&registry, &config, store.as_ref(), obs.as_ref(), |handle| {
                 let _ = addr_tx.send(handle.addr().clone());
                 // Blocks until `stop` fires or the ShardProcess is dropped
                 // (sender gone ⇒ recv errors ⇒ the server tears down).

@@ -251,6 +251,14 @@ pub struct ShardStats {
     /// Set when the shard could not be queried; `deployments` is then
     /// whatever was gathered before the failure.
     pub error: Option<String>,
+    /// Events ever appended to the shard's observability store. Zero when
+    /// the shard has observability disabled (or could not be asked).
+    pub obs_events: u64,
+    /// Events the shard's bounded observability sink shed under overload —
+    /// the load-shedding honesty counter, surfaced per shard so a control
+    /// plane can see *which* member is dropping its own telemetry. Zero when
+    /// observability is disabled.
+    pub obs_dropped: u64,
 }
 
 /// What one live migration did.
@@ -538,8 +546,15 @@ impl RouterHandle<'_> {
 /// nothing asked it anything.
 fn gather_shard_stats(pool: &ShardPool, shard: usize, names: &[String]) -> ShardStats {
     let addr = pool.addr(shard).expect("shard id from the ring");
-    let mut stats =
-        ShardStats { shard, addr, deployments: Vec::new(), reachable: true, error: None };
+    let mut stats = ShardStats {
+        shard,
+        addr,
+        deployments: Vec::new(),
+        reachable: true,
+        error: None,
+        obs_events: 0,
+        obs_dropped: 0,
+    };
     if names.is_empty() {
         if let Ok(health) = pool.probe(shard) {
             if !health.healthy {
@@ -548,6 +563,7 @@ fn gather_shard_stats(pool: &ShardPool, shard: usize, names: &[String]) -> Shard
                     Some(health.last_error.unwrap_or_else(|| "probe failed".to_string()));
             }
         }
+        gather_obs_counters(pool, shard, &mut stats);
         return stats;
     }
     for name in names {
@@ -571,7 +587,24 @@ fn gather_shard_stats(pool: &ShardPool, shard: usize, names: &[String]) -> Shard
             }
         }
     }
+    if stats.reachable {
+        gather_obs_counters(pool, shard, &mut stats);
+    }
     stats
+}
+
+/// Fills a slice's observability counters with one cheap probe query: zero
+/// event limit and an empty time window, so the shard answers only its
+/// `appended`/`dropped` totals without scanning a single chunk. A shard
+/// without observability (typed refusal) or out of reach keeps the zeros —
+/// the counters are telemetry about telemetry, never worth failing a
+/// cluster read over.
+fn gather_obs_counters(pool: &ShardPool, shard: usize, stats: &mut ShardStats) {
+    let probe = ofscil_obs::ObsQuery::all().with_limit(0).with_time_range(u64::MAX, u64::MAX);
+    if let Ok(result) = pool.with_conn(shard, true, |conn| conn.obs_query(&probe)) {
+        stats.obs_events = result.appended;
+        stats.obs_dropped = result.dropped;
+    }
 }
 
 /// Export → import → remap, with the placement write lock already held. The
@@ -883,14 +916,30 @@ fn obs_scatter(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
 /// The scatter itself, on a decoded query — shared between the wire path
 /// above and [`RouterHandle::obs_query`] (the in-process path a co-located
 /// control plane reads the cluster through without a socket round trip).
+///
+/// Beyond the ring shards, every *advertised follower* gets its own leg: a
+/// replica runs its own event store (replication applies, resyncs), and
+/// those rows belong in the same merged timeline — replication lag is
+/// invisible if only primaries are asked. Follower addresses arrive as
+/// display strings over `AdvertiseFollower`, so each leg re-parses with
+/// [`BoundAddr::parse`] and dials a fresh connection (followers are not
+/// ring members and have no pooled slot); an unparsable or unreachable
+/// follower counts in [`ObsResult::shards_err`] like a dead shard.
 fn obs_scatter_query(shared: &Shared, query: &ofscil_obs::ObsQuery) -> ObsResult {
     let shard_ids = {
         let placement = shared.placement.read().expect("placement lock poisoned");
         placement.ring.shard_ids()
     };
+    let follower_addrs: Vec<String> = {
+        let followers = shared.followers.lock().expect("follower registry poisoned");
+        let mut list: Vec<String> = followers.values().flatten().cloned().collect();
+        list.sort_unstable();
+        list.dedup();
+        list
+    };
     let pool = &shared.pool;
     let results: Vec<Result<ObsResult, RouterError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shard_ids
+        let shard_handles: Vec<_> = shard_ids
             .iter()
             .map(|&shard| {
                 scope.spawn(move || {
@@ -898,8 +947,15 @@ fn obs_scatter_query(shared: &Shared, query: &ofscil_obs::ObsQuery) -> ObsResult
                 })
             })
             .collect();
-        handles
+        let follower_handles: Vec<_> = follower_addrs
+            .iter()
+            .map(|advertised| {
+                scope.spawn(move || query_follower_obs(advertised, query))
+            })
+            .collect();
+        shard_handles
             .into_iter()
+            .chain(follower_handles)
             .map(|handle| handle.join().expect("obs scatter thread panicked"))
             .collect()
     });
@@ -917,8 +973,9 @@ fn obs_scatter_query(shared: &Shared, query: &ofscil_obs::ObsQuery) -> ObsResult
     }
     if let Some(obs) = &shared.obs {
         // The router's own timeline carries the cluster events (migrations,
-        // breaker transitions) that explain the per-shard slices. Its source
-        // counters are zeroed so only real shards count in the totals below.
+        // breaker transitions, control-plane decisions) that explain the
+        // per-shard slices. Its source counters are zeroed so only real
+        // shards count in the totals below.
         let mut local = obs.query(query);
         local.shards_ok = 0;
         local.shards_err = 0;
@@ -928,6 +985,20 @@ fn obs_scatter_query(shared: &Shared, query: &ofscil_obs::ObsQuery) -> ObsResult
     merged.shards_ok = shards_ok;
     merged.shards_err = shards_err;
     merged
+}
+
+/// One follower leg of the observability scatter: re-parse the advertised
+/// display string, dial a fresh connection (followers have no pooled slot),
+/// and run the query.
+fn query_follower_obs(
+    advertised: &str,
+    query: &ofscil_obs::ObsQuery,
+) -> Result<ObsResult, RouterError> {
+    let addr = BoundAddr::parse(advertised).ok_or_else(|| {
+        RouterError::InvalidConfig(format!("unparsable follower address {advertised:?}"))
+    })?;
+    let mut client = ofscil_wire::WireClient::connect(&addr)?;
+    Ok(client.obs_query(query)?)
 }
 
 #[cfg(test)]

@@ -229,6 +229,12 @@ pub fn scenarios() -> &'static [Scenario] {
             run: crate::scenarios::chaos_recovery,
         },
         Scenario {
+            name: "obs_soak",
+            summary: "durable-obs soak: spill GC, rollup contract, torn-tail kill + rehydrate",
+            smoke: false,
+            run: crate::scenarios::obs_soak,
+        },
+        Scenario {
             name: "audit",
             summary: "FSCIL learning-quality audit through the serve path vs NCM/ETF baselines",
             smoke: true,

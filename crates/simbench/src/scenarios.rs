@@ -1092,3 +1092,147 @@ pub fn stale_replay(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
     .ctx("serve runtime")??;
     Ok(report)
 }
+
+/// Scratch directory for the obs-soak spill log (wiped on entry so reruns in
+/// the same process tree start clean).
+fn obs_soak_dir() -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ofscil-simbench-obs-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    let _ = std::fs::create_dir_all(&path);
+    path
+}
+
+/// A durability soak on the observability pipeline itself: a seeded event
+/// stream (explicit timestamps — no wall clock anywhere, so every counter
+/// in this scenario is `Exact`-gated) is appended through an [`ObsStore`]
+/// whose sealed chunks spill into an [`ObsSpill`] log with a budget small
+/// enough that the log's own GC must fold old chunks into rollup records
+/// mid-soak. The scenario checks the rollup contract on the live store
+/// (raw, rollup and auto resolutions must agree exactly), then kills the
+/// store mid-chunk, tears garbage onto the spill log's tail, reopens it,
+/// and requires the rehydrated store to account for **every sealed event**
+/// — through a raw chunk if it survived the spill GC, through a rollup
+/// cell if it did not — with aggregates identical to a reference store
+/// that never died.
+pub fn obs_soak(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
+    use ofscil::obs::ROLLUP_BUCKET_US;
+    const CHUNK: usize = 32;
+    const TOTAL: usize = 1_500;
+    const BUCKETS: usize = 20;
+    /// A few KiB: forces the spill log's budget GC to compact during the
+    /// soak, so recovery exercises the rollup-record path too.
+    const SPILL_BUDGET: u64 = 8 * 1024;
+
+    let dir = obs_soak_dir();
+    let spill_path = dir.join("obs.spill");
+    let (spill, fresh) = ObsSpill::open_with(&spill_path, SPILL_BUDGET).ctx("open spill")?;
+    if !fresh.chunks.is_empty() || !fresh.rollups.is_empty() {
+        return Err(sim_err("fresh spill log was not empty"));
+    }
+    let store = ObsStore::new(ObsConfig::default().with_chunk_events(CHUNK));
+    store.set_spill(Arc::new(spill));
+
+    // The reference never dies and sees exactly the events that will have
+    // been sealed (and therefore spilled) when the kill lands.
+    let sealed_events = TOTAL / CHUNK * CHUNK;
+    let reference = ObsStore::new(ObsConfig::default().with_chunk_events(CHUNK));
+
+    let mut rng = SeedRng::new(ctx.rng_seed());
+    let bucket = ROLLUP_BUCKET_US as usize;
+    for seq in 0..TOTAL {
+        let kind = EventKind::ALL[rng.below(EventKind::ALL.len())];
+        // Exact binary fractions: sums stay bit-identical no matter how
+        // chunks and rollup cells regroup them.
+        let accuracy =
+            if rng.below(4) == 0 { f32::NAN } else { rng.below(65) as f32 / 64.0 };
+        let event = Event::new(kind, &format!("cam-{}", rng.below(3)))
+            .with_seq(seq as u64)
+            .with_time_us((rng.below(BUCKETS) * bucket + rng.below(bucket)) as u64)
+            .with_energy_mj(rng.below(256) as f64 * 0.25)
+            .with_latency_us(rng.below(5_000) as u64)
+            .with_accuracy(accuracy)
+            .with_wal_bytes(rng.below(1 << 20) as u64);
+        ctx.timed(|| store.append(&event));
+        if seq < sealed_events {
+            reference.append(&event);
+        }
+    }
+
+    // The rollup contract on the live store: every resolution answers the
+    // same aggregates, and the cell counts cover every matched row.
+    let mut matched_total = 0u64;
+    let mut rollup_cells = 0u64;
+    for query in [
+        ObsQuery::all(),
+        ObsQuery::deployment("cam-0"),
+        ObsQuery::all().with_kinds(&[EventKind::Learn, EventKind::CtrlPromote]),
+    ] {
+        let raw = store.query(&query.clone().with_resolution(Resolution::Raw));
+        let rolled = store.query(&query.clone().with_resolution(Resolution::Rollup));
+        let auto = store.query(&query.clone().with_resolution(Resolution::Auto));
+        if rolled.aggregates != raw.aggregates || auto.aggregates != raw.aggregates {
+            return Err(sim_err(format!("resolutions disagree for {query:?}")));
+        }
+        if rolled.rollups.iter().map(|r| r.count).sum::<u64>() != raw.aggregates.matched {
+            return Err(sim_err(format!("rollup cells lost rows for {query:?}")));
+        }
+        matched_total += raw.aggregates.matched;
+        rollup_cells += rolled.rollups.len() as u64;
+    }
+    let pre_kill = store.counters();
+    if pre_kill.appended != TOTAL as u64 {
+        return Err(sim_err(format!("store appended {} != {TOTAL}", pre_kill.appended)));
+    }
+
+    // The kill: the active chunk dies unsealed with the process, and the
+    // spill log gets garbage torn onto its tail mid-write.
+    drop(store);
+    let mut bytes = std::fs::read(&spill_path).ctx("read spill")?;
+    bytes.extend_from_slice(&[0x01, 0xff, 0xff, 0x00, 0xde, 0xad]);
+    std::fs::write(&spill_path, &bytes).ctx("tear spill tail")?;
+
+    // Recovery: reopen, rehydrate into a brand-new store.
+    let (spill, recovery) =
+        ObsSpill::open_with(&spill_path, SPILL_BUDGET).ctx("reopen spill")?;
+    if recovery.epoch == 0 {
+        return Err(sim_err("spill GC never compacted despite the tight budget"));
+    }
+    let rehydrated = ObsStore::new(ObsConfig::default().with_chunk_events(CHUNK));
+    recovery.rehydrate_into(&rehydrated);
+    rehydrated.set_spill(Arc::new(spill));
+
+    // Every sealed event is still accounted for, and the downsampled
+    // history is identical to the reference that never died.
+    let want = reference.query(&ObsQuery::all().with_resolution(Resolution::Rollup));
+    let got = rehydrated.query(&ObsQuery::all().with_resolution(Resolution::Rollup));
+    if got.aggregates != want.aggregates {
+        return Err(sim_err(format!(
+            "rehydrated aggregates diverged: {:?} != {:?}",
+            got.aggregates, want.aggregates
+        )));
+    }
+    if got.aggregates.matched != sealed_events as u64 {
+        return Err(sim_err(format!(
+            "rehydrated store accounts for {} of {sealed_events} sealed events",
+            got.aggregates.matched
+        )));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut report = ScenarioReport::new("obs_soak");
+    report.int("events", TOTAL as i64, Gate::Exact);
+    report.int("sealed_events", sealed_events as i64, Gate::Exact);
+    report.int("spilled_chunks", pre_kill.spilled_chunks as i64, Gate::Exact);
+    report.int("rollup_rows", pre_kill.rollup_rows as i64, Gate::Exact);
+    report.int("matched_total", matched_total as i64, Gate::Exact);
+    report.int("rollup_cells", rollup_cells as i64, Gate::Exact);
+    report.int("recovered_chunks", recovery.chunks.len() as i64, Gate::Exact);
+    report.int("recovered_chunk_events", recovery.events() as i64, Gate::Exact);
+    report.int("recovered_rollup_cells", recovery.rollups.len() as i64, Gate::Exact);
+    report.int("spill_epoch", recovery.epoch as i64, Gate::Exact);
+    report.int("corrupt_records", recovery.corrupt_records as i64, Gate::Exact);
+    report.int("rehydrated_matched", got.aggregates.matched as i64, Gate::Exact);
+    report.int("sealed_window_identical", 1, Gate::Exact);
+    Ok(report)
+}

@@ -19,6 +19,11 @@
 //! * [`compact_records`] — delta compaction: runs of records overwriting the
 //!   same class slots collapse to the newest prototype per class, bounding
 //!   replay cost by live classes instead of total writes,
+//! * [`ObsSpill`] — durable spill for `ofscil_obs` timelines: sealed chunk
+//!   records with torn-tail tolerance, budget-driven compaction of old
+//!   chunks into per-minute rollup records under a bumped epoch, and
+//!   [`SpillRecovery::rehydrate_into`] so a restarted shard's timeline
+//!   queries answer as if it never died,
 //! * [`Store`] — the per-deployment file store: journaling (it implements
 //!   `ofscil_serve`'s [`CommitJournal`](ofscil_serve::CommitJournal) hook),
 //!   crash [`recovery`](Store::recover), [`bootstrap`](Store::bootstrap) for
@@ -61,11 +66,16 @@
 #![warn(missing_docs)]
 
 mod error;
+mod obs_spill;
 mod oplog;
 mod store;
 mod wal;
 
 pub use error::StoreError;
+pub use obs_spill::{
+    ObsSpill, SpillRecovery, SpillStats, DEFAULT_SPILL_BUDGET, REC_CHUNK, REC_ROLLUP,
+    SPILL_FILE,
+};
 pub use oplog::{OpLog, RawRecord, SyncPolicy, LOG_MAGIC, LOG_VERSION};
 pub use store::{RecoveryReport, Store, StoreConfig};
 pub use wal::{

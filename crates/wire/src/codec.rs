@@ -18,7 +18,7 @@
 //! 0x07   Request  Export       deployment          (migration source)
 //! 0x08   Request  Import       deployment, seq, snapshot (migration target)
 //! 0x09   Request  ReAnchor     deployment          (checkpoint-served Full)
-//! 0x0A   Request  ObsQuery     deployment, windows, kind mask, limit (scatter)
+//! 0x0A   Request  ObsQuery     deployment, windows, kind mask, limit, resolution (scatter)
 //! 0x41   Response Prediction   class, similarity, batched_with
 //! 0x42   Response Learned      classes, total
 //! 0x43   Response Snapshot     opaque snapshot-codec bytes
@@ -39,7 +39,9 @@
 use crate::error::PayloadError;
 use crate::frame::frame_bytes;
 use ofscil_data::Batch;
-use ofscil_obs::{Event, EventKind, ObsAggregates, ObsQuery, ObsResult, Summary};
+use ofscil_obs::{
+    Event, EventKind, ObsAggregates, ObsQuery, ObsResult, Resolution, Rollup, Summary,
+};
 use ofscil_serve::{
     DeploymentExport, DeploymentStats, ExportStats, ServeError, ServeRequest, ServeResponse,
 };
@@ -417,6 +419,7 @@ pub fn encode_request(request: &WireRequest) -> Vec<u8> {
             put_u64(&mut payload, query.seq_max);
             put_u32(&mut payload, u32::from(query.kinds));
             put_u32(&mut payload, query.limit);
+            payload.push(query.resolution.code());
             KIND_REQ_OBS_QUERY
         }
         WireRequest::AdvertiseFollower { upstream, follower } => {
@@ -569,6 +572,10 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<WireRequest, PayloadEr
             let kinds = u16::try_from(kinds)
                 .map_err(|_| PayloadError::ValueOverflow { field: "kinds", value: u64::from(kinds) })?;
             let limit = r.u32()?;
+            let resolution_code = r.u8()?;
+            let resolution = Resolution::from_code(resolution_code).ok_or(
+                PayloadError::BadTag { field: "obs resolution", tag: resolution_code },
+            )?;
             WireRequest::ObsQuery(ObsQuery {
                 deployment,
                 time_min,
@@ -577,6 +584,7 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<WireRequest, PayloadEr
                 seq_max,
                 kinds,
                 limit,
+                resolution,
             })
         }
         KIND_REQ_ADVERTISE => WireRequest::AdvertiseFollower {
@@ -742,6 +750,37 @@ fn read_stats(r: &mut Reader<'_>) -> Result<DeploymentStats, PayloadError> {
 // kind (1) + seq/time/latency/wal (4×8) + energy (8) + accuracy (4).
 const OBS_EVENT_MIN_BYTES: usize = 49;
 
+// Minimum encoded size of one rollup cell: bucket (8) + deployment length
+// prefix (4) + kind (1) + count (8) + three 32-byte summaries.
+const OBS_ROLLUP_MIN_BYTES: usize = 117;
+
+fn put_rollup(out: &mut Vec<u8>, rollup: &Rollup) {
+    put_u64(out, rollup.bucket_us);
+    put_string(out, &rollup.deployment);
+    out.push(rollup.kind.code());
+    put_u64(out, rollup.count);
+    put_summary(out, &rollup.energy_mj);
+    put_summary(out, &rollup.latency_us);
+    put_summary(out, &rollup.accuracy);
+}
+
+fn read_rollup(r: &mut Reader<'_>) -> Result<Rollup, PayloadError> {
+    let bucket_us = r.u64()?;
+    let deployment = r.string()?;
+    let kind_code = r.u8()?;
+    let kind = EventKind::from_code(kind_code)
+        .ok_or(PayloadError::BadTag { field: "obs rollup kind", tag: kind_code })?;
+    Ok(Rollup {
+        bucket_us,
+        deployment,
+        kind,
+        count: r.u64()?,
+        energy_mj: read_summary(r)?,
+        latency_us: read_summary(r)?,
+        accuracy: read_summary(r)?,
+    })
+}
+
 fn put_obs_event(out: &mut Vec<u8>, event: &Event) {
     put_string(out, &event.deployment);
     out.push(event.kind.code());
@@ -860,6 +899,10 @@ pub fn encode_response(response: &WireResponse) -> Vec<u8> {
             put_u64(&mut payload, result.dropped);
             put_u32(&mut payload, result.shards_ok);
             put_u32(&mut payload, result.shards_err);
+            put_u32(&mut payload, result.rollups.len() as u32);
+            for rollup in &result.rollups {
+                put_rollup(&mut payload, rollup);
+            }
             KIND_RESP_OBS
         }
     };
@@ -940,14 +983,24 @@ pub fn decode_response(kind: u8, payload: &[u8]) -> Result<WireResponse, Payload
                 1 => true,
                 tag => return Err(PayloadError::BadTag { field: "truncated", tag }),
             };
+            let appended = r.u64()?;
+            let dropped = r.u64()?;
+            let shards_ok = r.u32()?;
+            let shards_err = r.u32()?;
+            let rollup_count = r.checked_count("obs rollups", OBS_ROLLUP_MIN_BYTES)?;
+            let mut rollups = Vec::with_capacity(rollup_count);
+            for _ in 0..rollup_count {
+                rollups.push(read_rollup(&mut r)?);
+            }
             WireResponse::Obs(ObsResult {
                 events,
+                rollups,
                 aggregates,
                 truncated,
-                appended: r.u64()?,
-                dropped: r.u64()?,
-                shards_ok: r.u32()?,
-                shards_err: r.u32()?,
+                appended,
+                dropped,
+                shards_ok,
+                shards_err,
             })
         }
         other => return Err(PayloadError::UnknownKind(other)),
@@ -1020,7 +1073,11 @@ mod tests {
                 .with_time_range(1_000, 2_000)
                 .with_seq_range(5, 50)
                 .with_kinds(&[EventKind::Infer, EventKind::Migration])
-                .with_limit(128),
+                .with_limit(128)
+                .with_resolution(Resolution::Auto),
+        ));
+        roundtrip_request(WireRequest::ObsQuery(
+            ObsQuery::all().with_resolution(Resolution::Rollup),
         ));
         roundtrip_request(WireRequest::ObsQuery(ObsQuery::all()));
         roundtrip_request(WireRequest::AdvertiseFollower {
@@ -1189,6 +1246,12 @@ mod tests {
                     let event = result.events[i].clone();
                     result.aggregates.observe(&event);
                 }
+                // Rollup cells cross too, NaN-free and NaN-bearing alike.
+                let mut cell = Rollup::new(60_000_000, "tenant-a", EventKind::Infer);
+                cell.observe(&result.events[0]);
+                let mut nan_cell = Rollup::new(0, "tenant-a", EventKind::Migration);
+                nan_cell.observe(&result.events[1]);
+                result.rollups = vec![nan_cell, cell];
                 result
             }),
         ] {

@@ -34,6 +34,7 @@ use crate::codec::ReplEvent;
 use crate::error::{PayloadError, WireError};
 use crate::net::BoundAddr;
 use crate::server::{WireConfig, WireHandle, WireServer};
+use ofscil_obs::{Event, EventKind, EventSink, Obs};
 use ofscil_serve::LearnerRegistry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -68,6 +69,16 @@ pub struct FollowerConfig {
     /// replica is a promotion candidate. Failures are swallowed — an
     /// unreachable router must not stop the replica from serving.
     pub advertise: Option<BoundAddr>,
+    /// Observability pipeline for the replica itself, if any. When set, the
+    /// follower's local server answers `ObsQuery` from this handle's store,
+    /// and the tail threads stamp the replication lifecycle into it: one
+    /// [`ReplApply`](ofscil_obs::EventKind::ReplApply) per applied delta
+    /// (carrying the commit sequence number) and one
+    /// [`Resync`](ofscil_obs::EventKind::Resync) per fresh full-snapshot
+    /// re-anchor (carrying the anchor's sequence number). A router including
+    /// this replica in its scatter-gather can therefore show replication lag
+    /// and recovery next to the primary's own events.
+    pub obs: Option<Obs>,
 }
 
 impl FollowerConfig {
@@ -80,6 +91,7 @@ impl FollowerConfig {
             wire: WireConfig::tcp_loopback(),
             resync_limit: 3,
             advertise: None,
+            obs: None,
         }
     }
 
@@ -95,6 +107,14 @@ impl FollowerConfig {
     #[must_use]
     pub fn with_advertise(mut self, router: BoundAddr) -> Self {
         self.advertise = Some(router);
+        self
+    }
+
+    /// Attaches an observability pipeline to the replica (builder style) —
+    /// see [`FollowerConfig::obs`].
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
         self
     }
 }
@@ -266,7 +286,7 @@ impl Follower {
         let progress = Progress::default();
         let stop = AtomicBool::new(false);
 
-        WireServer::run(registry, &wire, |server| {
+        WireServer::run_observed(registry, &wire, None, config.obs.as_ref(), |server| {
             // Best-effort advertisement: tell the routing frontend (if any)
             // that this replica tails `upstream` and where it listens, so a
             // control plane can pick it as a promotion candidate. A dead or
@@ -285,9 +305,11 @@ impl Follower {
                     let stop = &stop;
                     let upstream = &config.upstream;
                     let resync_limit = config.resync_limit;
+                    let sink = config.obs.as_ref().map(|obs| obs.sink().clone());
                     scope.spawn(move || {
                         tail_deployment(
                             registry, upstream, deployment, progress, stop, resync_limit,
+                            sink.as_ref(),
                         );
                     });
                 }
@@ -400,10 +422,12 @@ fn tail_deployment(
     progress: &Progress,
     stop: &AtomicBool,
     resync_limit: u64,
+    sink: Option<&EventSink>,
 ) {
     let mut resyncs = 0;
     loop {
-        match tail_inner(registry, upstream, deployment, progress, stop) {
+        let resynced = resyncs > 0;
+        match tail_inner(registry, upstream, deployment, progress, stop, sink, resynced) {
             Ok(()) => return,
             Err(error)
                 if resyncable(&error) && resyncs < resync_limit
@@ -426,6 +450,8 @@ fn tail_inner(
     deployment: &str,
     progress: &Progress,
     stop: &AtomicBool,
+    sink: Option<&EventSink>,
+    resynced: bool,
 ) -> Result<(), WireError> {
     let client = WireClient::connect(upstream)?;
     client.set_read_timeout(Some(POLL))?;
@@ -443,6 +469,14 @@ fn tail_inner(
                     .map_err(WireError::Runtime)?;
                 anchor = Some(seq);
                 progress.record_applied(deployment, seq);
+                if resynced {
+                    // This full snapshot is a recovery re-anchor, not the
+                    // initial subscribe — stamp it with the sequence number
+                    // the replica jumped to.
+                    if let Some(sink) = sink {
+                        sink.emit(Event::new(EventKind::Resync, deployment).with_seq(seq));
+                    }
+                }
             }
             ReplEvent::Delta { seq, total_classes, updates } => {
                 let Some(applied) = anchor else {
@@ -473,6 +507,12 @@ fn tail_inner(
                 }
                 anchor = Some(seq);
                 progress.record_applied(deployment, seq);
+                if let Some(sink) = sink {
+                    // ReplApply, not Learn: a merged timeline must count the
+                    // primary's learn exactly once, with the replica's apply
+                    // visible as its own replication-lifecycle row.
+                    sink.emit(Event::new(EventKind::ReplApply, deployment).with_seq(seq));
+                }
             }
         }
     }

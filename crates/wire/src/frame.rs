@@ -40,8 +40,12 @@ pub const WIRE_MAGIC: [u8; 4] = *b"OFWR";
 /// deployment's billing state (spent/budget millijoules plus lifetime request
 /// counters, so a live migration moves the meter with the model) and added
 /// follower advertisement (`AdvertiseFollower` kind `0x0B`, answered with
-/// `Advertised` `0x4A`) so the control plane learns its promotion candidates.
-pub const WIRE_VERSION: u16 = 6;
+/// `Advertised` `0x4A`) so the control plane learns its promotion candidates;
+/// v7 appended a resolution byte to the `ObsQuery` payload (raw / rollup /
+/// auto) and a vector of per-minute rollup cells to the `ObsResult`
+/// response, so long-horizon timelines travel as downsampled aggregates
+/// instead of raw rows.
+pub const WIRE_VERSION: u16 = 7;
 
 /// Fixed frame header length in bytes.
 pub const HEADER_LEN: usize = 12;

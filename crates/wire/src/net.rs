@@ -33,6 +33,26 @@ pub enum BoundAddr {
     Unix(PathBuf),
 }
 
+impl BoundAddr {
+    /// Inverse of the [`Display`](std::fmt::Display) form: parses
+    /// `tcp://host:port` or `unix:///path` back into an address, so an
+    /// advertised follower string (which travels the wire as text) can be
+    /// dialed. Returns `None` for anything else — including a bare
+    /// `host:port` without its scheme.
+    pub fn parse(s: &str) -> Option<BoundAddr> {
+        if let Some(rest) = s.strip_prefix("tcp://") {
+            return rest.parse().ok().map(BoundAddr::Tcp);
+        }
+        #[cfg(unix)]
+        if let Some(rest) = s.strip_prefix("unix://") {
+            if !rest.is_empty() {
+                return Some(BoundAddr::Unix(PathBuf::from(rest)));
+            }
+        }
+        None
+    }
+}
+
 impl std::fmt::Display for BoundAddr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -187,5 +207,25 @@ impl Write for WireStream {
             #[cfg(unix)]
             WireStream::Unix(s) => s.flush(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_addr_parse_inverts_display() {
+        let tcp = BoundAddr::Tcp("127.0.0.1:9001".parse().unwrap());
+        assert_eq!(BoundAddr::parse(&tcp.to_string()), Some(tcp));
+        #[cfg(unix)]
+        {
+            let unix = BoundAddr::Unix(PathBuf::from("/tmp/ofscil.sock"));
+            assert_eq!(BoundAddr::parse(&unix.to_string()), Some(unix));
+        }
+        assert_eq!(BoundAddr::parse("127.0.0.1:9001"), None);
+        assert_eq!(BoundAddr::parse("tcp://not-an-addr"), None);
+        assert_eq!(BoundAddr::parse("unix://"), None);
+        assert_eq!(BoundAddr::parse(""), None);
     }
 }

@@ -23,7 +23,7 @@ use crate::frame::{read_frame, ReadEvent, DEFAULT_MAX_PAYLOAD};
 use crate::net::{BoundAddr, WireBind, WireListener, WireStream};
 use ofscil_obs::{Event, EventKind, Obs};
 use ofscil_serve::{LearnCommit, LearnerRegistry, ServeClient, ServeConfig, ServeError, ServeRuntime};
-use ofscil_store::Store;
+use ofscil_store::{ObsSpill, Store, StoreError, SPILL_FILE};
 use std::collections::HashMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -242,12 +242,20 @@ impl WireServer {
     ///   deployment's latest-checkpoint sequence number advances,
     /// * the `ObsQuery` wire request is answered from the handle's columnar
     ///   store. Without a handle that request gets a typed
-    ///   [`InvalidRequest`](ofscil_serve::ServeError::InvalidRequest).
+    ///   [`InvalidRequest`](ofscil_serve::ServeError::InvalidRequest),
+    /// * with **both** a store and an obs handle, the timeline is durable:
+    ///   an [`ObsSpill`] log is opened inside the store root, any chunks and
+    ///   rollups a previous incarnation spilled are rehydrated into the obs
+    ///   store *before* serving starts, every chunk sealed while serving is
+    ///   written through, and on graceful shutdown the sink is drained and
+    ///   the active chunk sealed so the timeline's tail reaches disk too.
+    ///   `ObsQuery` timelines therefore survive kill-and-recover.
     ///
     /// # Errors
     ///
-    /// Returns [`WireError::Io`] when binding fails and
-    /// [`WireError::Runtime`] when the serve configuration is invalid.
+    /// Returns [`WireError::Io`] when binding or opening the spill log
+    /// fails and [`WireError::Runtime`] when the serve configuration is
+    /// invalid.
     pub fn run_observed<T, F>(
         registry: &LearnerRegistry,
         config: &WireConfig,
@@ -258,6 +266,21 @@ impl WireServer {
     where
         F: FnOnce(&WireHandle) -> T,
     {
+        let spill = match (store, obs) {
+            (Some(store), Some(obs)) => {
+                let (spill, recovery) =
+                    ObsSpill::open(&store.root().join(SPILL_FILE)).map_err(|e| match e {
+                        StoreError::Io(e) => WireError::Io(e),
+                        other => WireError::Protocol(format!("obs spill: {other}")),
+                    })?;
+                recovery.rehydrate_into(obs.store());
+                let spill = Arc::new(spill);
+                obs.store().set_spill(Arc::clone(&spill) as Arc<dyn ofscil_obs::ChunkSpill>);
+                Some(spill)
+            }
+            _ => None,
+        };
+
         let (listener, addr) = WireListener::bind(&config.bind)?;
         listener.set_nonblocking(true)?;
         let (sink, commits) = mpsc::channel::<LearnCommit>();
@@ -296,6 +319,17 @@ impl WireServer {
             })
         })
         .map_err(WireError::Runtime)?;
+
+        if spill.is_some() {
+            if let Some(obs) = obs {
+                // Graceful shutdown: drain what the sink accepted and seal
+                // the active chunk so the timeline's tail spills too. A
+                // killed process skips this — that is exactly the torn tail
+                // the spill log tolerates on the next open.
+                obs.flush(Duration::from_secs(2));
+                obs.store().seal();
+            }
+        }
 
         #[cfg(unix)]
         if let BoundAddr::Unix(path) = &addr {

@@ -1,15 +1,24 @@
 //! Cluster timeline walkthrough: a sharded serving run with a mid-burst
-//! live migration, reconstructed afterwards from **one** routed
-//! observability query.
+//! live migration **and a shard kill-and-restart**, reconstructed afterwards
+//! from **one** routed observability query.
 //!
 //! Every shard records its serving events (`Infer`, `Learn`, `Reject`,
 //! `TopUp`) into its own columnar event store through a non-blocking sink —
-//! the hot path never waits on observability. The router records the
+//! the hot path never waits on observability. Each shard is also *durable*:
+//! it owns a store directory, and sealed event chunks are written through
+//! the store's record codec into an obs spill log. The router records the
 //! cluster events (`Migration`, breaker transitions) into its own store.
-//! A single `ObsQuery` sent to the router is scatter-gathered across every
-//! shard, merged with the router's timeline, and comes back time-ordered:
-//! the tenant's accuracy/energy/latency trajectory is whole again even
-//! though a live migration split its history across two processes.
+//!
+//! After the traffic, the tenant's original home shard is stopped and a
+//! fresh process generation is booted over the same store directory with a
+//! **brand-new, empty** observability pipeline. Opening the spill log
+//! rehydrates the chunk index, so the restarted shard answers timeline
+//! queries as if it never died. A single `ObsQuery` sent to the router is
+//! scatter-gathered across every shard (including the restarted one),
+//! merged with the router's timeline, and comes back time-ordered: the
+//! tenant's accuracy/energy/latency trajectory is whole again even though a
+//! live migration split its history across two processes and one of them
+//! was killed and recovered in between.
 //!
 //! ```text
 //! cargo run --release -p ofscil --example timeline
@@ -19,6 +28,7 @@ use ofscil::prelude::*;
 use ofscil::router::harness::ShardProcess;
 use ofscil::serve::traffic;
 use std::error::Error;
+use std::path::Path;
 use std::sync::Arc;
 
 const IMAGE: usize = 8;
@@ -28,7 +38,8 @@ const BURSTS: usize = 4;
 const INFERS_PER_BURST: usize = 3;
 
 /// Every shard loads the same pretrained weights per tenant; what migrates
-/// is the explicit memory.
+/// is the explicit memory. Restarting a shard re-derives the same weights
+/// from the same seed — the learned state comes back from the store.
 fn shard_registry(seed: u64) -> Result<Arc<LearnerRegistry>, ServeError> {
     let registry = LearnerRegistry::new();
     for (i, tenant) in [TENANT, OTHER].iter().enumerate() {
@@ -39,6 +50,24 @@ fn shard_registry(seed: u64) -> Result<Arc<LearnerRegistry>, ServeError> {
         )?;
     }
     Ok(Arc::new(registry))
+}
+
+/// Boots one durable observed shard generation over `dir` with a fresh obs
+/// pipeline. Chunks are small so sealed chunks reach the spill log mid-run,
+/// not only at graceful shutdown — and anything a previous generation
+/// spilled into `dir` is rehydrated before the server starts answering.
+fn spawn_shard(seed: u64, dir: &Path) -> Result<(ShardProcess, Obs), Box<dyn Error>> {
+    let registry = shard_registry(seed)?;
+    let store = Store::open(dir)?;
+    store.bootstrap(&registry)?;
+    let obs = Obs::new(ObsConfig::default().with_chunk_events(8));
+    let shard = ShardProcess::spawn_durable_observed(
+        registry,
+        WireConfig::tcp_loopback(),
+        Some(store),
+        Some(obs.clone()),
+    )?;
+    Ok((shard, obs))
 }
 
 /// One burst of traffic for the tenant: learn two fresh classes, then infer.
@@ -57,23 +86,21 @@ fn burst(client: &mut WireClient, step: usize) -> Result<(), Box<dyn Error>> {
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    // Two observed backend "processes": each shard's WireServer feeds its
-    // own event store. The caller keeps clones of the handles — clones
-    // share the store, so the example could also query each shard directly.
-    let shard_obs: Vec<Obs> = (0..2).map(|_| Obs::new(ObsConfig::default())).collect();
-    let shards: Vec<ShardProcess> = shard_obs
-        .iter()
-        .enumerate()
-        .map(|(i, obs)| {
-            ShardProcess::spawn_observed(
-                shard_registry(100 + i as u64)?,
-                WireConfig::tcp_loopback(),
-                Some(obs.clone()),
-            )
-            .map_err(Into::into)
-        })
-        .collect::<Result<_, Box<dyn Error>>>()?;
-    let addrs: Vec<BoundAddr> = shards.iter().map(|s| s.addr().clone()).collect();
+    let mut base = std::env::temp_dir();
+    base.push(format!("ofscil-timeline-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dirs = [base.join("shard0"), base.join("shard1")];
+
+    // Two durable observed backend "processes": each shard's WireServer
+    // feeds its own event store and spills sealed chunks into its own store
+    // directory.
+    let mut shards: Vec<Option<ShardProcess>> = Vec::new();
+    for (i, dir) in dirs.iter().enumerate() {
+        let (shard, _obs) = spawn_shard(100 + i as u64, dir)?;
+        shards.push(Some(shard));
+    }
+    let addrs: Vec<BoundAddr> =
+        shards.iter().map(|s| s.as_ref().expect("shard is up").addr().clone()).collect();
 
     // The router gets its own store for cluster events and a scatter-gather
     // answer path for ObsQuery frames.
@@ -106,9 +133,23 @@ fn main() -> Result<(), Box<dyn Error>> {
             burst(&mut client, step)?;
         }
 
-        // ONE routed query reconstructs the whole trajectory. The router
-        // fans it out to every shard, merges the slices with its own
-        // cluster events, and returns a single time-ordered timeline.
+        // Now kill the tenant's *original* home shard — the only process
+        // that ever saw the first half of the timeline — and boot a fresh
+        // generation over its store directory with an empty obs pipeline.
+        // The spill log rehydrates the pre-kill chunks, `replace_shard`
+        // points the ring slot at the new address, and the first half of
+        // the trajectory is queryable again.
+        shards[home].take().expect("home shard is up").stop();
+        println!("killed shard {home} (it held the pre-migration timeline)");
+        let (reborn, _reborn_obs) = spawn_shard(100 + home as u64, &dirs[home])?;
+        router.replace_shard(home, reborn.addr().clone())?;
+        println!("restarted shard {home} from its store on {}", reborn.addr());
+        shards[home] = Some(reborn);
+
+        // ONE routed query reconstructs the whole trajectory — across the
+        // migration *and* the restart. The router fans it out to every
+        // shard, merges the slices with its own cluster events, and returns
+        // a single time-ordered timeline.
         let result = client.obs_query(&ObsQuery::deployment(TENANT))?;
         assert_eq!(result.shards_err, 0, "every shard answered");
         assert_eq!(result.dropped, 0, "nothing was shed in the non-adversarial path");
@@ -143,7 +184,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         let infers = result.events.iter().filter(|e| e.kind == EventKind::Infer).count();
         let migrations =
             result.events.iter().filter(|e| e.kind == EventKind::Migration).count();
-        assert_eq!(learns, BURSTS, "one learn per burst");
+        assert_eq!(learns, BURSTS, "one learn per burst, restart survivors included");
         assert_eq!(infers, BURSTS * INFERS_PER_BURST, "every inference recorded");
         assert_eq!(migrations, 1, "the migration marker survived the merge");
 
@@ -180,6 +221,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         Ok(())
     })??;
 
-    println!("done: timeline stitched across a live migration");
+    println!("done: timeline stitched across a live migration and a shard restart");
+    let _ = std::fs::remove_dir_all(&base);
     Ok(())
 }
