@@ -13,7 +13,15 @@
 //! * **batched + obs** — the coalesced burst again with a columnar
 //!   observability sink attached, so the per-event emission cost on the hot
 //!   path is tracked release over release (`obs_overhead` in the JSON line;
-//!   the sink never blocks, and the run asserts zero dropped events),
+//!   the sink never blocks, and the run asserts zero dropped events). This
+//!   pass also reads back the store's per-kind latency histogram —
+//!   `infer_p50_us` / `infer_p99_us` in the JSON line,
+//! * **batched + live tail** — the observed burst once more with a
+//!   streaming subscriber ([`ObsStore::subscribe`]) attached and
+//!   continuously drained: what one live cluster tail costs the serving hot
+//!   path (`obs_tail_overhead` vs the plain obs pass; the per-subscriber
+//!   fan-out is bounded drop-and-count, and with the queue outsizing the
+//!   burst the run asserts zero shed events),
 //! * **batched + durable obs** — the same observed burst with sealed event
 //!   chunks additionally spilling through the store record codec to disk
 //!   (`obs_spill_rps` / `obs_spill_overhead` in the JSON line, measured
@@ -45,7 +53,8 @@ use ofscil::prelude::*;
 use ofscil::router::harness::ShardProcess;
 use ofscil::serve::traffic;
 use ofscil_bench::{full_profile_requested, rule, seed_from_env};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 const IMAGE: usize = 8;
@@ -528,6 +537,37 @@ fn main() {
     run_batched_observed(&observed_registry, &requests[..requests.len().min(32)], &obs);
     let obs_s = run_batched_observed(&observed_registry, &requests, &obs);
 
+    // The live-tail pass: the observed burst again with one streaming
+    // subscriber registered on the store and a thread continuously draining
+    // it — what a cluster tail costs serving. The fan-out is a bounded
+    // `try_send` off the collector's append path, so the target is the same
+    // <5% envelope as the sink itself.
+    let tail_registry = registry_with_tenant(seed);
+    let tail_obs = Obs::new(ObsConfig::default().with_queue_depth(4 * requests_total));
+    let tail = tail_obs.store().subscribe(ObsQuery::all(), None, 4 * requests_total);
+    let tail_stop = Arc::new(AtomicBool::new(false));
+    let drainer = {
+        let stop = Arc::clone(&tail_stop);
+        std::thread::spawn(move || loop {
+            match tail.recv_timeout(Duration::from_millis(5)) {
+                Ok(_) => {}
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if stop.load(Ordering::Acquire) {
+                        return (tail.delivered(), tail.dropped());
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return (tail.delivered(), tail.dropped());
+                }
+            }
+        })
+    };
+    run_batched_observed(&tail_registry, &requests[..requests.len().min(32)], &tail_obs);
+    let obs_tail_s = run_batched_observed(&tail_registry, &requests, &tail_obs);
+    assert!(tail_obs.flush(Duration::from_secs(5)), "tailed obs collector failed to drain");
+    tail_stop.store(true, Ordering::Release);
+    let (tail_delivered, tail_dropped) = drainer.join().expect("tail drainer");
+
     // The durable-obs pass: the same observed burst, but sealed chunks
     // spill through the store record codec to an on-disk log as they seal.
     // Small chunks force the spill hook to fire mid-burst (not only at
@@ -553,12 +593,24 @@ fn main() {
     let sequential_rps = requests_total as f64 / sequential_s;
     let batched_rps = requests_total as f64 / batched_s;
     let obs_rps = requests_total as f64 / obs_s;
+    let obs_tail_rps = requests_total as f64 / obs_tail_s;
     let obs_spill_rps = requests_total as f64 / obs_spill_s;
     let wire_rps = requests_total as f64 / wire_s;
     let speedup = batched_rps / sequential_rps;
     let obs_overhead = obs_s / batched_s;
+    let obs_tail_overhead = obs_tail_s / obs_s;
     let obs_spill_overhead = obs_spill_s / obs_s;
     let wire_overhead = sequential_s / wire_s;
+
+    // The burst's latency distribution, read back from the observed pass's
+    // store the way `cluster_stats` reads it: the kind-masked log-bucketed
+    // histogram, not a raw-row scan.
+    assert!(obs.flush(Duration::from_secs(5)), "obs collector failed to drain");
+    let infer_hist = obs
+        .query(&ObsQuery::all().with_kinds(&[EventKind::Infer]).with_limit(0))
+        .latency_hist;
+    let infer_p50_us = infer_hist.p50_us();
+    let infer_p99_us = infer_hist.p99_us();
 
     println!("{:<26} {:>12} {:>14}", "mode", "time [ms]", "throughput [req/s]");
     println!(
@@ -581,6 +633,12 @@ fn main() {
     );
     println!(
         "{:<26} {:>12.1} {:>14.0}",
+        "coalesced + live tail",
+        1e3 * obs_tail_s,
+        obs_tail_rps
+    );
+    println!(
+        "{:<26} {:>12.1} {:>14.0}",
         "coalesced + durable obs",
         1e3 * obs_spill_s,
         obs_spill_rps
@@ -600,6 +658,9 @@ fn main() {
     println!(
         "speedup {speedup:.2}x; coalesced batches: mean {mean_batch:.1}, largest {largest_batch}; \
          obs overhead {obs_overhead:.2}x ({} events, {} dropped); \
+         infer latency p50 {infer_p50_us} us, p99 {infer_p99_us} us; \
+         live tail {obs_tail_overhead:.2}x vs obs ({tail_delivered} streamed, \
+         {tail_dropped} shed); \
          durable obs {obs_spill_overhead:.2}x vs in-RAM ({} chunks spilled); \
          wire vs sequential {wire_overhead:.2}x",
         obs_counters.sent, obs_counters.dropped, spill_counters.spilled_chunks
@@ -612,6 +673,9 @@ fn main() {
          \"batched_rps\":{batched_rps:.1},\"speedup\":{speedup:.3},\
          \"mean_batch\":{mean_batch:.2},\"largest_batch\":{largest_batch},\
          \"obs_rps\":{obs_rps:.1},\"obs_overhead\":{obs_overhead:.3},\
+         \"infer_p50_us\":{infer_p50_us},\"infer_p99_us\":{infer_p99_us},\
+         \"obs_tail_rps\":{obs_tail_rps:.1},\"obs_tail_overhead\":{obs_tail_overhead:.3},\
+         \"obs_tail_delivered\":{tail_delivered},\"obs_tail_dropped\":{tail_dropped},\
          \"obs_spill_rps\":{obs_spill_rps:.1},\
          \"obs_spill_overhead\":{obs_spill_overhead:.3},\
          \"obs_spilled_chunks\":{},\
@@ -632,6 +696,23 @@ fn main() {
     assert!(
         obs_overhead < 1.25,
         "observability must stay off the hot path (got {obs_overhead:.3}x over batched)"
+    );
+    // A live tail must ride the collector's append path for free-ish: the
+    // tracked target is <5% vs the plain obs pass (`obs_tail_overhead` in
+    // the JSON line), the hard gate is noise-tolerant — and with the
+    // subscriber queue outsizing the burst, shedding anything is a bug.
+    assert!(
+        obs_tail_overhead < 1.25,
+        "a live tail must stay off the hot path (got {obs_tail_overhead:.3}x over obs)"
+    );
+    assert!(tail_delivered > 0, "the live tail never streamed an event");
+    assert_eq!(
+        tail_dropped, 0,
+        "the tail shed events with a queue sized past the whole burst"
+    );
+    assert!(
+        infer_hist.total() > 0,
+        "the observed pass recorded no infer latencies in the histogram"
     );
     // Durable spill: same <5% tracked target against the in-RAM obs pass,
     // same noise-tolerant hard gate — and the spill must actually have run.

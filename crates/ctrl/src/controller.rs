@@ -8,12 +8,20 @@
 //! router's observability store, so the recovery timeline — breaker-open,
 //! promotion, migrations — reconstructs from one routed
 //! [`ObsQuery`](ofscil_obs::ObsQuery).
+//!
+//! Observation is **push-driven**: the controller opens one streaming
+//! [`RateFeed`] at construction and folds its deltas into the trailing
+//! rates each tick, instead of issuing a windowed observability query per
+//! tick. If the stream dies the tick falls back to the polled
+//! [`ClusterSnapshot::capture`] and the feed resubscribes from its
+//! high-water cursor — the control loop keeps observing either way.
 
 use crate::action::{ControlAction, CtrlError};
 use crate::config::CtrlConfig;
 use crate::executor::{ClusterOps, Executor, RecoveryDriver};
 use crate::health::{ClusterSnapshot, ShardState};
 use crate::planner::Planner;
+use crate::rates::RateFeed;
 use ofscil_obs::{Event, EventKind};
 use ofscil_router::RouterHandle;
 use ofscil_wire::BoundAddr;
@@ -43,6 +51,9 @@ pub struct TickReport {
     pub executed: Vec<ControlAction>,
     /// Typed failures for the rest (retries already exhausted).
     pub failures: Vec<CtrlError>,
+    /// Whether this tick's trailing rates came from the streaming
+    /// [`RateFeed`] (`true`) or the polled fallback query (`false`).
+    pub pushed: bool,
 }
 
 impl TickReport {
@@ -62,20 +73,22 @@ pub struct Controller<'a, D: RecoveryDriver> {
     driver: D,
     planner: Planner,
     executor: Executor,
+    feed: RateFeed,
     config: CtrlConfig,
     tick: u64,
 }
 
 impl<'a, D: RecoveryDriver> Controller<'a, D> {
-    /// A controller at tick zero. The driver supplies the process-side
-    /// recovery operations (e.g. a
-    /// [`StandbyFleet`](crate::harness::StandbyFleet)).
+    /// A controller at tick zero, subscribed to the cluster's live tail for
+    /// its trailing rates. The driver supplies the process-side recovery
+    /// operations (e.g. a [`StandbyFleet`](crate::harness::StandbyFleet)).
     pub fn new(router: &'a RouterHandle<'a>, driver: D, config: CtrlConfig) -> Self {
         Controller {
             router,
             driver,
             planner: Planner::new(config.clone()),
             executor: Executor::new(&config),
+            feed: RateFeed::subscribe(router, &config),
             config,
             tick: 0,
         }
@@ -86,12 +99,31 @@ impl<'a, D: RecoveryDriver> Controller<'a, D> {
         &self.driver
     }
 
-    /// Runs one control tick: capture a [`ClusterSnapshot`], plan, execute
-    /// each action (with retries), and stamp the successful ones into the
-    /// observability timeline.
+    /// The streaming rate feed, for inspecting its counters after a run.
+    pub fn feed(&self) -> &RateFeed {
+        &self.feed
+    }
+
+    /// Runs one control tick: fold the rate feed's deltas (or poll if the
+    /// stream is down) into a [`ClusterSnapshot`], plan, execute each action
+    /// (with retries), and stamp the successful ones into the observability
+    /// timeline.
     pub fn tick(&mut self) -> TickReport {
         self.tick += 1;
-        let snapshot = ClusterSnapshot::capture(self.router, &self.config, self.tick);
+        let (snapshot, pushed) = match self.feed.rates() {
+            Some(rates) => {
+                (ClusterSnapshot::assemble(self.router, self.tick, &rates), true)
+            }
+            None => {
+                // Every leg exited (router shutting down, or the tail was
+                // opened before the ring had live shards): poll this tick,
+                // and splice a fresh subscription from the feed's cursor so
+                // the next tick can stream again.
+                let snapshot = ClusterSnapshot::capture(self.router, &self.config, self.tick);
+                self.feed.resubscribe(self.router, &self.config);
+                (snapshot, false)
+            }
+        };
         let planned = self.planner.plan(&snapshot);
         let mut executed = Vec::new();
         let mut failures = Vec::new();
@@ -104,7 +136,7 @@ impl<'a, D: RecoveryDriver> Controller<'a, D> {
                 Err(error) => failures.push(error),
             }
         }
-        TickReport { tick: self.tick, snapshot, planned, executed, failures }
+        TickReport { tick: self.tick, snapshot, planned, executed, failures, pushed }
     }
 
     /// Stamps an executed action into the router's obs store — the

@@ -2,19 +2,22 @@
 //!
 //! A [`ClusterSnapshot`] is plain data — the planner consumes nothing else,
 //! which is what makes every policy decision unit-testable without sockets.
-//! [`ClusterSnapshot::capture`] is the one function that talks to a live
+//! [`ClusterSnapshot::assemble`] is the one function that talks to a live
 //! cluster, fusing three signals the router already exposes:
 //!
 //! * scatter-gathered [`cluster_stats`](RouterHandle::cluster_stats) — which
 //!   shard owns which deployment, and who answered at all,
 //! * per-shard [`breaker_dwell`](RouterHandle::breaker_dwell) — how long a
 //!   breaker has been continuously open (the debounced death signal),
-//! * a routed [`ObsQuery`] reduced by
-//!   [`trailing_rates`](ofscil_obs::ObsResult::trailing_rates) — who is
-//!   actually hot *right now*, rather than since process start.
+//! * per-deployment trailing [`DeploymentRate`]s — who is actually hot
+//!   *right now*, rather than since process start. The controller normally
+//!   maintains these incrementally from a streamed cluster tail
+//!   ([`RateFeed`](crate::RateFeed)); [`ClusterSnapshot::capture`] is the
+//!   polled form that re-reduces a routed [`ObsQuery`] instead, kept as the
+//!   fallback for when the stream is down.
 
 use crate::config::CtrlConfig;
-use ofscil_obs::{EventKind, ObsQuery};
+use ofscil_obs::{DeploymentRate, EventKind, ObsQuery};
 use ofscil_router::RouterHandle;
 use std::time::Duration;
 
@@ -68,18 +71,31 @@ pub struct ClusterSnapshot {
 }
 
 impl ClusterSnapshot {
-    /// Observes a live cluster through its router handle.
-    ///
-    /// One scatter-gathered stats read, one routed observability query
-    /// (kinds `Infer|Learn`, reduced over
-    /// [`rate_window_us`](CtrlConfig::rate_window_us)), and a breaker/
-    /// follower-registry read per shard. An unreachable shard contributes
-    /// an empty deployment list — recovery planning needs only its dwell.
+    /// Observes a live cluster through its router handle, the polled way:
+    /// one routed observability query (kinds `Infer|Learn`, reduced over
+    /// [`rate_window_us`](CtrlConfig::rate_window_us)) supplies the trailing
+    /// rates, then [`assemble`](ClusterSnapshot::assemble) does the rest.
+    /// The controller prefers its streamed [`RateFeed`](crate::RateFeed) and
+    /// uses this as the fallback when the feed is down.
     pub fn capture(router: &RouterHandle<'_>, config: &CtrlConfig, tick: u64) -> ClusterSnapshot {
         let query = ObsQuery::all()
             .with_kinds(&[EventKind::Infer, EventKind::Learn])
             .with_limit(config.rate_event_limit);
         let rates = router.obs_query(&query).trailing_rates(config.rate_window_us);
+        ClusterSnapshot::assemble(router, tick, &rates)
+    }
+
+    /// Fuses already-computed trailing rates with a live stats read: one
+    /// scatter-gathered stats pass and a breaker/follower-registry read per
+    /// shard. An unreachable shard contributes an empty deployment list —
+    /// recovery planning needs only its dwell. The shared back half of both
+    /// observation paths (polled [`capture`](ClusterSnapshot::capture),
+    /// streamed [`RateFeed`](crate::RateFeed)).
+    pub fn assemble(
+        router: &RouterHandle<'_>,
+        tick: u64,
+        rates: &[DeploymentRate],
+    ) -> ClusterSnapshot {
         let shards = router
             .cluster_stats()
             .into_iter()

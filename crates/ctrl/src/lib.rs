@@ -9,8 +9,13 @@
 //!
 //! * [`ClusterSnapshot`] — one tick's observation, fused from the router's
 //!   scatter-gathered stats, per-shard breaker dwell times, the advertised
-//!   follower registry and a trailing-window rate reduction over a routed
-//!   [`ObsQuery`](ofscil_obs::ObsQuery),
+//!   follower registry and per-deployment trailing request rates,
+//! * [`RateFeed`] — where those rates come from: one streaming cluster
+//!   tail opened at controller construction, folded incrementally — drain
+//!   the deltas, dedup cross-leg overlap, prune the window — so a tick
+//!   costs what happened since the last one, not a windowed
+//!   [`ObsQuery`](ofscil_obs::ObsQuery) re-reduced from scratch (the
+//!   polled query survives as the fallback when the stream is down),
 //! * [`Planner`] — the pure policy core: snapshot in, typed
 //!   [`ControlAction`]s out. Breaker-dwell hysteresis keeps flaps from
 //!   triggering failovers, per-key cooldowns keep the loop from flapping
@@ -74,6 +79,7 @@ mod executor;
 pub mod harness;
 mod health;
 mod planner;
+mod rates;
 
 pub use action::{ControlAction, CtrlError};
 pub use config::CtrlConfig;
@@ -82,3 +88,4 @@ pub use executor::{ClusterOps, Executor, RecoveryDriver};
 pub use harness::{FollowerProcess, PrimaryProcess, StandbyFleet};
 pub use health::{ClusterSnapshot, DeploymentLoad, ShardState};
 pub use planner::Planner;
+pub use rates::RateFeed;

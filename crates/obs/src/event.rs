@@ -44,11 +44,19 @@ pub enum EventKind {
     /// the source shard id, `wal_bytes` the target shard id, and
     /// `energy_mj` the tenant's trailing request load at decision time).
     CtrlRebalance,
+    /// An observability pipeline started shedding events after a clean
+    /// period — emitted **once per drop window** (transition-only, like
+    /// breaker open/close), so silent drop windows are visible in the
+    /// timeline itself. The "deployment" is the overflowing pipeline's
+    /// pseudo-name (`obs:sink` for the intake channel, `tail:N` for a live
+    /// tail subscriber); `seq` is the pipeline's total dropped count at the
+    /// transition.
+    SinkOverflow,
 }
 
 impl EventKind {
     /// Every kind, in code order.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::Infer,
         EventKind::Learn,
         EventKind::Reject,
@@ -63,6 +71,7 @@ impl EventKind {
         EventKind::CtrlPromote,
         EventKind::CtrlRestart,
         EventKind::CtrlRebalance,
+        EventKind::SinkOverflow,
     ];
 
     /// The stable storage/wire code of this kind.
@@ -82,6 +91,7 @@ impl EventKind {
             EventKind::CtrlPromote => 11,
             EventKind::CtrlRestart => 12,
             EventKind::CtrlRebalance => 13,
+            EventKind::SinkOverflow => 14,
         }
     }
 
@@ -112,6 +122,7 @@ impl EventKind {
             EventKind::CtrlPromote => "ctrl-promote",
             EventKind::CtrlRestart => "ctrl-restart",
             EventKind::CtrlRebalance => "ctrl-rebalance",
+            EventKind::SinkOverflow => "sink-overflow",
         }
     }
 }
@@ -229,7 +240,7 @@ mod tests {
             mask |= kind.bit();
             assert!(!kind.label().is_empty());
         }
-        assert_eq!(EventKind::from_code(14), None);
+        assert_eq!(EventKind::from_code(15), None);
         assert_eq!(EventKind::from_code(255), None);
     }
 

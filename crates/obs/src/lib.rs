@@ -34,6 +34,15 @@
 //! * [`ChunkSpill`] — the durability seam: a hook handed every sealed
 //!   chunk, implemented by `ofscil_store`'s `ObsSpill` so timelines survive
 //!   kill-and-recover ([`ObsStore::adopt_chunk`] rehydrates them),
+//! * [`ObsTail`] / [`ObsCursor`] — live tails: [`ObsStore::subscribe`]
+//!   registers a bounded drop-and-count fan-out off the append path and
+//!   back-fills everything after a resume cursor in the same atomic step,
+//!   so a reconnecting subscriber splices history onto the live feed with
+//!   no gaps and no duplicates; drop windows surface as transition-only
+//!   [`EventKind::SinkOverflow`] rows in the timeline itself,
+//! * [`LatencyHistogram`] — fixed power-of-2 latency buckets kept per
+//!   event kind, merged bucket-wise across shards and read back as
+//!   p50/p99,
 //! * [`Obs`] — the handle gluing the three together: a sink, a store, and a
 //!   detached collector thread draining one into the other.
 //!
@@ -60,19 +69,23 @@
 #![warn(missing_docs)]
 
 mod event;
+mod histogram;
 mod query;
 mod rollup;
 mod sink;
 mod store;
+mod tail;
 
 pub use event::{Event, EventKind};
+pub use histogram::{LatencyHistogram, LATENCY_BUCKETS};
 pub use query::{
-    DeploymentRate, ObsAggregates, ObsQuery, ObsResult, Resolution, Summary,
-    AUTO_RAW_WINDOW_US, DEFAULT_EVENT_LIMIT,
+    sort_dedup_events, trailing_rates_of, DeploymentRate, ObsAggregates, ObsQuery, ObsResult,
+    Resolution, Summary, AUTO_RAW_WINDOW_US, DEFAULT_EVENT_LIMIT,
 };
 pub use rollup::{Rollup, ROLLUP_BUCKET_US};
 pub use sink::{EventSink, ObsClock};
 pub use store::{ChunkSpill, ObsConfig, ObsCounters, ObsStore, EVENT_BYTES};
+pub use tail::{ObsCursor, ObsTail, TailBatch};
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -1,7 +1,9 @@
 //! Range scans and aggregates over the columnar store.
 
 use crate::event::{Event, EventKind};
+use crate::histogram::LatencyHistogram;
 use crate::rollup::{Rollup, ROLLUP_BUCKET_US};
+use crate::tail::ObsCursor;
 
 /// Default cap on the number of events a query materializes. Aggregates are
 /// always computed over **every** matching row; the cap only bounds the
@@ -270,6 +272,54 @@ pub struct ObsResult {
     pub shards_ok: u32,
     /// Sources that could not be reached.
     pub shards_err: u32,
+    /// The answering store's **lifetime** latency histogram over the
+    /// query's kind mask (per-store counter like `appended`, not scoped by
+    /// the query's windows or deployment; merged bucket-wise across
+    /// shards). Quantiles via [`LatencyHistogram::p50_us`] /
+    /// [`LatencyHistogram::p99_us`].
+    pub latency_hist: LatencyHistogram,
+}
+
+/// Sorts events into the `(time_us, seq)` timeline order — deployment,
+/// kind, then raw payload bits breaking ties purely so identical rows land
+/// adjacent — and removes **bit-exact duplicate rows**, invoking `on_dup`
+/// with every row removed.
+///
+/// This is the row identity behind [`ObsResult::merge`]'s dedup: a retried
+/// scatter leg (or a tail resume overlapping its back-fill) re-delivers
+/// rows identical in every field, NaN payload bits included, so comparing
+/// bits removes exactly those while distinct same-microsecond events
+/// survive. Routers reuse it directly when splicing tail legs into one
+/// stream.
+pub fn sort_dedup_events(events: &mut Vec<Event>, mut on_dup: impl FnMut(&Event)) {
+    events.sort_by(|a, b| {
+        a.order_key()
+            .cmp(&b.order_key())
+            .then_with(|| a.deployment.cmp(&b.deployment))
+            .then_with(|| a.kind.code().cmp(&b.kind.code()))
+            .then_with(|| a.energy_mj.to_bits().cmp(&b.energy_mj.to_bits()))
+            .then_with(|| a.latency_us.cmp(&b.latency_us))
+            .then_with(|| a.accuracy.to_bits().cmp(&b.accuracy.to_bits()))
+            .then_with(|| a.wal_bytes.cmp(&b.wal_bytes))
+    });
+    let mut deduped: Vec<Event> = Vec::with_capacity(events.len());
+    for event in events.drain(..) {
+        if deduped.last().is_some_and(|prev| {
+            prev.time_us == event.time_us
+                && prev.seq == event.seq
+                && prev.kind == event.kind
+                && prev.deployment == event.deployment
+                && prev.energy_mj.to_bits() == event.energy_mj.to_bits()
+                && prev.latency_us == event.latency_us
+                && prev.accuracy.to_bits() == event.accuracy.to_bits()
+                && prev.wal_bytes == event.wal_bytes
+        }) {
+            on_dup(&event);
+        } else {
+            deduped.push(event);
+        }
+    }
+    *events = deduped;
 }
 
 impl ObsResult {
@@ -295,48 +345,19 @@ impl ObsResult {
             merged.dropped += part.dropped;
             merged.shards_ok += part.shards_ok;
             merged.shards_err += part.shards_err;
+            // Like `appended`, the histogram is a per-store counter: it sums
+            // across parts (a retried leg counts twice, same as `appended`).
+            merged.latency_hist.merge(&part.latency_hist);
             merged.events.extend(part.events);
             cells.extend(part.rollups);
         }
-        // Sort groups duplicate rows adjacently: the (time_us, seq) order
-        // callers rely on, with deployment and kind only breaking ties.
-        merged.events.sort_by(|a, b| {
-            a.order_key()
-                .cmp(&b.order_key())
-                .then_with(|| a.deployment.cmp(&b.deployment))
-                .then_with(|| a.kind.code().cmp(&b.kind.code()))
-                // Payload bits last, purely so identical rows end up
-                // adjacent for the dedup pass below.
-                .then_with(|| a.energy_mj.to_bits().cmp(&b.energy_mj.to_bits()))
-                .then_with(|| a.latency_us.cmp(&b.latency_us))
-                .then_with(|| a.accuracy.to_bits().cmp(&b.accuracy.to_bits()))
-                .then_with(|| a.wal_bytes.cmp(&b.wal_bytes))
+        let aggregates = &mut merged.aggregates;
+        sort_dedup_events(&mut merged.events, |event| {
+            aggregates.matched -= 1;
+            retract(&mut aggregates.energy_mj, event.energy_mj);
+            retract(&mut aggregates.latency_us, event.latency_us as f64);
+            retract(&mut aggregates.accuracy, f64::from(event.accuracy));
         });
-        let mut deduped: Vec<Event> = Vec::with_capacity(merged.events.len());
-        for event in merged.events.drain(..) {
-            // A retried leg's rows are identical in every field, so the
-            // payload is compared bit-exactly too (NaN accuracy included) —
-            // distinct same-microsecond events differing in any field
-            // survive.
-            if deduped.last().is_some_and(|prev| {
-                prev.time_us == event.time_us
-                    && prev.seq == event.seq
-                    && prev.kind == event.kind
-                    && prev.deployment == event.deployment
-                    && prev.energy_mj.to_bits() == event.energy_mj.to_bits()
-                    && prev.latency_us == event.latency_us
-                    && prev.accuracy.to_bits() == event.accuracy.to_bits()
-                    && prev.wal_bytes == event.wal_bytes
-            }) {
-                merged.aggregates.matched -= 1;
-                retract(&mut merged.aggregates.energy_mj, event.energy_mj);
-                retract(&mut merged.aggregates.latency_us, event.latency_us as f64);
-                retract(&mut merged.aggregates.accuracy, f64::from(event.accuracy));
-            } else {
-                deduped.push(event);
-            }
-        }
-        merged.events = deduped;
         if merged.events.len() > limit {
             merged.events.truncate(limit);
             merged.truncated = true;
@@ -355,6 +376,29 @@ impl ObsResult {
             merged.truncated = true;
         }
         merged
+    }
+
+    /// Drops every event at or before `cursor`, retracting each trimmed
+    /// row's contribution from the aggregates — the resume-cursor trim a
+    /// tail back-fill applies so a reconnecting subscriber only receives
+    /// rows **strictly after** the last one it consumed.
+    ///
+    /// Rollup cells are left untouched: they are bucket-granular, and a
+    /// cell overlapping the cursor's minute cannot be split. A splice that
+    /// mixes trimmed raw rows with rollup history therefore stays exact on
+    /// events and bucket-coarse on rollups.
+    pub fn retain_after(&mut self, cursor: ObsCursor) {
+        let aggregates = &mut self.aggregates;
+        self.events.retain(|event| {
+            if event.order_key() > cursor.key() {
+                return true;
+            }
+            aggregates.matched -= 1;
+            retract(&mut aggregates.energy_mj, event.energy_mj);
+            retract(&mut aggregates.latency_us, event.latency_us as f64);
+            retract(&mut aggregates.accuracy, f64::from(event.accuracy));
+            false
+        });
     }
 }
 
@@ -380,45 +424,53 @@ pub struct DeploymentRate {
     pub energy_mj: f64,
 }
 
-impl ObsResult {
-    /// Folds the result's request events (`Infer` + `Learn`) into
-    /// per-deployment counts and energy totals over the **trailing**
-    /// `window_us` microseconds, measured backwards from the latest event in
-    /// the result — not from the wall clock, so the same events always yield
-    /// the same rates (a determinism a tick-driven control plane's planner
-    /// depends on). Returns deployments sorted by descending request count,
-    /// then name, hottest first. Empty results yield an empty vector.
-    pub fn trailing_rates(&self, window_us: u64) -> Vec<DeploymentRate> {
-        let Some(latest) = self.events.iter().map(|e| e.time_us).max() else {
-            return Vec::new();
-        };
-        let cutoff = latest.saturating_sub(window_us);
-        let mut by_name: std::collections::HashMap<&str, (u64, f64)> =
-            std::collections::HashMap::new();
-        for event in &self.events {
-            if event.time_us < cutoff
-                || !matches!(event.kind, EventKind::Infer | EventKind::Learn)
-            {
-                continue;
-            }
-            let entry = by_name.entry(event.deployment.as_str()).or_insert((0, 0.0));
-            entry.0 += 1;
-            if event.energy_mj.is_finite() {
-                entry.1 += event.energy_mj;
-            }
+/// Folds request events (`Infer` + `Learn`) into per-deployment counts and
+/// energy totals over the **trailing** `window_us` microseconds, measured
+/// backwards from the latest event in the slice — not from the wall clock,
+/// so the same events always yield the same rates (a determinism a
+/// tick-driven control plane's planner depends on). Returns deployments
+/// sorted by descending request count, then name, hottest first. An empty
+/// slice yields an empty vector.
+///
+/// The free-function form of [`ObsResult::trailing_rates`], for consumers
+/// that maintain their own event window — a control plane folding a live
+/// tail incrementally — rather than holding an `ObsResult`.
+pub fn trailing_rates_of(events: &[Event], window_us: u64) -> Vec<DeploymentRate> {
+    let Some(latest) = events.iter().map(|e| e.time_us).max() else {
+        return Vec::new();
+    };
+    let cutoff = latest.saturating_sub(window_us);
+    let mut by_name: std::collections::HashMap<&str, (u64, f64)> =
+        std::collections::HashMap::new();
+    for event in events {
+        if event.time_us < cutoff || !matches!(event.kind, EventKind::Infer | EventKind::Learn)
+        {
+            continue;
         }
-        let mut rates: Vec<DeploymentRate> = by_name
-            .into_iter()
-            .map(|(name, (requests, energy_mj))| DeploymentRate {
-                deployment: name.to_string(),
-                requests,
-                energy_mj,
-            })
-            .collect();
-        rates.sort_by(|a, b| {
-            b.requests.cmp(&a.requests).then_with(|| a.deployment.cmp(&b.deployment))
-        });
-        rates
+        let entry = by_name.entry(event.deployment.as_str()).or_insert((0, 0.0));
+        entry.0 += 1;
+        if event.energy_mj.is_finite() {
+            entry.1 += event.energy_mj;
+        }
+    }
+    let mut rates: Vec<DeploymentRate> = by_name
+        .into_iter()
+        .map(|(name, (requests, energy_mj))| DeploymentRate {
+            deployment: name.to_string(),
+            requests,
+            energy_mj,
+        })
+        .collect();
+    rates.sort_by(|a, b| {
+        b.requests.cmp(&a.requests).then_with(|| a.deployment.cmp(&b.deployment))
+    });
+    rates
+}
+
+impl ObsResult {
+    /// [`trailing_rates_of`] over the result's events.
+    pub fn trailing_rates(&self, window_us: u64) -> Vec<DeploymentRate> {
+        trailing_rates_of(&self.events, window_us)
     }
 }
 
@@ -525,6 +577,76 @@ mod tests {
         assert_eq!(merged.events.len(), 2);
         assert_eq!(merged.aggregates.matched, 2);
         assert_eq!(merged.aggregates.energy_mj.sum, 0.75);
+    }
+
+    /// The resume-splice invariant: a rollup-resolution back-fill and a raw
+    /// live tail meet at the cursor with no gap, no double-count and the
+    /// `(time_us, seq)` order intact — the overlap row a retried leg
+    /// re-delivers at the boundary collapses to one occurrence.
+    #[test]
+    fn merge_splices_rollup_backfill_with_raw_tail_at_the_cursor() {
+        let row = |t: u64, seq: u64, e: f64| {
+            Event::new(EventKind::Infer, "t")
+                .with_time_us(t)
+                .with_seq(seq)
+                .with_energy_mj(e)
+                .with_latency_us(10 * t)
+        };
+        // The subscriber died having consumed up to (100, 1).
+        let cursor = ObsCursor { time_us: 100, seq: 1 };
+
+        // Back-fill leg: GC took the raw rows of the old minute, so history
+        // arrives as one rollup cell; the missed range after the cursor
+        // comes back raw — including a pre-cursor row the time-window query
+        // matched, which retain_after must trim (and retract).
+        let old = [row(10, 0, 1.0), row(20, 0, 2.0)];
+        let mut cell = Rollup::new(0, "t", EventKind::Infer);
+        let mut backfill = ObsResult { shards_ok: 1, ..ObsResult::default() };
+        for event in &old {
+            cell.observe(event);
+            backfill.aggregates.matched += 1;
+            backfill.aggregates.energy_mj.observe(event.energy_mj);
+            backfill.aggregates.latency_us.observe(event.latency_us as f64);
+        }
+        backfill.rollups = vec![cell];
+        for event in [row(100, 1, 0.5), row(100, 2, 0.25), row(150, 0, 4.0)] {
+            backfill.aggregates.observe(&event);
+            backfill.events.push(event);
+        }
+        backfill.retain_after(cursor);
+        assert_eq!(
+            backfill.events.iter().map(Event::order_key).collect::<Vec<_>>(),
+            vec![(100, 2), (150, 0)],
+            "the row at the cursor itself is trimmed"
+        );
+        assert_eq!(backfill.aggregates.matched, 4);
+        assert_eq!(backfill.aggregates.energy_mj.sum, 1.0 + 2.0 + 0.25 + 4.0);
+
+        // Live leg: the registration overlapped the back-fill by one row at
+        // the boundary (a reconnect retry), then saw two fresh rows.
+        let mut live = ObsResult { shards_ok: 1, ..ObsResult::default() };
+        for event in [row(150, 0, 4.0), row(200, 0, 8.0), row(250, 3, 16.0)] {
+            live.aggregates.observe(&event);
+            live.events.push(event);
+        }
+
+        let merged = ObsResult::merge(vec![backfill, live], 64);
+        // No gap, no duplicate, order preserved across the splice point.
+        assert_eq!(
+            merged.events.iter().map(Event::order_key).collect::<Vec<_>>(),
+            vec![(100, 2), (150, 0), (200, 0), (250, 3)]
+        );
+        // Aggregates count the rolled-up history once and each raw row once
+        // — the boundary overlap was retracted.
+        assert_eq!(merged.aggregates.matched, 2 + 4);
+        assert_eq!(
+            merged.aggregates.energy_mj.sum,
+            1.0 + 2.0 + 0.25 + 4.0 + 8.0 + 16.0
+        );
+        // The rolled-up minute is still there, untouched by the splice.
+        assert_eq!(merged.rollups.len(), 1);
+        assert_eq!(merged.rollups[0].count, 2);
+        assert!(!merged.truncated);
     }
 
     #[test]

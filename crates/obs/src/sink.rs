@@ -1,9 +1,13 @@
 //! The non-blocking intake: a bounded channel that sheds instead of stalls.
 
-use crate::event::Event;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::event::{Event, EventKind};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Pseudo-deployment name of [`EventKind::SinkOverflow`] markers emitted by
+/// the intake channel itself (tail subscribers use `tail:<id>` instead).
+pub(crate) const SINK_OVERFLOW_DEPLOYMENT: &str = "obs:sink";
 
 /// A monotonic clock with a wall anchor: microseconds since the Unix epoch,
 /// but advanced by `Instant` so it can never run backwards within a process.
@@ -44,6 +48,11 @@ impl Default for ObsClock {
 struct SinkCounters {
     sent: AtomicU64,
     dropped: AtomicU64,
+    /// `true` while inside a drop window; flips back on the first accepted
+    /// event, which also carries the window's [`EventKind::SinkOverflow`]
+    /// marker into the channel.
+    overflow: AtomicBool,
+    overflows: AtomicU64,
 }
 
 /// The write side of an observability pipeline.
@@ -83,20 +92,49 @@ impl EventSink {
     }
 
     /// Offers `event` with its timestamp left untouched. Never blocks.
+    ///
+    /// The first drop after a clean period opens an **overflow window**
+    /// ([`EventSink::overflows`] counts the transitions, breaker-style).
+    /// The window's [`EventKind::SinkOverflow`] marker rides into the
+    /// channel with the first event accepted afterwards — at the drop
+    /// instant the channel is full by definition, so the marker lands on
+    /// the closing edge, stamped with the accepted event's time and
+    /// carrying the total dropped count in `seq`. Drop windows are thereby
+    /// visible in the timeline itself, one row per window.
     pub fn emit_at(&self, event: Event) {
+        let time_us = event.time_us;
         match self.tx.try_send(event) {
             Ok(()) => {
                 self.counters.sent.fetch_add(1, Ordering::Release);
+                if self.counters.overflow.swap(false, Ordering::AcqRel) {
+                    let marker = Event::new(EventKind::SinkOverflow, SINK_OVERFLOW_DEPLOYMENT)
+                        .with_time_us(time_us)
+                        .with_seq(self.dropped());
+                    match self.tx.try_send(marker) {
+                        Ok(()) => {
+                            self.counters.sent.fetch_add(1, Ordering::Release);
+                        }
+                        // The channel refilled under us: count the drop and
+                        // re-arm so a later accepted event retries.
+                        Err(_) => {
+                            self.counters.dropped.fetch_add(1, Ordering::Release);
+                            self.counters.overflow.store(true, Ordering::Release);
+                        }
+                    }
+                }
             }
             // Full (backpressure) or disconnected (collector gone): either
             // way the event is shed, never waited on.
             Err(_) => {
                 self.counters.dropped.fetch_add(1, Ordering::Release);
+                if !self.counters.overflow.swap(true, Ordering::AcqRel) {
+                    self.counters.overflows.fetch_add(1, Ordering::Release);
+                }
             }
         }
     }
 
-    /// Events accepted into the channel so far.
+    /// Events accepted into the channel so far (overflow markers included).
     pub fn sent(&self) -> u64 {
         self.counters.sent.load(Ordering::Acquire)
     }
@@ -104,6 +142,12 @@ impl EventSink {
     /// Events shed because the channel was full (or its collector gone).
     pub fn dropped(&self) -> u64 {
         self.counters.dropped.load(Ordering::Acquire)
+    }
+
+    /// Clean→overflow transitions so far — one per drop window, however
+    /// many events each window shed.
+    pub fn overflows(&self) -> u64 {
+        self.counters.overflows.load(Ordering::Acquire)
     }
 
     /// The sink's clock, for callers that want comparable timestamps
@@ -157,6 +201,43 @@ mod tests {
         sink.emit(Event::new(EventKind::Learn, "t"));
         assert_eq!(sink.sent(), 0);
         assert_eq!(sink.dropped(), 1);
+    }
+
+    /// One drop window, however long, yields exactly one SinkOverflow
+    /// marker — delivered with the first event accepted after the window,
+    /// stamped with that event's time and the window's total dropped count.
+    #[test]
+    fn overflow_window_emits_one_transition_marker_on_recovery() {
+        let (sink, rx) = EventSink::bounded(4);
+        for i in 0..4u64 {
+            sink.emit_at(Event::new(EventKind::Infer, "t").with_time_us(10 + i).with_seq(i));
+        }
+        // Three drops, one window.
+        for i in 0..3u64 {
+            sink.emit_at(Event::new(EventKind::Infer, "t").with_time_us(20 + i));
+        }
+        assert_eq!(sink.overflows(), 1);
+        assert_eq!(sink.dropped(), 3);
+        // Drain two, then the next accepted event closes the window and the
+        // marker rides along right behind it.
+        rx.recv().unwrap();
+        rx.recv().unwrap();
+        sink.emit_at(Event::new(EventKind::Infer, "t").with_time_us(30));
+        let events: Vec<Event> = rx.try_iter().collect();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[2].time_us, 30);
+        let marker = &events[3];
+        assert_eq!(marker.kind, EventKind::SinkOverflow);
+        assert_eq!(marker.deployment, SINK_OVERFLOW_DEPLOYMENT);
+        assert_eq!(marker.time_us, 30);
+        assert_eq!(marker.seq, 3, "seq carries the dropped total");
+        assert_eq!(sink.sent(), 6, "the marker counts as sent");
+        // A second window is a second transition.
+        for _ in 0..4 {
+            sink.emit_at(Event::new(EventKind::Infer, "t").with_time_us(40));
+        }
+        sink.emit_at(Event::new(EventKind::Infer, "t").with_time_us(41));
+        assert_eq!(sink.overflows(), 2);
     }
 
     #[test]

@@ -9,11 +9,13 @@
 //! queries as if it never died.
 
 use crate::event::{Event, EventKind};
+use crate::histogram::LatencyHistogram;
 use crate::query::{ObsQuery, ObsResult, Resolution, Summary, AUTO_RAW_WINDOW_US};
 use crate::rollup::{Rollup, ROLLUP_BUCKET_US};
+use crate::tail::{ObsCursor, ObsTail, TailCounters};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// A durability hook the store calls with every chunk it seals (inside the
 /// append path, so spills happen in seal order). Implementations must not
@@ -109,6 +111,16 @@ pub struct ObsCounters {
     pub spilled_chunks: u64,
     /// Per-minute rollup cells currently held (these survive GC).
     pub rollup_rows: u64,
+    /// Live tail subscribers currently registered.
+    pub tails: u64,
+    /// Rows accepted into tail subscriber channels so far (all subscribers,
+    /// departed ones included).
+    pub tail_delivered: u64,
+    /// Rows shed because a tail subscriber's channel was full.
+    pub tail_dropped: u64,
+    /// Clean→overflow transitions across all tail subscribers — one per
+    /// [`SinkOverflow`](crate::EventKind::SinkOverflow) marker appended.
+    pub tail_overflows: u64,
 }
 
 /// The eight parallel columns of one chunk.
@@ -202,6 +214,20 @@ impl RollupCell {
     }
 }
 
+/// One registered live-tail subscriber: its filter, its bounded channel,
+/// and the transition state the [`SinkOverflow`](EventKind::SinkOverflow)
+/// marker is edge-triggered from.
+#[derive(Debug)]
+struct TailSlot {
+    id: u64,
+    filter: ObsQuery,
+    tx: mpsc::SyncSender<Event>,
+    counters: Arc<TailCounters>,
+    /// `true` while inside a drop window; the clean→overflow edge appends
+    /// one marker event, further drops in the same window stay silent.
+    overflowed: bool,
+}
+
 #[derive(Debug, Default)]
 struct StoreInner {
     /// Interned deployment names; column values index into this.
@@ -221,6 +247,17 @@ struct StoreInner {
     gc_chunks: u64,
     gc_events: u64,
     spilled_chunks: u64,
+    /// Live tail subscribers; appends fan out to these under the store
+    /// lock, so a subscription's back-fill and its live feed partition the
+    /// timeline exactly (no row in both, no row in neither).
+    tails: Vec<TailSlot>,
+    next_tail_id: u64,
+    tail_delivered: u64,
+    tail_dropped: u64,
+    tail_overflows: u64,
+    /// Store-lifetime latency histograms, one per event kind, indexed by
+    /// kind code. Appended and adopted rows both land here.
+    histograms: [LatencyHistogram; EventKind::ALL.len()],
 }
 
 impl StoreInner {
@@ -285,6 +322,60 @@ impl StoreInner {
             self.gc_events += chunk.cols.len() as u64;
         }
     }
+
+    /// Offers one appended event to every registered tail whose filter
+    /// matches. `try_send` only — the append path never waits on a slow
+    /// subscriber. Disconnected subscribers are unregistered here; a
+    /// clean→overflow transition returns a [`SinkOverflow`] marker for the
+    /// caller to append once the lock is released.
+    ///
+    /// [`SinkOverflow`]: EventKind::SinkOverflow
+    fn fan_out(&mut self, event: &Event) -> Vec<Event> {
+        let mut markers = Vec::new();
+        let delivered = &mut self.tail_delivered;
+        let dropped = &mut self.tail_dropped;
+        let overflows = &mut self.tail_overflows;
+        self.tails.retain_mut(|slot| {
+            if !tail_matches(&slot.filter, event) {
+                return true;
+            }
+            match slot.tx.try_send(event.clone()) {
+                Ok(()) => {
+                    slot.counters.delivered.fetch_add(1, Ordering::Release);
+                    *delivered += 1;
+                    // A successful delivery closes the drop window; the next
+                    // drop is a fresh transition.
+                    slot.overflowed = false;
+                    true
+                }
+                Err(mpsc::TrySendError::Full(_)) => {
+                    let total = slot.counters.dropped.fetch_add(1, Ordering::Release) + 1;
+                    *dropped += 1;
+                    if !slot.overflowed {
+                        slot.overflowed = true;
+                        *overflows += 1;
+                        markers.push(
+                            Event::new(EventKind::SinkOverflow, &format!("tail:{}", slot.id))
+                                .with_time_us(event.time_us)
+                                .with_seq(total),
+                        );
+                    }
+                    true
+                }
+                // Subscriber gone: unregister the slot.
+                Err(mpsc::TrySendError::Disconnected(_)) => false,
+            }
+        });
+        markers
+    }
+}
+
+/// Whether a live event passes a tail's filter (deployment, both windows,
+/// kind mask) — the same predicate the back-fill query applied.
+fn tail_matches(filter: &ObsQuery, event: &Event) -> bool {
+    (filter.deployment.is_empty() || filter.deployment == event.deployment)
+        && filter.matches_windows(event.time_us, event.seq)
+        && filter.matches_kind_code(event.kind.code())
 }
 
 /// The columnar store. Thread-safe; normally fed by the collector thread of
@@ -316,19 +407,29 @@ impl ObsStore {
     }
 
     /// Appends one event as-is (no timestamp stamping — the sink did that).
-    /// Seals the active chunk at [`ObsConfig::chunk_events`] rows and runs GC
-    /// after each seal.
+    /// Seals the active chunk at [`ObsConfig::chunk_events`] rows, runs GC
+    /// after each seal, and fans the event out to every registered live
+    /// tail (non-blocking; see [`ObsStore::subscribe`]).
     pub fn append(&self, event: &Event) {
         let mut inner = self.inner.lock().expect("obs store lock");
         let id = inner.intern(&event.deployment);
         inner.active.push(id, event);
         inner.latest_time = inner.latest_time.max(event.time_us);
+        inner.histograms[event.kind.code() as usize].record(event.latency_us);
         if inner.active.len() >= self.config.chunk_events {
             inner.seal_active();
             inner.gc(self.config.byte_budget);
         }
+        let markers = inner.fan_out(event);
         drop(inner);
         self.appended.fetch_add(1, Ordering::Release);
+        // Overflow markers are ordinary rows: appended (and fanned out)
+        // like anything else. The recursion terminates because a marker can
+        // only be produced on a slot's clean→overflow edge, which the drop
+        // that produced it already consumed.
+        for marker in markers {
+            self.append(&marker);
+        }
     }
 
     /// Attaches the durability hook. Every chunk sealed **after** this call
@@ -353,6 +454,7 @@ impl ObsStore {
             let id = inner.intern(&event.deployment);
             cols.push(id, event);
             inner.latest_time = inner.latest_time.max(event.time_us);
+            inner.histograms[event.kind.code() as usize].record(event.latency_us);
         }
         cols.sort_by_time();
         let min_time = *cols.time_us.first().expect("non-empty chunk");
@@ -407,7 +509,68 @@ impl ObsStore {
             gc_events: inner.gc_events,
             spilled_chunks: inner.spilled_chunks,
             rollup_rows: inner.rollups.len() as u64,
+            tails: inner.tails.len() as u64,
+            tail_delivered: inner.tail_delivered,
+            tail_dropped: inner.tail_dropped,
+            tail_overflows: inner.tail_overflows,
         }
+    }
+
+    /// The store-lifetime latency histogram of one event kind. Recorded on
+    /// every append and adoption; never windowed and never GC'd.
+    pub fn latency_histogram(&self, kind: EventKind) -> LatencyHistogram {
+        let inner = self.inner.lock().expect("obs store lock");
+        inner.histograms[kind.code() as usize]
+    }
+
+    /// Registers a live tail: a bounded channel of `depth` events fed by
+    /// every subsequent append that matches `filter`, plus the cursor-ranged
+    /// back-fill of everything the store already holds.
+    ///
+    /// Registration and back-fill happen under one store lock, so the two
+    /// sides partition the timeline exactly: a row is in the back-fill or
+    /// will arrive live, never both, never neither. With a `cursor`, the
+    /// back-fill starts **strictly after** it (rows at or before the cursor
+    /// are trimmed and their aggregate contribution retracted); rollup
+    /// cells cover back-fill spans whose raw rows were GC'd, at bucket
+    /// granularity, when the filter's resolution asks for them.
+    ///
+    /// Delivery is drop-and-count ([`ObsTail::dropped`]); the first drop
+    /// after a clean period appends a
+    /// [`SinkOverflow`](EventKind::SinkOverflow) marker under the
+    /// pseudo-deployment `tail:<id>`.
+    pub fn subscribe(
+        &self,
+        filter: ObsQuery,
+        cursor: Option<ObsCursor>,
+        depth: usize,
+    ) -> ObsTail {
+        let mut inner = self.inner.lock().expect("obs store lock");
+        let mut backfill_query = filter.clone();
+        if let Some(cursor) = cursor {
+            backfill_query.time_min = backfill_query.time_min.max(cursor.time_us);
+        }
+        let mut backfill = self.query_inner(&inner, &backfill_query);
+        if let Some(cursor) = cursor {
+            backfill.retain_after(cursor);
+        }
+        let mut high_water = cursor.unwrap_or_default();
+        for event in &backfill.events {
+            high_water.advance(event.order_key());
+        }
+        let (tx, rx) = mpsc::sync_channel(depth.max(1));
+        let counters = Arc::new(TailCounters::default());
+        let id = inner.next_tail_id;
+        inner.next_tail_id += 1;
+        inner.tails.push(TailSlot {
+            id,
+            filter,
+            tx,
+            counters: Arc::clone(&counters),
+            overflowed: false,
+        });
+        drop(inner);
+        ObsTail { backfill, cursor: high_water, rx, id, counters }
     }
 
     /// Runs `query` against every resident chunk and rollup cell.
@@ -423,6 +586,22 @@ impl ObsStore {
     /// to the raw span only.
     pub fn query(&self, query: &ObsQuery) -> ObsResult {
         let inner = self.inner.lock().expect("obs store lock");
+        self.query_inner(&inner, query)
+    }
+
+    /// The query body, against an already-locked inner state — shared by
+    /// [`ObsStore::query`] and the atomic back-fill in
+    /// [`ObsStore::subscribe`].
+    fn query_inner(&self, inner: &StoreInner, query: &ObsQuery) -> ObsResult {
+        // The store-lifetime latency histogram over the queried kind mask
+        // rides along on every result (windows and deployment do not scope
+        // it — it is a per-store counter, not a per-row aggregate).
+        let mut latency_hist = LatencyHistogram::empty();
+        for kind in EventKind::ALL {
+            if query.matches_kind_code(kind.code()) {
+                latency_hist.merge(&inner.histograms[kind.code() as usize]);
+            }
+        }
         // Resolve the deployment filter to an interned id once. A name this
         // store never saw matches nothing — but the scan still reports
         // appended/aggregate context truthfully (zeroes).
@@ -435,6 +614,7 @@ impl ObsStore {
                     return ObsResult {
                         appended: self.appended(),
                         shards_ok: 1,
+                        latency_hist,
                         ..ObsResult::default()
                     }
                 }
@@ -456,7 +636,7 @@ impl ObsStore {
             }
         };
 
-        let mut result = ObsResult { shards_ok: 1, ..ObsResult::default() };
+        let mut result = ObsResult { shards_ok: 1, latency_hist, ..ObsResult::default() };
 
         if let Some((raw_min, raw_max)) = raw_span {
             let mut scan = |cols: &Columns| {
@@ -537,7 +717,6 @@ impl ObsStore {
                 });
             }
         }
-        drop(inner);
 
         result.events.sort_by_key(Event::order_key);
         let limit = query.limit as usize;
@@ -734,6 +913,155 @@ mod tests {
         );
         assert!(recent.rollups.is_empty());
         assert_eq!(recent.events.len(), 1);
+    }
+
+    /// Subscribe's atomic register-plus-back-fill: rows appended before the
+    /// subscription are in the back-fill, rows after arrive live — never
+    /// both, never neither.
+    #[test]
+    fn subscribe_partitions_backfill_and_live_exactly() {
+        let store = ObsStore::new(ObsConfig::default().with_chunk_events(3));
+        for t in 0..5u64 {
+            store.append(&event("t", t * 10, t));
+        }
+        let tail = store.subscribe(ObsQuery::all(), None, 16);
+        assert_eq!(tail.backfill.events.len(), 5);
+        assert_eq!(tail.cursor.key(), (40, 4));
+        assert_eq!(store.counters().tails, 1);
+        store.append(&event("t", 50, 5));
+        store.append(&event("u", 60, 6));
+        let first = tail.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+        let second = tail.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+        assert_eq!((first.time_us, second.time_us), (50, 60));
+        assert_eq!(tail.delivered(), 2);
+        assert_eq!(tail.dropped(), 0);
+        // Filters scope the live feed exactly like the back-fill query.
+        let filtered = store.subscribe(ObsQuery::deployment("t"), None, 16);
+        store.append(&event("u", 70, 7));
+        store.append(&event("t", 80, 8));
+        assert_eq!(
+            filtered.recv_timeout(std::time::Duration::from_secs(1)).unwrap().time_us,
+            80
+        );
+        // Dropping a tail unregisters it at the next fan-out.
+        drop(tail);
+        drop(filtered);
+        store.append(&event("t", 90, 9));
+        assert_eq!(store.counters().tails, 0);
+    }
+
+    /// A full subscriber channel sheds (never blocks) and the clean→overflow
+    /// edge appends exactly one SinkOverflow marker to the store itself.
+    #[test]
+    fn tail_overflow_appends_one_transition_marker() {
+        let store = ObsStore::new(ObsConfig::default());
+        let tail = store.subscribe(ObsQuery::all(), None, 2);
+        for t in 0..5u64 {
+            store.append(&event("t", t, t));
+        }
+        // 2 delivered, then e3/e4/e5 dropped plus the marker itself (the
+        // channel is full, so the marker's own fan-out sheds too).
+        assert_eq!(tail.delivered(), 2);
+        assert_eq!(tail.dropped(), 4);
+        let counters = store.counters();
+        assert_eq!(counters.tail_overflows, 1);
+        assert_eq!(counters.tail_dropped, 4);
+        let markers = store.query(&ObsQuery::all().with_kinds(&[EventKind::SinkOverflow]));
+        assert_eq!(markers.events.len(), 1, "transition-only: one marker per window");
+        assert_eq!(markers.events[0].deployment, format!("tail:{}", tail.id()));
+        assert_eq!(markers.events[0].seq, 1, "seq is the dropped total at the edge");
+        assert_eq!(markers.events[0].time_us, 2, "stamped with the shed row's time");
+
+        // Draining and delivering again closes the window; the next full
+        // channel is a fresh transition with a fresh marker.
+        tail.try_next().unwrap();
+        tail.try_next().unwrap();
+        store.append(&event("t", 10, 10));
+        store.append(&event("t", 11, 11));
+        assert_eq!(tail.delivered(), 4);
+        store.append(&event("t", 12, 12));
+        let markers = store.query(&ObsQuery::all().with_kinds(&[EventKind::SinkOverflow]));
+        assert_eq!(markers.events.len(), 2);
+        assert_eq!(store.counters().tail_overflows, 2);
+    }
+
+    /// Kill-and-resume: a second subscription from the dead tail's cursor
+    /// back-fills exactly the missed range, and back-fill + live together
+    /// are bit-identical to a post-hoc query over the same range.
+    #[test]
+    fn resume_cursor_backfills_strictly_after_and_splices_gap_free() {
+        let store = ObsStore::new(ObsConfig::default().with_chunk_events(4));
+        for t in 0..10u64 {
+            store.append(&event("t", t * 10, t));
+        }
+        let first = store.subscribe(ObsQuery::all(), None, 64);
+        let cursor = first.cursor;
+        assert_eq!(cursor.key(), (90, 9));
+        drop(first); // the subscriber dies
+
+        // Rows land while nobody is listening…
+        for t in 10..15u64 {
+            store.append(&event("t", t * 10, t));
+        }
+        // …then the subscriber comes back with its cursor.
+        let resumed = store.subscribe(ObsQuery::all(), Some(cursor), 64);
+        assert_eq!(
+            resumed.backfill.events.iter().map(Event::order_key).collect::<Vec<_>>(),
+            (10..15u64).map(|t| (t * 10, t)).collect::<Vec<_>>(),
+            "back-fill is exactly the missed range, strictly after the cursor"
+        );
+        assert_eq!(resumed.cursor.key(), (140, 14));
+        for t in 15..18u64 {
+            store.append(&event("t", t * 10, t));
+        }
+        let mut spliced: Vec<Event> = resumed.backfill.events.clone();
+        while let Some(event) = resumed.try_next() {
+            spliced.push(event);
+        }
+        let posthoc = store
+            .query(&ObsQuery::all().with_time_range(cursor.time_us, u64::MAX));
+        let posthoc: Vec<Event> = posthoc
+            .events
+            .into_iter()
+            .filter(|e| e.order_key() > cursor.key())
+            .collect();
+        // `Event` equality is NaN-poisoned (unset accuracy), so compare the
+        // identifying keys row by row.
+        assert_eq!(
+            spliced.iter().map(Event::order_key).collect::<Vec<_>>(),
+            posthoc.iter().map(Event::order_key).collect::<Vec<_>>(),
+            "no gaps, no duplicates"
+        );
+    }
+
+    #[test]
+    fn latency_histograms_are_per_kind_and_survive_adoption() {
+        let store = ObsStore::new(ObsConfig::default());
+        for i in 0..98u64 {
+            store.append(&event("t", i, i).with_latency_us(100));
+        }
+        store.append(&event("t", 98, 98).with_latency_us(5_000));
+        store.append(&event("t", 99, 99).with_latency_us(5_000));
+        store.append(&Event::new(EventKind::Learn, "t").with_latency_us(1_000_000));
+        let infer = store.latency_histogram(EventKind::Infer);
+        assert_eq!(infer.total(), 100);
+        assert_eq!(infer.p50_us(), 127);
+        assert_eq!(infer.p99_us(), 8_191);
+        assert_eq!(store.latency_histogram(EventKind::Learn).total(), 1);
+        // The queried kind mask picks which histograms ride on the result.
+        let result = store.query(&ObsQuery::all().with_kinds(&[EventKind::Infer]));
+        assert_eq!(result.latency_hist.total(), 100);
+        assert_eq!(store.query(&ObsQuery::all()).latency_hist.total(), 101);
+
+        // Adopted chunks fold in, so a rehydrated store answers like the
+        // one that died.
+        let reborn = ObsStore::new(ObsConfig::default());
+        let all = store.query(&ObsQuery::all());
+        reborn.adopt_chunk(&all.events);
+        assert_eq!(
+            reborn.latency_histogram(EventKind::Infer),
+            store.latency_histogram(EventKind::Infer)
+        );
     }
 
     #[test]

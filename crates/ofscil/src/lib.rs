@@ -88,7 +88,7 @@ pub mod prelude {
     };
     pub use ofscil_ctrl::{
         ClusterSnapshot, ControlAction, Controller, CtrlConfig, CtrlError, FollowerProcess,
-        Planner, ShardState, StandbyFleet,
+        Planner, RateFeed, ShardState, StandbyFleet,
     };
     pub use ofscil_data::{
         Augmenter, AugmenterConfig, Batch, CutMix, Dataset, FscilBenchmark, FscilConfig, Mixup,
@@ -102,13 +102,13 @@ pub mod prelude {
     pub use ofscil_nn::profile::{profile_backbone, profile_with_fcr};
     pub use ofscil_nn::{Layer, Mode};
     pub use ofscil_obs::{
-        ChunkSpill, Event, EventKind, EventSink, Obs, ObsConfig, ObsQuery, ObsResult,
-        ObsStore, Resolution, Rollup,
+        ChunkSpill, Event, EventKind, EventSink, LatencyHistogram, Obs, ObsConfig,
+        ObsCursor, ObsQuery, ObsResult, ObsStore, ObsTail, Resolution, Rollup, TailBatch,
     };
     pub use ofscil_quant::{ExplicitMemoryFootprint, FakeQuant, PrototypePrecision, QuantTensor};
     pub use ofscil_router::{
-        HashRing, MigrationReport, PoolConfig, RouterConfig, RouterError, RouterHandle,
-        RouterServer, ShardHealth, ShardStats,
+        ClusterTail, HashRing, MigrationReport, PoolConfig, RouterConfig, RouterError,
+        RouterHandle, RouterServer, ShardHealth, ShardStats,
     };
     pub use ofscil_serve::{
         decode_explicit_memory, encode_explicit_memory, BudgetPolicy, CommitJournal,
@@ -121,8 +121,8 @@ pub mod prelude {
     };
     pub use ofscil_tensor::{SeedRng, Tensor};
     pub use ofscil_wire::{
-        BoundAddr, Follower, FollowerConfig, ReplEvent, WireBind, WireClient, WireConfig,
-        WireError, WireServer,
+        BoundAddr, Follower, FollowerConfig, ObsTailStream, ReplEvent, WireBind, WireClient,
+        WireConfig, WireError, WireServer,
     };
 }
 

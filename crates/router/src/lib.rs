@@ -30,6 +30,12 @@
 //!   [`add_shard`](RouterHandle::add_shard) /
 //!   [`drain_shard`](RouterHandle::drain_shard) that move explicit memory
 //!   with the snapshot codec and atomically remap the ring,
+//! * [`ClusterTail`] — a cluster-wide live tail
+//!   ([`cluster_tail`](RouterHandle::cluster_tail), or a proxied
+//!   `ObsSubscribe` frame): one observability subscription multiplexed
+//!   into per-shard, follower and router-local legs, each resubscribing
+//!   from its own resume cursor through shard kill/restart so the merged
+//!   stream stays gap-free,
 //! * [`harness`] — spin backend "processes" (thread + own registry + real
 //!   socket) up and down inside one binary, for tests, benches and examples
 //!   of the sharded topology.
@@ -83,8 +89,10 @@ pub mod harness;
 mod pool;
 mod ring;
 mod server;
+mod tail;
 
 pub use error::RouterError;
 pub use pool::{PoolConfig, ShardHealth, ShardPool};
 pub use ring::HashRing;
 pub use server::{MigrationReport, RouterConfig, RouterHandle, RouterServer, ShardStats};
+pub use tail::ClusterTail;

@@ -26,7 +26,8 @@
 use crate::error::RouterError;
 use crate::pool::{PoolConfig, ShardHealth, ShardPool};
 use crate::ring::HashRing;
-use ofscil_obs::{Event, EventKind, EventSink, Obs, ObsResult};
+use crate::tail::{spawn_cluster_tail, stream_cluster_tail, ClusterTail};
+use ofscil_obs::{Event, EventKind, EventSink, Obs, ObsCursor, ObsQuery, ObsResult};
 use ofscil_serve::{DeploymentStats, ServeError, ServeRequest, ServeResponse};
 use ofscil_store::OpLog;
 use ofscil_wire::codec::{decode_request, encode_response, WireRequest};
@@ -38,11 +39,11 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// How often blocked router loops wake to poll the shutdown flag.
-const POLL: Duration = Duration::from_millis(20);
+pub(crate) const POLL: Duration = Duration::from_millis(20);
 
 /// Configuration of a [`RouterServer`].
 #[derive(Debug, Clone)]
@@ -155,12 +156,12 @@ impl RouterConfig {
 /// Where every deployment currently lives: the pure ring assignment,
 /// overridden by migrations.
 #[derive(Debug)]
-struct Placement {
-    ring: HashRing,
+pub(crate) struct Placement {
+    pub(crate) ring: HashRing,
     /// Current shard of every *known* deployment. Starts as the ring
     /// assignment; migrations update it. Names outside the map fall back to
     /// the ring hash.
-    location: HashMap<String, usize>,
+    pub(crate) location: HashMap<String, usize>,
 }
 
 impl Placement {
@@ -172,20 +173,26 @@ impl Placement {
     }
 }
 
-/// State shared between the accept loop and the admin handle.
-struct Shared {
-    pool: ShardPool,
-    placement: RwLock<Placement>,
+/// State shared between the accept loop, the admin handle and the detached
+/// legs of a [`ClusterTail`] — hence behind an `Arc`, so tail legs can
+/// outlive the connection thread that spawned them (they exit on their own
+/// stop flag or on [`Shared::shutdown`]).
+pub(crate) struct Shared {
+    pub(crate) pool: ShardPool,
+    pub(crate) placement: RwLock<Placement>,
     /// The persistent placement journal, when configured: one override
     /// record per migration, replayed at startup.
-    placement_log: Option<Mutex<OpLog>>,
+    pub(crate) placement_log: Option<Mutex<OpLog>>,
     /// The router's own observability handle, when configured.
-    obs: Option<Obs>,
+    pub(crate) obs: Option<Obs>,
     /// Follower addresses advertised per shard id — the promotion
     /// candidates a control plane reads. Populated by `AdvertiseFollower`
     /// frames; cleared for a shard when its id is re-pointed at a new
     /// primary.
-    followers: Mutex<HashMap<usize, Vec<String>>>,
+    pub(crate) followers: Mutex<HashMap<usize, Vec<String>>>,
+    /// Raised when the routing session ends; every blocked loop (accept,
+    /// connection reads, tail legs) polls it within [`POLL`].
+    pub(crate) shutdown: AtomicBool,
 }
 
 /// Record kind of a placement override in the journal.
@@ -259,6 +266,13 @@ pub struct ShardStats {
     /// plane can see *which* member is dropping its own telemetry. Zero when
     /// observability is disabled.
     pub obs_dropped: u64,
+    /// Median inference latency in microseconds, read from the shard's
+    /// store-lifetime log-bucketed histogram (reported at the bucket's
+    /// upper bound). Zero when observability is disabled or no inference
+    /// was ever recorded.
+    pub infer_p50_us: u64,
+    /// 99th-percentile inference latency, from the same histogram.
+    pub infer_p99_us: u64,
 }
 
 /// What one live migration did.
@@ -281,7 +295,7 @@ pub struct MigrationReport {
 /// migration, ring membership).
 pub struct RouterHandle<'a> {
     addr: BoundAddr,
-    shared: &'a Shared,
+    shared: &'a Arc<Shared>,
 }
 
 impl RouterHandle<'_> {
@@ -375,6 +389,20 @@ impl RouterHandle<'_> {
     /// plane watches the cluster through.
     pub fn obs_query(&self, query: &ofscil_obs::ObsQuery) -> ObsResult {
         obs_scatter_query(self.shared, query)
+    }
+
+    /// Opens a **cluster-wide live tail** in process: one subscription
+    /// multiplexed into per-shard legs, advertised-follower legs and the
+    /// router's own store, merged into a single stream of batches. Each leg
+    /// keeps its own resume cursor and resubscribes when its shard dies or
+    /// is re-pointed ([`RouterHandle::replace_shard`]), so the stream
+    /// survives kill/restart gap-free. Pass `cursor` to resume a previous
+    /// cluster tail; back-fill then starts strictly after it on every leg.
+    ///
+    /// This is the push path a co-located control plane maintains its
+    /// trailing rates from, instead of issuing a windowed query every tick.
+    pub fn cluster_tail(&self, query: &ObsQuery, cursor: Option<ObsCursor>) -> ClusterTail {
+        spawn_cluster_tail(Arc::clone(self.shared), query.clone(), cursor)
     }
 
     /// Emits one event into the router's own observability store, if one is
@@ -554,6 +582,8 @@ fn gather_shard_stats(pool: &ShardPool, shard: usize, names: &[String]) -> Shard
         error: None,
         obs_events: 0,
         obs_dropped: 0,
+        infer_p50_us: 0,
+        infer_p99_us: 0,
     };
     if names.is_empty() {
         if let Ok(health) = pool.probe(shard) {
@@ -595,15 +625,23 @@ fn gather_shard_stats(pool: &ShardPool, shard: usize, names: &[String]) -> Shard
 
 /// Fills a slice's observability counters with one cheap probe query: zero
 /// event limit and an empty time window, so the shard answers only its
-/// `appended`/`dropped` totals without scanning a single chunk. A shard
-/// without observability (typed refusal) or out of reach keeps the zeros —
-/// the counters are telemetry about telemetry, never worth failing a
-/// cluster read over.
+/// `appended`/`dropped` totals — plus the store-lifetime inference latency
+/// histogram riding on every result (the kind filter scopes it to `Infer`)
+/// — without scanning a single chunk. A shard without observability (typed
+/// refusal) or out of reach keeps the zeros — the counters are telemetry
+/// about telemetry, never worth failing a cluster read over.
 fn gather_obs_counters(pool: &ShardPool, shard: usize, stats: &mut ShardStats) {
-    let probe = ofscil_obs::ObsQuery::all().with_limit(0).with_time_range(u64::MAX, u64::MAX);
+    let probe = ofscil_obs::ObsQuery::all()
+        .with_kinds(&[EventKind::Infer])
+        .with_limit(0)
+        .with_time_range(u64::MAX, u64::MAX);
     if let Ok(result) = pool.with_conn(shard, true, |conn| conn.obs_query(&probe)) {
         stats.obs_events = result.appended;
         stats.obs_dropped = result.dropped;
+        if result.latency_hist.total() > 0 {
+            stats.infer_p50_us = result.latency_hist.p50_us();
+            stats.infer_p99_us = result.latency_hist.p99_us();
+        }
     }
 }
 
@@ -720,7 +758,7 @@ impl RouterServer {
             }
             None => None,
         };
-        let shared = Shared {
+        let shared = Arc::new(Shared {
             pool: ShardPool::new_observed(
                 config.shards.clone(),
                 config.pool.clone(),
@@ -730,26 +768,26 @@ impl RouterServer {
             placement_log,
             obs: config.obs.clone(),
             followers: Mutex::new(HashMap::new()),
-        };
+            shutdown: AtomicBool::new(false),
+        });
 
         let (listener, addr) = WireListener::bind(&config.bind)?;
         listener.set_nonblocking(true)?;
-        let shutdown = AtomicBool::new(false);
 
         let value = std::thread::scope(|scope| {
-            let shared = &shared;
-            let shutdown = &shutdown;
+            let shared_ref = &shared;
             let max_payload = config.max_payload;
             scope.spawn(move || {
-                accept_loop(scope, &listener, shared, shutdown, max_payload);
+                accept_loop(scope, &listener, shared_ref, max_payload);
             });
 
-            let handle = RouterHandle { addr: addr.clone(), shared };
-            let _shutdown_on_exit = ShutdownOnDrop::new(shutdown);
+            let handle = RouterHandle { addr: addr.clone(), shared: &shared };
+            let _shutdown_on_exit = ShutdownOnDrop::new(&shared.shutdown);
             body(&handle)
             // The guard raises the flag on return *and* on panic; the scope
             // then joins the accept loop and every connection thread, all of
-            // which poll the flag within `POLL`.
+            // which poll the flag within `POLL`. Detached cluster-tail legs
+            // also poll it, but hold their own `Arc` and need no join.
         });
 
         #[cfg(unix)]
@@ -764,18 +802,18 @@ impl RouterServer {
 fn accept_loop<'scope>(
     scope: &'scope std::thread::Scope<'scope, '_>,
     listener: &WireListener,
-    shared: &'scope Shared,
-    shutdown: &'scope AtomicBool,
+    shared: &'scope Arc<Shared>,
     max_payload: usize,
 ) {
-    while !shutdown.load(Ordering::Acquire) {
+    while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok(stream) => {
                 if stream.configure_for_server(POLL).is_err() {
                     continue;
                 }
+                let shared = Arc::clone(shared);
                 scope.spawn(move || {
-                    serve_connection(stream, shared, shutdown, max_payload);
+                    serve_connection(stream, &shared, max_payload);
                 });
             }
             Err(e)
@@ -791,18 +829,24 @@ fn accept_loop<'scope>(
 }
 
 /// Serves one client connection: read a frame, pick the shard, forward the
-/// frame verbatim, relay the answer.
-fn serve_connection(
-    mut stream: WireStream,
-    shared: &Shared,
-    shutdown: &AtomicBool,
-    max_payload: usize,
-) {
+/// frame verbatim, relay the answer. A cluster-tail subscription instead
+/// hands the connection off into an open-ended merged stream.
+fn serve_connection(mut stream: WireStream, shared: &Arc<Shared>, max_payload: usize) {
     loop {
-        let frame = match read_frame_verbatim(&mut stream, max_payload, Some(shutdown)) {
-            Ok(VerbatimEvent::Frame(frame)) => frame,
-            Ok(VerbatimEvent::Eof | VerbatimEvent::Shutdown) | Err(_) => return,
-        };
+        let frame =
+            match read_frame_verbatim(&mut stream, max_payload, Some(&shared.shutdown)) {
+                Ok(VerbatimEvent::Frame(frame)) => frame,
+                Ok(VerbatimEvent::Eof | VerbatimEvent::Shutdown) | Err(_) => return,
+            };
+        // An observability subscription turns the connection into a stream
+        // of merged tail batches — it never comes back to the one-reply
+        // routing cycle, so it is dispatched before `route_one`.
+        if let Ok(peek) = peek_request(frame.kind, frame.payload()) {
+            if peek.obs_tail {
+                stream_cluster_tail(stream, shared, &frame);
+                return;
+            }
+        }
         let reply = route_one(shared, &frame);
         if stream.write_all(&reply).is_err() {
             return;
@@ -910,7 +954,7 @@ fn obs_scatter(shared: &Shared, frame: &VerbatimFrame) -> Vec<u8> {
             )));
         }
     };
-    encode_response(&WireResponse::Obs(obs_scatter_query(shared, &query)))
+    encode_response(&WireResponse::Obs(Box::new(obs_scatter_query(shared, &query))))
 }
 
 /// The scatter itself, on a decoded query — shared between the wire path

@@ -235,6 +235,12 @@ pub fn scenarios() -> &'static [Scenario] {
             run: crate::scenarios::obs_soak,
         },
         Scenario {
+            name: "stream_soak",
+            summary: "live-tail soak: drop-and-count shed, cursor resume splice, cluster stream convergence",
+            smoke: false,
+            run: crate::scenarios::stream_soak,
+        },
+        Scenario {
             name: "audit",
             summary: "FSCIL learning-quality audit through the serve path vs NCM/ETF baselines",
             smoke: true,

@@ -1236,3 +1236,264 @@ pub fn obs_soak(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
     report.int("sealed_window_identical", 1, Gate::Exact);
     Ok(report)
 }
+
+/// A soak on the live-tail streaming path, in three passes, every counter
+/// `Exact`-gated because nothing in it touches a wall clock:
+///
+/// 1. **Shed**: a subscriber that never drains sits on a tiny channel while
+///    a seeded event stream floods past it. Delivery is drop-and-count, so
+///    the split is exact — `depth` rows delivered, the rest shed — and the
+///    clean→overflow transition must stamp exactly one
+///    [`SinkOverflow`](EventKind::SinkOverflow) marker, not one per drop.
+/// 2. **Resume**: a subscriber drains a prefix live, disconnects, misses a
+///    block of appends, then resubscribes from its `(time_us, seq)` cursor.
+///    The back-fill must contain exactly the missed rows — strictly after
+///    the cursor — and the splice of drained-prefix + back-fill must equal
+///    one post-hoc store query bit-for-bit (NaN bits included).
+/// 3. **Cluster**: an `ObsSubscribe` frame against a router over two
+///    observed shards, opened before any traffic; a deterministic burst is
+///    then streamed back through the per-shard legs and the merged stream
+///    must converge to the post-hoc routed query as an exact multiset of
+///    rows, with zero shard-side sheds.
+pub fn stream_soak(ctx: &mut ScenarioCtx) -> SimResult<ScenarioReport> {
+    const SHED_EVENTS: usize = 500;
+    const SHED_DEPTH: usize = 64;
+    const RESUME_PREFIX: usize = 200;
+    const RESUME_MISSED: usize = 300;
+    const TENANTS: [&str; 4] = ["cam-0", "cam-1", "cam-2", "cam-3"];
+    const STEPS: usize = 3;
+    const DRAIN_DEADLINE: Duration = Duration::from_secs(30);
+
+    /// Bit-exact row identity (NaN accuracy must equal itself here).
+    fn bits(event: &Event) -> (String, u8, u64, u64, u64, u64, u32, u64) {
+        (
+            event.deployment.clone(),
+            event.kind.code(),
+            event.seq,
+            event.time_us,
+            event.energy_mj.to_bits(),
+            event.latency_us,
+            event.accuracy.to_bits(),
+            event.wal_bytes,
+        )
+    }
+
+    let mut rng = SeedRng::new(ctx.rng_seed());
+    let mut synth = |seq: usize| -> Event {
+        let kind = if rng.below(4) == 0 { EventKind::Learn } else { EventKind::Infer };
+        let accuracy =
+            if rng.below(4) == 0 { f32::NAN } else { rng.below(65) as f32 / 64.0 };
+        Event::new(kind, &format!("cam-{}", rng.below(3)))
+            .with_seq(seq as u64)
+            .with_time_us(1_000 * seq as u64)
+            .with_energy_mj(rng.below(256) as f64 * 0.25)
+            .with_latency_us(rng.below(5_000) as u64)
+            .with_accuracy(accuracy)
+            .with_wal_bytes(rng.below(1 << 20) as u64)
+    };
+
+    // Pass 1 — shed: the hot path never waits on the full channel, it
+    // drops-and-counts, and the overflow marker is transition-only.
+    let store = ObsStore::new(ObsConfig::default());
+    let tail = store.subscribe(ObsQuery::all(), None, SHED_DEPTH);
+    if !tail.backfill.events.is_empty() {
+        return Err(sim_err("fresh store back-fill was not empty"));
+    }
+    for seq in 0..SHED_EVENTS {
+        let event = synth(seq);
+        ctx.timed(|| store.append(&event));
+    }
+    let (shed_delivered, shed_dropped) = (tail.delivered(), tail.dropped());
+    if shed_delivered != SHED_DEPTH as u64 {
+        return Err(sim_err(format!(
+            "shed pass delivered {shed_delivered}, expected the channel depth {SHED_DEPTH}"
+        )));
+    }
+    let overflow_markers = store
+        .query(&ObsQuery::all().with_kinds(&[EventKind::SinkOverflow]))
+        .aggregates
+        .matched;
+    if overflow_markers != 1 {
+        return Err(sim_err(format!(
+            "overflow must mark the clean->overflow transition once, got {overflow_markers}"
+        )));
+    }
+    // Every shed row is accounted: the synthetic rows plus the marker's own
+    // fan-out attempt against the still-full channel.
+    if shed_delivered + shed_dropped != SHED_EVENTS as u64 + overflow_markers {
+        return Err(sim_err(format!(
+            "shed conservation broke: {shed_delivered} + {shed_dropped} != \
+             {SHED_EVENTS} + {overflow_markers}"
+        )));
+    }
+    drop(tail);
+
+    // Pass 2 — resume: drain a prefix, disconnect, miss a block, then
+    // splice the cursor back-fill onto the prefix gap-free.
+    let store = ObsStore::new(ObsConfig::default().with_chunk_events(32));
+    let raw = ObsQuery::all().with_resolution(Resolution::Raw);
+    let tail = store.subscribe(raw.clone(), None, RESUME_PREFIX + RESUME_MISSED);
+    for seq in 0..RESUME_PREFIX {
+        let event = synth(seq);
+        ctx.timed(|| store.append(&event));
+    }
+    let mut cursor = ObsCursor::start();
+    let mut spliced: Vec<Event> = Vec::new();
+    while let Some(event) = tail.try_next() {
+        cursor.advance(event.order_key());
+        spliced.push(event);
+    }
+    if spliced.len() != RESUME_PREFIX {
+        return Err(sim_err(format!(
+            "drained {} of {RESUME_PREFIX} live rows before the disconnect",
+            spliced.len()
+        )));
+    }
+    let resume_dropped = tail.dropped();
+    drop(tail);
+    for seq in RESUME_PREFIX..RESUME_PREFIX + RESUME_MISSED {
+        let event = synth(seq);
+        ctx.timed(|| store.append(&event));
+    }
+    let resumed_tail = store.subscribe(raw.clone(), Some(cursor), RESUME_PREFIX);
+    let backfill_rows = resumed_tail.backfill.events.len();
+    if backfill_rows != RESUME_MISSED || resumed_tail.backfill.truncated {
+        return Err(sim_err(format!(
+            "resume back-fill returned {backfill_rows} rows (truncated: {}), expected \
+             exactly the {RESUME_MISSED} missed rows",
+            resumed_tail.backfill.truncated
+        )));
+    }
+    if resumed_tail.backfill.events.iter().any(|e| e.order_key() <= cursor.key()) {
+        return Err(sim_err("back-fill leaked a row at or before the resume cursor"));
+    }
+    spliced.extend(resumed_tail.backfill.events.iter().cloned());
+    let reference = store.query(&raw);
+    if reference.truncated || reference.events.len() != RESUME_PREFIX + RESUME_MISSED {
+        return Err(sim_err("post-hoc reference query did not cover the full range"));
+    }
+    let splice_bitexact = spliced.iter().map(bits).collect::<Vec<_>>()
+        == reference.events.iter().map(bits).collect::<Vec<_>>();
+    if !splice_bitexact {
+        return Err(sim_err("splice diverged from the post-hoc query"));
+    }
+    drop(resumed_tail);
+
+    // Pass 3 — cluster: subscribe through the router before any traffic,
+    // then require the merged per-shard stream to converge to the post-hoc
+    // routed query as an exact multiset.
+    let shards: Vec<ShardProcess> = (0..2)
+        .map(|_| {
+            ShardProcess::spawn_observed(
+                registry_with(&TENANTS)?,
+                WireConfig::tcp_loopback(),
+                Some(Obs::new(ObsConfig::default())),
+            )
+            .ctx("spawn observed shard")
+        })
+        .collect::<SimResult<_>>()?;
+    let config =
+        RouterConfig::tcp_loopback(shards.iter().map(|s| s.addr().clone()).collect())
+            .with_deployments(&TENANTS)
+            .with_obs(Obs::new(ObsConfig::default()));
+    let (cluster_requests, cluster_events, cluster_dropped) =
+        RouterServer::run(&config, |router| -> SimResult<(u64, u64, u64)> {
+            let sub = WireClient::connect(router.addr()).ctx("subscriber connect")?;
+            sub.set_read_timeout(Some(Duration::from_millis(20))).ctx("read timeout")?;
+            let mut stream =
+                sub.obs_subscribe(&ObsQuery::all(), None).ctx("obs subscribe")?;
+
+            let mut client = WireClient::connect(router.addr()).ctx("connect")?;
+            let mut requests = 0u64;
+            for step in 0..STEPS {
+                for tenant in TENANTS {
+                    ctx.timed(|| {
+                        client.call(ServeRequest::LearnOnline {
+                            deployment: tenant.into(),
+                            batch: traffic::support_batch(
+                                SIDE,
+                                &[2 * step, 2 * step + 1],
+                                3,
+                            ),
+                        })
+                    })
+                    .ctx("burst learn")?;
+                    requests += 1;
+                    for _ in 0..2 {
+                        let response = ctx
+                            .timed(|| {
+                                client.call(ServeRequest::Infer {
+                                    deployment: tenant.into(),
+                                    image: traffic::class_image(SIDE, 2 * step, 0.01),
+                                })
+                            })
+                            .ctx("burst infer")?;
+                        requests += 1;
+                        // Any prediction will do — accuracy is other
+                        // scenarios' business; this one gates the stream.
+                        predicted(response)?;
+                    }
+                }
+            }
+
+            // Traffic has quiesced; one routed query is the ground truth.
+            let reference = router.obs_query(&ObsQuery::all());
+            if reference.shards_err != 0 || reference.truncated {
+                return Err(sim_err("reference query did not cover every shard"));
+            }
+            let mut expected: Vec<_> = reference.events.iter().map(bits).collect();
+            expected.sort_unstable();
+
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    std::thread::sleep(DRAIN_DEADLINE);
+                    stop.store(true, std::sync::atomic::Ordering::Release);
+                });
+            }
+            let mut streamed: Vec<_> = Vec::new();
+            let mut dropped = 0u64;
+            loop {
+                let mut sorted = streamed.clone();
+                sorted.sort_unstable();
+                if sorted == expected {
+                    break;
+                }
+                match stream.next_batch(Some(&stop)).ctx("next batch")? {
+                    Some(batch) => {
+                        dropped = batch.dropped;
+                        streamed.extend(batch.events.iter().map(bits));
+                    }
+                    None => {
+                        return Err(sim_err(format!(
+                            "stream went silent at {} of {} rows",
+                            sorted.len(),
+                            expected.len()
+                        )))
+                    }
+                }
+            }
+            Ok((requests, reference.events.len() as u64, dropped))
+        })
+        .ctx("router")??;
+    for shard in shards {
+        shard.stop();
+    }
+
+    let mut report = ScenarioReport::new("stream_soak");
+    report.int("shed_events", SHED_EVENTS as i64, Gate::Exact);
+    report.int("shed_delivered", shed_delivered as i64, Gate::Exact);
+    report.int("shed_dropped", shed_dropped as i64, Gate::Exact);
+    report.int("overflow_markers", overflow_markers as i64, Gate::Exact);
+    report.int("resume_prefix", RESUME_PREFIX as i64, Gate::Exact);
+    report.int("resume_backfill", backfill_rows as i64, Gate::Exact);
+    report.int("resume_dropped", resume_dropped as i64, Gate::Exact);
+    report.int("resumed", 1, Gate::Exact);
+    report.int("splice_bitexact", i64::from(splice_bitexact), Gate::Exact);
+    report.int("cluster_requests", cluster_requests as i64, Gate::Exact);
+    report.int("cluster_events", cluster_events as i64, Gate::Exact);
+    report.int("cluster_dropped", cluster_dropped as i64, Gate::Exact);
+    report.int("cluster_matched", 1, Gate::Exact);
+    Ok(report)
+}

@@ -2,7 +2,7 @@
 //! [`ServeClient`](ofscil_serve::ServeClient).
 
 use crate::codec::{decode_response, encode_request, ReplEvent, WireRequest, WireResponse};
-use ofscil_obs::{ObsQuery, ObsResult};
+use ofscil_obs::{ObsCursor, ObsQuery, ObsResult, TailBatch};
 use crate::error::WireError;
 use crate::frame::{
     read_frame, read_frame_verbatim, ReadEvent, VerbatimEvent, DEFAULT_MAX_PAYLOAD,
@@ -188,7 +188,7 @@ impl WireClient {
         self.stream.write_all(&encode_request(&WireRequest::ObsQuery(query.clone())))?;
         self.stream.flush()?;
         match self.read_response(None)? {
-            Some(WireResponse::Obs(result)) => Ok(result),
+            Some(WireResponse::Obs(result)) => Ok(*result),
             Some(WireResponse::Error(error)) => Err(WireError::Remote(error)),
             Some(other) => Err(WireError::Protocol(format!(
                 "server answered an obs query with {other:?}"
@@ -270,6 +270,29 @@ impl WireClient {
         Ok(ReplicationStream { stream: self.stream, max_payload: self.max_payload })
     }
 
+    /// Switches the connection into **live-tail streaming** on the peer's
+    /// observability store. The server answers with the cursor-ranged
+    /// back-fill (batches flagged `backfill`), then streams live batches;
+    /// iterate them with [`ObsTailStream::next_batch`]. Pass the cursor from
+    /// the last consumed batch to resume a broken subscription with no gaps
+    /// and no duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] when the subscription cannot be written.
+    pub fn obs_subscribe(
+        mut self,
+        query: &ObsQuery,
+        cursor: Option<ObsCursor>,
+    ) -> Result<ObsTailStream, WireError> {
+        self.stream.write_all(&encode_request(&WireRequest::ObsSubscribe {
+            query: query.clone(),
+            cursor,
+        }))?;
+        self.stream.flush()?;
+        Ok(ObsTailStream { stream: self.stream, max_payload: self.max_payload })
+    }
+
     fn read_response(
         &mut self,
         stop: Option<&AtomicBool>,
@@ -312,6 +335,42 @@ impl ReplicationStream {
                 WireResponse::Error(error) => Err(WireError::Remote(error)),
                 other => Err(WireError::Protocol(format!(
                     "server sent a request response on a replication stream: {other:?}"
+                ))),
+            },
+        }
+    }
+}
+
+/// The receive side of a live-tail subscription
+/// (see [`WireClient::obs_subscribe`]).
+#[derive(Debug)]
+pub struct ObsTailStream {
+    stream: WireStream,
+    max_payload: usize,
+}
+
+impl ObsTailStream {
+    /// Blocks for the next tail batch. Returns `Ok(None)` when the server
+    /// closed the stream, or — if the underlying socket carries a read
+    /// timeout (see [`WireClient::set_read_timeout`]) — when `stop` was
+    /// raised while waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Remote`] when the server answered the
+    /// subscription with a typed error (e.g. observability disabled), and a
+    /// transport/codec error when the connection broke.
+    pub fn next_batch(
+        &mut self,
+        stop: Option<&AtomicBool>,
+    ) -> Result<Option<TailBatch>, WireError> {
+        match read_frame(&mut self.stream, self.max_payload, stop)? {
+            ReadEvent::Eof | ReadEvent::Shutdown => Ok(None),
+            ReadEvent::Frame(kind, payload) => match decode_response(kind, &payload)? {
+                WireResponse::Tail(batch) => Ok(Some(batch)),
+                WireResponse::Error(error) => Err(WireError::Remote(error)),
+                other => Err(WireError::Protocol(format!(
+                    "server sent a request response on a tail stream: {other:?}"
                 ))),
             },
         }

@@ -19,6 +19,7 @@
 //! 0x08   Request  Import       deployment, seq, snapshot (migration target)
 //! 0x09   Request  ReAnchor     deployment          (checkpoint-served Full)
 //! 0x0A   Request  ObsQuery     deployment, windows, kind mask, limit, resolution (scatter)
+//! 0x0C   Request  ObsSubscribe obs query filter + optional resume cursor (streaming)
 //! 0x41   Response Prediction   class, similarity, batched_with
 //! 0x42   Response Learned      classes, total
 //! 0x43   Response Snapshot     opaque snapshot-codec bytes
@@ -27,9 +28,10 @@
 //! 0x46   Response Error        typed ServeError
 //! 0x47   Response Export       seq, snapshot bytes
 //! 0x48   Response Imported     restored class count
-//! 0x49   Response Obs          events, aggregates, completeness counters
+//! 0x49   Response Obs          events, aggregates, completeness counters, latency histogram
 //! 0x61   Repl     Full         seq, snapshot bytes
 //! 0x62   Repl     Delta        seq, total classes, (class, prototype) pairs
+//! 0x63   Tail     Batch        flags, cursor, dropped, events, rollups
 //! ```
 //!
 //! Every request payload leads with its deployment name, which is what lets
@@ -40,7 +42,8 @@ use crate::error::PayloadError;
 use crate::frame::frame_bytes;
 use ofscil_data::Batch;
 use ofscil_obs::{
-    Event, EventKind, ObsAggregates, ObsQuery, ObsResult, Resolution, Rollup, Summary,
+    Event, EventKind, LatencyHistogram, ObsAggregates, ObsCursor, ObsQuery, ObsResult,
+    Resolution, Rollup, Summary, TailBatch, LATENCY_BUCKETS,
 };
 use ofscil_serve::{
     DeploymentExport, DeploymentStats, ExportStats, ServeError, ServeRequest, ServeResponse,
@@ -60,6 +63,7 @@ const KIND_REQ_IMPORT: u8 = 0x08;
 const KIND_REQ_REANCHOR: u8 = 0x09;
 const KIND_REQ_OBS_QUERY: u8 = 0x0A;
 const KIND_REQ_ADVERTISE: u8 = 0x0B;
+const KIND_REQ_OBS_SUBSCRIBE: u8 = 0x0C;
 const KIND_RESP_PREDICTION: u8 = 0x41;
 const KIND_RESP_LEARNED: u8 = 0x42;
 const KIND_RESP_SNAPSHOT: u8 = 0x43;
@@ -72,6 +76,7 @@ const KIND_RESP_OBS: u8 = 0x49;
 const KIND_RESP_ADVERTISED: u8 = 0x4A;
 const KIND_REPL_FULL: u8 = 0x61;
 const KIND_REPL_DELTA: u8 = 0x62;
+const KIND_OBS_BATCH: u8 = 0x63;
 
 /// A request as it travels over a wire connection.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +120,19 @@ pub enum WireRequest {
     /// instead of forwarding to a single owner — a migrated tenant's history
     /// lives on both its old and new shard.
     ObsQuery(ObsQuery),
+    /// Register a **live tail** on the server's observability store. The
+    /// server answers with the cursor-ranged back-fill as one or more
+    /// [`WireResponse::Tail`] batches (`backfill` set), then streams live
+    /// batches on the persistent connection until it closes — the streaming
+    /// counterpart of [`WireRequest::ObsQuery`], same filter semantics.
+    ObsSubscribe {
+        /// Row filter: deployment, windows, kind mask, limit (bounds the
+        /// back-fill), resolution (rollup cells for GC'd back-fill spans).
+        query: ObsQuery,
+        /// Resume position: back-fill delivers rows strictly after this.
+        /// `None` back-fills from the beginning of retained history.
+        cursor: Option<ObsCursor>,
+    },
     /// A follower announcing itself to the cluster front door as a promotion
     /// candidate for the shard at `upstream`. Routers record the mapping in
     /// their follower registry (the control plane reads it to pick a
@@ -149,13 +167,18 @@ pub enum WireResponse {
     },
     /// Answer to [`WireRequest::ObsQuery`]: matching events plus aggregates
     /// and completeness counters, from one shard or merged across a cluster.
-    Obs(ObsResult),
+    /// Boxed: the result (histogram included) dwarfs every other variant.
+    Obs(Box<ObsResult>),
     /// Answer to [`WireRequest::AdvertiseFollower`]: how many followers the
     /// router now has registered for the advertised upstream shard.
     Advertised {
         /// Followers registered for the shard after this advertisement.
         registered: u64,
     },
+    /// One batch of a live tail stream (answering
+    /// [`WireRequest::ObsSubscribe`]): back-fill first, then live rows,
+    /// each batch carrying the resume cursor to reconnect from.
+    Tail(TailBatch),
 }
 
 /// One event on a deployment's snapshot-replication stream.
@@ -412,15 +435,20 @@ pub fn encode_request(request: &WireRequest) -> Vec<u8> {
             KIND_REQ_REANCHOR
         }
         WireRequest::ObsQuery(query) => {
-            put_string(&mut payload, &query.deployment);
-            put_u64(&mut payload, query.time_min);
-            put_u64(&mut payload, query.time_max);
-            put_u64(&mut payload, query.seq_min);
-            put_u64(&mut payload, query.seq_max);
-            put_u32(&mut payload, u32::from(query.kinds));
-            put_u32(&mut payload, query.limit);
-            payload.push(query.resolution.code());
+            put_obs_query(&mut payload, query);
             KIND_REQ_OBS_QUERY
+        }
+        WireRequest::ObsSubscribe { query, cursor } => {
+            put_obs_query(&mut payload, query);
+            match cursor {
+                Some(cursor) => {
+                    payload.push(1);
+                    put_u64(&mut payload, cursor.time_us);
+                    put_u64(&mut payload, cursor.seq);
+                }
+                None => payload.push(0),
+            }
+            KIND_REQ_OBS_SUBSCRIBE
         }
         WireRequest::AdvertiseFollower { upstream, follower } => {
             put_string(&mut payload, upstream);
@@ -429,6 +457,36 @@ pub fn encode_request(request: &WireRequest) -> Vec<u8> {
         }
     };
     frame_bytes(kind, &payload)
+}
+
+// The obs-filter payload, shared by `ObsQuery` and `ObsSubscribe` requests:
+// deployment-leading (so `peek_request` reads the routing key), then time and
+// sequence windows, kind mask, row limit and resolution byte.
+fn put_obs_query(out: &mut Vec<u8>, query: &ObsQuery) {
+    put_string(out, &query.deployment);
+    put_u64(out, query.time_min);
+    put_u64(out, query.time_max);
+    put_u64(out, query.seq_min);
+    put_u64(out, query.seq_max);
+    put_u32(out, u32::from(query.kinds));
+    put_u32(out, query.limit);
+    out.push(query.resolution.code());
+}
+
+fn read_obs_query(r: &mut Reader<'_>) -> Result<ObsQuery, PayloadError> {
+    let deployment = r.string()?;
+    let time_min = r.u64()?;
+    let time_max = r.u64()?;
+    let seq_min = r.u64()?;
+    let seq_max = r.u64()?;
+    let kinds = r.u32()?;
+    let kinds = u16::try_from(kinds)
+        .map_err(|_| PayloadError::ValueOverflow { field: "kinds", value: u64::from(kinds) })?;
+    let limit = r.u32()?;
+    let resolution_code = r.u8()?;
+    let resolution = Resolution::from_code(resolution_code)
+        .ok_or(PayloadError::BadTag { field: "obs resolution", tag: resolution_code })?;
+    Ok(ObsQuery { deployment, time_min, time_max, seq_min, seq_max, kinds, limit, resolution })
 }
 
 // The migratable-deployment payload, shared by `Import` requests and `Export`
@@ -477,8 +535,8 @@ fn read_export(r: &mut Reader<'_>) -> Result<DeploymentExport, PayloadError> {
 pub struct RequestPeek {
     /// The deployment the request targets — the routing key.
     pub deployment: String,
-    /// `true` for `Subscribe`: the reply is an open-ended replication stream,
-    /// not a single response frame.
+    /// `true` for `Subscribe` and `ObsSubscribe`: the reply is an open-ended
+    /// stream on the persistent connection, not a single response frame.
     pub streaming: bool,
     /// `true` for state-mutating requests (`LearnOnline`, `TopUpBudget`,
     /// `Import`). A forwarder must not replay these on a fresh connection
@@ -495,6 +553,10 @@ pub struct RequestPeek {
     /// address), so a router answers it from its follower registry instead
     /// of forwarding it anywhere.
     pub advertise: bool,
+    /// `true` for `ObsSubscribe`: a streaming **and** scatter-shaped request
+    /// — a router opens per-shard tails and merges them into one stream
+    /// instead of forwarding to a single owner.
+    pub obs_tail: bool,
 }
 
 /// Reads a request frame's routing key (the leading deployment string)
@@ -510,14 +572,16 @@ pub fn peek_request(kind: u8, payload: &[u8]) -> Result<RequestPeek, PayloadErro
     match kind {
         KIND_REQ_INFER | KIND_REQ_LEARN | KIND_REQ_SNAPSHOT | KIND_REQ_STATS
         | KIND_REQ_TOP_UP | KIND_REQ_SUBSCRIBE | KIND_REQ_EXPORT | KIND_REQ_IMPORT
-        | KIND_REQ_REANCHOR | KIND_REQ_OBS_QUERY | KIND_REQ_ADVERTISE => {
+        | KIND_REQ_REANCHOR | KIND_REQ_OBS_QUERY | KIND_REQ_ADVERTISE
+        | KIND_REQ_OBS_SUBSCRIBE => {
             let mut r = Reader::new(payload);
             Ok(RequestPeek {
                 deployment: r.string()?,
-                streaming: kind == KIND_REQ_SUBSCRIBE,
+                streaming: matches!(kind, KIND_REQ_SUBSCRIBE | KIND_REQ_OBS_SUBSCRIBE),
                 write: matches!(kind, KIND_REQ_LEARN | KIND_REQ_TOP_UP | KIND_REQ_IMPORT),
                 scatter: kind == KIND_REQ_OBS_QUERY,
                 advertise: kind == KIND_REQ_ADVERTISE,
+                obs_tail: kind == KIND_REQ_OBS_SUBSCRIBE,
             })
         }
         other => Err(PayloadError::UnknownKind(other)),
@@ -562,30 +626,15 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<WireRequest, PayloadEr
         KIND_REQ_EXPORT => WireRequest::Export { deployment: r.string()? },
         KIND_REQ_IMPORT => WireRequest::Import(read_export(&mut r)?),
         KIND_REQ_REANCHOR => WireRequest::ReAnchor { deployment: r.string()? },
-        KIND_REQ_OBS_QUERY => {
-            let deployment = r.string()?;
-            let time_min = r.u64()?;
-            let time_max = r.u64()?;
-            let seq_min = r.u64()?;
-            let seq_max = r.u64()?;
-            let kinds = r.u32()?;
-            let kinds = u16::try_from(kinds)
-                .map_err(|_| PayloadError::ValueOverflow { field: "kinds", value: u64::from(kinds) })?;
-            let limit = r.u32()?;
-            let resolution_code = r.u8()?;
-            let resolution = Resolution::from_code(resolution_code).ok_or(
-                PayloadError::BadTag { field: "obs resolution", tag: resolution_code },
-            )?;
-            WireRequest::ObsQuery(ObsQuery {
-                deployment,
-                time_min,
-                time_max,
-                seq_min,
-                seq_max,
-                kinds,
-                limit,
-                resolution,
-            })
+        KIND_REQ_OBS_QUERY => WireRequest::ObsQuery(read_obs_query(&mut r)?),
+        KIND_REQ_OBS_SUBSCRIBE => {
+            let query = read_obs_query(&mut r)?;
+            let cursor = match r.u8()? {
+                0 => None,
+                1 => Some(ObsCursor { time_us: r.u64()?, seq: r.u64()? }),
+                tag => return Err(PayloadError::BadTag { field: "obs cursor", tag }),
+            };
+            WireRequest::ObsSubscribe { query, cursor }
         }
         KIND_REQ_ADVERTISE => WireRequest::AdvertiseFollower {
             upstream: r.string()?,
@@ -903,7 +952,32 @@ pub fn encode_response(response: &WireResponse) -> Vec<u8> {
             for rollup in &result.rollups {
                 put_rollup(&mut payload, rollup);
             }
+            for &count in &result.latency_hist.counts {
+                put_u64(&mut payload, count);
+            }
             KIND_RESP_OBS
+        }
+        WireResponse::Tail(batch) => {
+            let mut flags = 0u8;
+            if batch.backfill {
+                flags |= 1;
+            }
+            if batch.truncated {
+                flags |= 2;
+            }
+            payload.push(flags);
+            put_u64(&mut payload, batch.cursor.time_us);
+            put_u64(&mut payload, batch.cursor.seq);
+            put_u64(&mut payload, batch.dropped);
+            put_u32(&mut payload, batch.events.len() as u32);
+            for event in &batch.events {
+                put_obs_event(&mut payload, event);
+            }
+            put_u32(&mut payload, batch.rollups.len() as u32);
+            for rollup in &batch.rollups {
+                put_rollup(&mut payload, rollup);
+            }
+            KIND_OBS_BATCH
         }
     };
     frame_bytes(kind, &payload)
@@ -992,7 +1066,12 @@ pub fn decode_response(kind: u8, payload: &[u8]) -> Result<WireResponse, Payload
             for _ in 0..rollup_count {
                 rollups.push(read_rollup(&mut r)?);
             }
-            WireResponse::Obs(ObsResult {
+            let mut latency_hist = LatencyHistogram::empty();
+            for count in latency_hist.counts.iter_mut() {
+                *count = r.u64()?;
+            }
+            debug_assert_eq!(latency_hist.counts.len(), LATENCY_BUCKETS);
+            WireResponse::Obs(Box::new(ObsResult {
                 events,
                 rollups,
                 aggregates,
@@ -1001,6 +1080,33 @@ pub fn decode_response(kind: u8, payload: &[u8]) -> Result<WireResponse, Payload
                 dropped,
                 shards_ok,
                 shards_err,
+                latency_hist,
+            }))
+        }
+        KIND_OBS_BATCH => {
+            let flags = r.u8()?;
+            if flags & !3 != 0 {
+                return Err(PayloadError::BadTag { field: "tail flags", tag: flags });
+            }
+            let cursor = ObsCursor { time_us: r.u64()?, seq: r.u64()? };
+            let dropped = r.u64()?;
+            let count = r.checked_count("tail events", OBS_EVENT_MIN_BYTES)?;
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                events.push(read_obs_event(&mut r)?);
+            }
+            let rollup_count = r.checked_count("tail rollups", OBS_ROLLUP_MIN_BYTES)?;
+            let mut rollups = Vec::with_capacity(rollup_count);
+            for _ in 0..rollup_count {
+                rollups.push(read_rollup(&mut r)?);
+            }
+            WireResponse::Tail(TailBatch {
+                events,
+                rollups,
+                cursor,
+                backfill: flags & 1 != 0,
+                truncated: flags & 2 != 0,
+                dropped,
             })
         }
         other => return Err(PayloadError::UnknownKind(other)),
@@ -1080,6 +1186,16 @@ mod tests {
             ObsQuery::all().with_resolution(Resolution::Rollup),
         ));
         roundtrip_request(WireRequest::ObsQuery(ObsQuery::all()));
+        roundtrip_request(WireRequest::ObsSubscribe {
+            query: ObsQuery::all(),
+            cursor: None,
+        });
+        roundtrip_request(WireRequest::ObsSubscribe {
+            query: ObsQuery::deployment("tenant-a")
+                .with_kinds(&[EventKind::Infer, EventKind::SinkOverflow])
+                .with_limit(4096),
+            cursor: Some(ObsCursor { time_us: 123_456_789, seq: 42 }),
+        });
         roundtrip_request(WireRequest::AdvertiseFollower {
             upstream: "127.0.0.1:9001".into(),
             follower: "127.0.0.1:9101".into(),
@@ -1144,6 +1260,17 @@ mod tests {
             ),
             (WireRequest::ReAnchor { deployment: "tenant-a".into() }, false, false, false),
             (WireRequest::ObsQuery(ObsQuery::deployment("tenant-a")), false, false, true),
+            // A tail subscription streams but is NOT a scatter one-shot: the
+            // router multiplexes it itself (peek.obs_tail, asserted below).
+            (
+                WireRequest::ObsSubscribe {
+                    query: ObsQuery::deployment("tenant-a"),
+                    cursor: Some(ObsCursor { time_us: 9, seq: 1 }),
+                },
+                true,
+                false,
+                false,
+            ),
             // The advertisement's routing key is the *upstream* shard address
             // — the string a router matches against its shard table.
             (
@@ -1167,6 +1294,11 @@ mod tests {
             assert_eq!(
                 peek.advertise,
                 matches!(request, WireRequest::AdvertiseFollower { .. }),
+                "for {request:?}"
+            );
+            assert_eq!(
+                peek.obs_tail,
+                matches!(request, WireRequest::ObsSubscribe { .. }),
                 "for {request:?}"
             );
         }
@@ -1218,8 +1350,8 @@ mod tests {
             }),
             WireResponse::Imported { classes: 4 },
             WireResponse::Advertised { registered: 2 },
-            WireResponse::Obs(ObsResult::default()),
-            WireResponse::Obs({
+            WireResponse::Obs(Box::default()),
+            WireResponse::Obs(Box::new({
                 let mut result = ObsResult {
                     truncated: true,
                     appended: 12,
@@ -1252,7 +1384,29 @@ mod tests {
                 let mut nan_cell = Rollup::new(0, "tenant-a", EventKind::Migration);
                 nan_cell.observe(&result.events[1]);
                 result.rollups = vec![nan_cell, cell];
+                // The latency histogram crosses bucket-for-bucket.
+                result.latency_hist.record(120);
+                result.latency_hist.record(0);
+                result.latency_hist.record(u64::MAX);
                 result
+            })),
+            WireResponse::Tail(TailBatch::default()),
+            WireResponse::Tail(TailBatch {
+                events: vec![
+                    Event::new(EventKind::Infer, "tenant-a")
+                        .with_seq(7)
+                        .with_time_us(3_000)
+                        .with_latency_us(99)
+                        .with_accuracy(0.5),
+                    Event::new(EventKind::SinkOverflow, "tail:3")
+                        .with_seq(12)
+                        .with_time_us(3_001),
+                ],
+                rollups: vec![Rollup::new(60_000_000, "tenant-a", EventKind::Infer)],
+                cursor: ObsCursor { time_us: 3_001, seq: 12 },
+                backfill: true,
+                truncated: true,
+                dropped: 5,
             }),
         ] {
             let back = roundtrip_response(&response);

@@ -44,8 +44,13 @@ pub const WIRE_MAGIC: [u8; 4] = *b"OFWR";
 /// v7 appended a resolution byte to the `ObsQuery` payload (raw / rollup /
 /// auto) and a vector of per-minute rollup cells to the `ObsResult`
 /// response, so long-horizon timelines travel as downsampled aggregates
-/// instead of raw rows.
-pub const WIRE_VERSION: u16 = 7;
+/// instead of raw rows; v8 added streaming observability — the
+/// `ObsSubscribe` request (kind `0x0C`, carrying an `ObsQuery` filter plus
+/// an optional `(time_us, seq)` resume cursor) answered by an open-ended
+/// sequence of `TailBatch` frames (kind `0x63`, back-fill first, then live
+/// batches on the persistent connection) — and appended the 32-bucket
+/// latency histogram to the `ObsResult` response payload.
+pub const WIRE_VERSION: u16 = 8;
 
 /// Fixed frame header length in bytes.
 pub const HEADER_LEN: usize = 12;

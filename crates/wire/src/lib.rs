@@ -16,6 +16,11 @@
 //! * [`WireServer`] — a blocking TCP / Unix-socket frontend that dispatches
 //!   decoded frames into the existing `ServeRuntime` worker pool,
 //! * [`WireClient`] — mirrors the in-process client API over a connection,
+//! * live tails — [`WireClient::obs_subscribe`] registers a streaming
+//!   subscription on the server's observability store (wire v8): the server
+//!   back-fills everything after the resume cursor, then pushes live
+//!   `TailBatch` frames on the persistent connection; every batch carries
+//!   the high-water cursor so a reconnect resumes gap-free,
 //! * [`Follower`] — a replica that tails a primary's snapshot stream (full
 //!   snapshot + sequence-numbered deltas per committed `LearnOnline`),
 //!   restores prototypes **bit-exactly**, and serves read-only traffic on
@@ -68,7 +73,7 @@ mod follower;
 pub mod net;
 mod server;
 
-pub use client::{ReplicationStream, WireClient};
+pub use client::{ObsTailStream, ReplicationStream, WireClient};
 pub use codec::{peek_request, ReplEvent, RequestPeek, WireRequest, WireResponse};
 pub use error::{FrameError, PayloadError, WireError};
 pub use follower::{Follower, FollowerConfig, FollowerHandle};

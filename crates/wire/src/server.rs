@@ -21,7 +21,7 @@ use crate::codec::{decode_request, encode_response, ReplEvent, WireRequest, Wire
 use crate::error::WireError;
 use crate::frame::{read_frame, ReadEvent, DEFAULT_MAX_PAYLOAD};
 use crate::net::{BoundAddr, WireBind, WireListener, WireStream};
-use ofscil_obs::{Event, EventKind, Obs};
+use ofscil_obs::{Event, EventKind, Obs, ObsCursor, ObsQuery, TailBatch};
 use ofscil_serve::{LearnCommit, LearnerRegistry, ServeClient, ServeConfig, ServeError, ServeRuntime};
 use ofscil_store::{ObsSpill, Store, StoreError, SPILL_FILE};
 use std::collections::HashMap;
@@ -525,7 +525,19 @@ fn serve_connection(
             // Answered from the local columnar event store; a router fans
             // this request out to every shard instead (see `ofscil_router`).
             Ok(WireRequest::ObsQuery(query)) => match obs {
-                Some(obs) => WireResponse::Obs(obs.query(&query)),
+                Some(obs) => WireResponse::Obs(Box::new(obs.query(&query))),
+                None => WireResponse::Error(ServeError::InvalidRequest(
+                    "observability is not enabled on this server".into(),
+                )),
+            },
+            // A live tail: the connection switches to streaming TailBatch
+            // frames (back-fill first, then live), like Subscribe does for
+            // replication.
+            Ok(WireRequest::ObsSubscribe { query, cursor }) => match obs {
+                Some(obs) => {
+                    stream_obs_tail(stream, obs, query, cursor, shutdown);
+                    return;
+                }
                 None => WireResponse::Error(ServeError::InvalidRequest(
                     "observability is not enabled on this server".into(),
                 )),
@@ -591,6 +603,101 @@ fn anchor_for(
         }
     }
     registry.snapshot_with_seq(deployment)
+}
+
+/// Bounded per-subscriber fan-out depth for wire tails. Past it the store
+/// sheds rows (drop-and-count, surfaced as `SinkOverflow` markers) — the
+/// append path never buffers for a stalled socket, the same discipline as
+/// [`REPL_QUEUE_DEPTH`].
+const TAIL_QUEUE_DEPTH: usize = 1024;
+
+/// Maximum rows per streamed `TailBatch` frame.
+const TAIL_BATCH_EVENTS: usize = 1024;
+
+/// Streams a live observability tail to one subscriber: the cursor-ranged
+/// back-fill first (bounded frames, oldest rows first, rollup cells for
+/// GC'd spans riding with the first frame), then live batches until the
+/// connection or the server ends.
+///
+/// The store registers the tail **atomically with the back-fill query**, so
+/// back-fill and live feed partition the timeline exactly; every frame
+/// carries the high-water resume cursor, so a reconnecting subscriber
+/// resubscribes from the last frame it consumed and misses nothing.
+fn stream_obs_tail(
+    mut stream: WireStream,
+    obs: &Obs,
+    query: ObsQuery,
+    cursor: Option<ObsCursor>,
+    shutdown: &AtomicBool,
+) {
+    // Settle the sink first so rows it already accepted land in the
+    // back-fill instead of racing the registration.
+    obs.flush(Duration::from_millis(250));
+    let tail = obs.store().subscribe(query, cursor, TAIL_QUEUE_DEPTH);
+
+    // The final back-fill frame is sent even when empty, so the subscriber
+    // always learns where "live" begins.
+    let mut high_water = cursor.unwrap_or_default();
+    let mut offset = 0usize;
+    loop {
+        let end = (offset + TAIL_BATCH_EVENTS).min(tail.backfill.events.len());
+        let events = tail.backfill.events[offset..end].to_vec();
+        for event in &events {
+            high_water.advance(event.order_key());
+        }
+        let last = end == tail.backfill.events.len();
+        let batch = TailBatch {
+            events,
+            rollups: if offset == 0 { tail.backfill.rollups.clone() } else { Vec::new() },
+            cursor: high_water,
+            backfill: true,
+            truncated: tail.backfill.truncated,
+            dropped: tail.dropped(),
+        };
+        if stream.write_all(&encode_response(&WireResponse::Tail(batch))).is_err() {
+            return;
+        }
+        offset = end;
+        if last {
+            break;
+        }
+    }
+
+    // Live: block briefly for the next row, drain greedily into one bounded
+    // frame per wakeup.
+    loop {
+        let first = match tail.recv_timeout(POLL) {
+            Ok(event) => event,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        let mut events = vec![first];
+        while events.len() < TAIL_BATCH_EVENTS {
+            match tail.try_next() {
+                Some(event) => events.push(event),
+                None => break,
+            }
+        }
+        for event in &events {
+            high_water.advance(event.order_key());
+        }
+        let batch = TailBatch {
+            events,
+            rollups: Vec::new(),
+            cursor: high_water,
+            backfill: false,
+            truncated: false,
+            dropped: tail.dropped(),
+        };
+        if stream.write_all(&encode_response(&WireResponse::Tail(batch))).is_err() {
+            return;
+        }
+    }
 }
 
 /// Streams a deployment's snapshot stream to one subscriber: registration
